@@ -1,0 +1,59 @@
+// Command powerdiv-curve regenerates the paper's machine power curves:
+// Fig 1 (hyperthreading and turboboost disabled) and Fig 3 (both enabled),
+// for the built-in machine calibrations.
+//
+// Usage:
+//
+//	powerdiv-curve [-machine "SMALL INTEL"] [-ht] [-turbo] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/experiments"
+	"powerdiv/internal/machine"
+)
+
+func main() {
+	machineName := flag.String("machine", "SMALL INTEL", `machine calibration ("SMALL INTEL" or "DAHU")`)
+	ht := flag.Bool("ht", false, "enable hyperthreading (Fig 3 context)")
+	turbo := flag.Bool("turbo", false, "enable turboboost (Fig 3 context)")
+	csv := flag.String("csv", "", "also write the curve to this CSV file")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	spec, ok := cpumodel.SpecByName(*machineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown machine %q; built-ins:\n", *machineName)
+		for _, s := range cpumodel.Specs() {
+			fmt.Fprintf(os.Stderr, "  %s\n", s.Name)
+		}
+		os.Exit(2)
+	}
+	cfg := machine.Config{
+		Spec:           spec,
+		Hyperthreading: *ht,
+		Turbo:          *turbo,
+		NoiseStddev:    experiments.DefaultNoise,
+		Seed:           *seed,
+	}
+	res, err := experiments.PowerCurve(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	table := res.Table()
+	fmt.Print(table.String())
+	fmt.Printf("\nidle→1-thread gap: %s   band at full load: %s\n",
+		res.ResidualGap(), res.BandWidthAtFull())
+	if *csv != "" {
+		if err := table.WriteCSV(*csv); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *csv)
+	}
+}

@@ -1,0 +1,134 @@
+// Command powerdiv-eval runs the paper's evaluation protocol (§III-E) on a
+// simulated machine: phase 1 isolated baselines for every stress
+// application, phase 2 parallel pair scenarios, phase 3 Equation 5 scoring
+// of each power division model — the §IV-A campaign behind Fig 4–7.
+//
+// Usage:
+//
+//	powerdiv-eval [-machine DAHU] [-context lab|prod] [-seed 1] [-points] [-csv-dir out/]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/experiments"
+	"powerdiv/internal/models"
+	"powerdiv/internal/protocol"
+)
+
+// jsonReport is the machine-readable campaign output.
+type jsonReport struct {
+	Machine string           `json:"machine"`
+	Context string           `json:"context"`
+	Models  []jsonModelEntry `json:"models"`
+}
+
+type jsonModelEntry struct {
+	Model     string      `json:"model"`
+	MeanAE    float64     `json:"mean_ae"`
+	MaxAE     float64     `json:"max_ae"`
+	WorstPair string      `json:"worst_pair"`
+	Points    []jsonPoint `json:"points"`
+}
+
+type jsonPoint struct {
+	Pair  string  `json:"pair"`
+	Panel string  `json:"panel"`
+	X     float64 `json:"sequential_ratio_pct"`
+	Y     float64 `json:"parallel_ratio_pct"`
+}
+
+func emitJSON(w io.Writer, machine, context string, results map[string]experiments.ScatterResult) error {
+	rep := jsonReport{Machine: machine, Context: context}
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := results[n]
+		entry := jsonModelEntry{Model: n, MeanAE: r.MeanAE, MaxAE: r.MaxAE, WorstPair: r.WorstPair}
+		for _, p := range r.SameSize {
+			entry.Points = append(entry.Points, jsonPoint{Pair: p.Label, Panel: "same-size", X: p.X, Y: p.Y})
+		}
+		for _, p := range r.DiffSize {
+			entry.Points = append(entry.Points, jsonPoint{Pair: p.Label, Panel: "diff-size", X: p.X, Y: p.Y})
+		}
+		rep.Models = append(rep.Models, entry)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func main() {
+	machineName := flag.String("machine", "SMALL INTEL", `machine calibration ("SMALL INTEL" or "DAHU")`)
+	context := flag.String("context", "lab", `performance context: "lab" (HT/TB off) or "prod" (on)`)
+	seed := flag.Int64("seed", 1, "campaign seed")
+	points := flag.Bool("points", false, "also print the per-pair ratio points (Fig 4–7 series)")
+	csvDir := flag.String("csv-dir", "", "write per-model point CSVs into this directory")
+	asJSON := flag.Bool("json", false, "emit the results as JSON instead of tables")
+	flag.Parse()
+
+	spec, ok := cpumodel.SpecByName(*machineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machineName)
+		os.Exit(2)
+	}
+	var ctx protocol.Context
+	switch *context {
+	case "lab":
+		ctx = experiments.LabContext(spec, *seed)
+	case "prod":
+		ctx = experiments.ProdContext(spec, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown context %q (want lab or prod)\n", *context)
+		os.Exit(2)
+	}
+
+	if !*asJSON {
+		fmt.Printf("protocol campaign on %s (%s context), sizes %v\n\n",
+			spec.Name, *context, protocol.SizesFor(ctx.Machine))
+	}
+	results, err := experiments.LabEvaluation(ctx, models.NewKepler(), models.NewOracle())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		if err := emitJSON(os.Stdout, spec.Name, *context, results); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(experiments.ErrorTable(spec.Name, results).String())
+
+	if *points {
+		for _, name := range []string{"scaphandre", "powerapi"} {
+			if r, ok := results[name]; ok {
+				fmt.Println()
+				fmt.Print(r.PointsTable().String())
+			}
+		}
+	}
+	if *csvDir != "" {
+		for name, r := range results {
+			path := filepath.Join(*csvDir, fmt.Sprintf("points-%s-%s.csv",
+				strings.ReplaceAll(strings.ToLower(spec.Name), " ", "-"), name))
+			if err := r.PointsTable().WriteCSV(path); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command powerdiv-fit calibrates a machine power model from load-curve
+// measurements: feed it a CSV of (cores, freq_ghz, power_w) rows — idle at
+// cores 0, then mean machine power at 1..N busy cores, optionally at
+// several cpufreq caps — and it fits the idle floor, the residual curve
+// R(f), the frequency exponent and the probe workload's per-core cost,
+// exactly the quantities the paper's §III-B establishes by hand.
+//
+// With -demo it instead synthesises the sweep from a built-in machine
+// calibration and fits that, demonstrating the round trip.
+//
+// Usage:
+//
+//	powerdiv-fit curve.csv
+//	powerdiv-fit -demo -machine DAHU
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/report"
+	"powerdiv/internal/units"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "fit a synthetic sweep from a built-in calibration")
+	machineName := flag.String("machine", "SMALL INTEL", "built-in calibration for -demo")
+	smt := flag.Float64("smt", 0.3, "SMT efficiency for the fitted model (not fittable from single-thread sweeps)")
+	flag.Parse()
+
+	var samples []cpumodel.CurveSample
+	switch {
+	case *demo:
+		spec, ok := cpumodel.SpecByName(*machineName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machineName)
+			os.Exit(2)
+		}
+		samples = demoSweep(spec)
+		fmt.Printf("synthetic sweep from %s (%d samples)\n\n", spec.Name, len(samples))
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		samples, err = cpumodel.ParseCurveCSV(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: powerdiv-fit curve.csv  |  powerdiv-fit -demo [-machine DAHU]")
+		os.Exit(2)
+	}
+
+	res, err := cpumodel.FitPowerModel(samples, *smt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fit error:", err)
+		os.Exit(1)
+	}
+	t := report.NewTable("Fitted power model", "quantity", "value")
+	t.AddRow("idle", res.Model.Idle.String())
+	t.AddRow("base frequency", res.Model.BaseFreq.String())
+	t.AddRowf("frequency exponent", res.Model.FreqExponent)
+	t.AddRow("probe cost per core (at base)", res.ProbeCostAtBase.String())
+	fmt.Print(t.String())
+
+	rt := report.NewTable("\nResidual curve R(f) — idle included", "frequency", "R", "fit RMS")
+	for _, p := range res.Model.Residual.Points() {
+		rms := res.Residuals[p.Freq]
+		rt.AddRow(p.Freq.String(), (res.Model.Idle + p.R).String(), fmt.Sprintf("%.3f W", rms))
+	}
+	fmt.Print(rt.String())
+}
+
+// demoSweep synthesises a three-frequency sweep from a built-in spec.
+func demoSweep(spec cpumodel.Spec) []cpumodel.CurveSample {
+	m := spec.Power
+	samples := []cpumodel.CurveSample{{Cores: 0, Power: m.Idle}}
+	freqs := []units.Hertz{spec.Freq.Min, (spec.Freq.Min + spec.Freq.Base) / 2, spec.Freq.Base}
+	const cost = 6.0
+	for _, f := range freqs {
+		for n := 1; n <= spec.Topology.PhysicalCores(); n++ {
+			loads := make([]cpumodel.CoreLoad, n)
+			for i := range loads {
+				loads[i] = cpumodel.CoreLoad{Util: 1, CostAtBase: cost, Freq: f}
+			}
+			samples = append(samples, cpumodel.CurveSample{Cores: n, Freq: f, Power: m.Power(loads).Total()})
+		}
+	}
+	return samples
+}

@@ -1,0 +1,173 @@
+// Command powerdiv-live is a Scaphandre-style live power meter for a real
+// Linux machine: it reads Intel RAPL through /sys/class/powercap, tracks
+// per-process CPU time through /proc, and divides the measured package
+// power among the observed processes each interval.
+//
+// On machines without RAPL it exits with a clear message (run the
+// simulator-backed tools instead). Both roots are injectable, so the tool
+// can also be pointed at recorded sysfs/proc trees.
+//
+// Usage:
+//
+//	powerdiv-live [-interval 1s] [-count 10] [-pids 123,456] [-burn matrixprod]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/livemeter"
+	"powerdiv/internal/models"
+	"powerdiv/internal/procfs"
+	"powerdiv/internal/rapl"
+	"powerdiv/internal/stressng"
+)
+
+func main() {
+	interval := flag.Duration("interval", time.Second, "sampling interval")
+	count := flag.Int("count", 10, "number of samples (0 = run forever)")
+	pidList := flag.String("pids", "", "comma-separated PIDs to attribute to (default: all)")
+	powercapRoot := flag.String("powercap-root", "", "powercap sysfs root (default /sys/class/powercap)")
+	procRoot := flag.String("proc-root", "", "procfs root (default /proc)")
+	cpufreqRoot := flag.String("cpufreq-root", "", "cpufreq sysfs root (default /sys/devices/system/cpu)")
+	modelName := flag.String("model", "scaphandre", `division model: "scaphandre" or "residual-aware"`)
+	calib := flag.String("calib", "", "curve CSV for -model residual-aware (see powerdiv-fit)")
+	burn := flag.String("burn", "", "also run this stress kernel locally while metering (e.g. matrixprod)")
+	flag.Parse()
+
+	model, err := buildModel(*modelName, *calib)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	meter, err := livemeter.Open(livemeter.Config{
+		PowercapRoot: *powercapRoot,
+		ProcRoot:     *procRoot,
+		CPUFreqRoot:  *cpufreqRoot,
+		Model:        model,
+	})
+	if errors.Is(err, rapl.ErrNoRAPL) {
+		fmt.Fprintln(os.Stderr, "no Intel RAPL zones found on this machine;")
+		fmt.Fprintln(os.Stderr, "use powerdiv-eval / powerdiv-curve for the simulator-backed experiments")
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Println("RAPL zones:", strings.Join(meter.Zones(), ", "))
+
+	if *burn != "" {
+		kernel, ok := stressng.ByName(*burn)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown stress kernel %q\n", *burn)
+			os.Exit(2)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go stressng.Burn(ctx, kernel, time.Duration(*count+1)*(*interval))
+		fmt.Printf("burning %s in-process (pid %d)\n", *burn, os.Getpid())
+	}
+
+	fs := procfs.New(*procRoot, 0)
+	pids, err := resolvePIDs(*pidList, fs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	for i := 0; *count == 0 || i <= *count; i++ {
+		attr, err := meter.Sample(time.Now(), pids)
+		if err != nil && !errors.Is(err, livemeter.ErrNotPrimed) {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err == nil {
+			printAttribution(attr, fs)
+		}
+		if *count == 0 || i < *count {
+			time.Sleep(*interval)
+		}
+	}
+}
+
+// buildModel constructs the requested division model. The residual-aware
+// model needs a machine calibration fitted from a load-curve CSV.
+func buildModel(name, calibPath string) (models.Model, error) {
+	switch name {
+	case "scaphandre", "":
+		return models.NewScaphandre().New(0), nil
+	case "residual-aware":
+		if calibPath == "" {
+			return nil, fmt.Errorf("-model residual-aware needs -calib curve.csv (generate one per powerdiv-fit)")
+		}
+		f, err := os.Open(calibPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		samples, err := cpumodel.ParseCurveCSV(f)
+		if err != nil {
+			return nil, err
+		}
+		fit, err := cpumodel.FitPowerModel(samples, 0.3)
+		if err != nil {
+			return nil, err
+		}
+		factory := models.NewResidualAware(fit.Model.Idle, fit.Model.Residual, fit.Model.BaseFreq)
+		return factory.New(0), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+}
+
+func resolvePIDs(list string, fs *procfs.FS) ([]int, error) {
+	if list == "" {
+		return fs.ListPIDs()
+	}
+	var pids []int
+	for _, tok := range strings.Split(list, ",") {
+		pid, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("bad pid %q", tok)
+		}
+		pids = append(pids, pid)
+	}
+	return pids, nil
+}
+
+func printAttribution(attr livemeter.Attribution, fs *procfs.FS) {
+	fmt.Printf("[%8s] machine %s", attr.At.Truncate(time.Millisecond), attr.MachinePower)
+	if len(attr.PerPID) == 0 {
+		fmt.Println("  (no process activity)")
+		return
+	}
+	type row struct {
+		pid int
+		w   float64
+	}
+	rows := make([]row, 0, len(attr.PerPID))
+	for pid, w := range attr.PerPID {
+		rows = append(rows, row{pid, float64(w)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].w > rows[j].w })
+	fmt.Println()
+	for i, r := range rows {
+		if i >= 5 || r.w < 0.05 {
+			break
+		}
+		name := fmt.Sprint(r.pid)
+		if p, err := fs.ReadProc(r.pid); err == nil {
+			name = fmt.Sprintf("%d (%s)", r.pid, p.Command)
+		}
+		fmt.Printf("    %-28s %6.2f W\n", name, r.w)
+	}
+}

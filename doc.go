@@ -1,0 +1,14 @@
+// Package powerdiv reproduces "A Protocol to Assess the Accuracy of
+// Process-Level Power Models" (Cadorel & Saingre, IEEE CLUSTER 2024): a
+// formal definition of power division among colocated applications, a
+// machine substrate to run it on, implementations of the evaluated models
+// (Scaphandre, PowerAPI, Kepler, the F2 ratio-preserving family), and the
+// three-phase evaluation protocol with every table and figure of the
+// paper's evaluation regenerable from code.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level benchmarks in bench_test.go regenerate each artefact:
+//
+//	go test -bench=. -benchmem
+package powerdiv

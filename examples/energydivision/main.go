@@ -1,0 +1,65 @@
+// Energy division (Section V): run BUILD2 and DACAPO alone and colocated
+// in 6-vCPU VMs on SMALL INTEL, integrate each model's power estimates
+// into energies, and observe the context dependence the paper reports:
+// both applications' attributed energies drop when colocated, the bursty
+// DACAPO far more than BUILD2 — so energy comparisons across deployment
+// contexts are unreliable (challenge C2).
+//
+// Run with:
+//
+//	go run ./examples/energydivision
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/experiments"
+	"powerdiv/internal/models"
+	"powerdiv/internal/report"
+)
+
+func main() {
+	cfg := experiments.ProdConfig(cpumodel.SmallIntel(), 1)
+
+	fmt.Println("Section V on SMALL INTEL (production context, 6-vCPU VMs)…")
+	for _, f := range experiments.PaperModels() {
+		res, err := experiments.EnergyDivision(cfg, f, "build2", "dacapo", 6, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(res.Table().String())
+	}
+
+	// The same division looked at over time (Fig 12's curves): sample the
+	// Scaphandre attribution at a few instants.
+	res, err := experiments.EnergyDivision(cfg, models.NewScaphandre(), "build2", "dacapo", 6, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable("\nFig 12 — attributed power over time (scaphandre)", "t", "build2", "dacapo", "machine")
+	for _, at := range []time.Duration{30 * time.Second, 60 * time.Second, 120 * time.Second, 240 * time.Second} {
+		b, _ := res.Est0.ValueAt(at)
+		d, _ := res.Est1.ValueAt(at)
+		m, _ := res.PairMachine.ValueAt(at)
+		t.AddRowf(at.String(), b, d, m)
+	}
+	fmt.Print(t.String())
+
+	// And the paper's most dramatic context effect: CLOVERLEAF on DAHU
+	// with a growing number of identical neighbour VMs.
+	sweep, err := experiments.ColocationSweep(experiments.ProdConfig(cpumodel.Dahu(), 1), models.NewScaphandre(), "cloverleaf", 6, []int{0, 4, 9}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := report.NewTable("\n§V — CLOVERLEAF attributed energy on DAHU", "neighbour VMs", "energy (kJ)")
+	for _, n := range []int{0, 4, 9} {
+		st.AddRowf(n, sweep[n].Kilojoules())
+	}
+	fmt.Print(st.String())
+	fmt.Println("\nthe application never changed; only its neighbours did. Power division")
+	fmt.Println("produces context-dependent energies, unusable for optimizing one program.")
+}

@@ -1,0 +1,3 @@
+module powerdiv
+
+go 1.22

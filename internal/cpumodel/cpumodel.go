@@ -1,0 +1,246 @@
+// Package cpumodel contains the physical model of a CPU that the machine
+// simulator is built on: topology, the frequency governor (DVFS + turbo),
+// and the package power model.
+//
+// The power model follows the structure the paper establishes empirically in
+// Section III:
+//
+//   - an idle floor, drawn whether or not anything runs;
+//   - a residual consumption R that appears as soon as any core is under
+//     load, is NOT cumulative across cores, and tracks the frequency of the
+//     fastest running core (28 W at 3.6 GHz on SMALL INTEL, 17 W when the
+//     frequency is capped to 2 GHz, 15 W at the 1.2 GHz nominal frequency);
+//   - a per-core active cost, linear in the number of busy cores when
+//     hyperthreading and turboboost are off (Fig 1), and sub-additive when
+//     they are on (Fig 3): SMT sibling threads add only a fraction of a full
+//     core's power, and turbo raises per-core power at low occupancy, which
+//     together bend the curve into the logarithmic shape the paper reports.
+//
+// Duty-cycled loads (cgroup-style CPU caps) scale the residual: a core that
+// is busy 50 % of the time at 3.6 GHz produces roughly half the residual of
+// a fully busy core, matching the §IV-B observation that capped stresses
+// produced 15 W of residual against 28 W uncapped.
+package cpumodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"powerdiv/internal/units"
+)
+
+// Topology describes the processor layout of a machine.
+type Topology struct {
+	Sockets        int
+	CoresPerSocket int
+	ThreadsPerCore int // 1 without hyperthreading, 2 with
+}
+
+// PhysicalCores returns the number of physical cores across all sockets.
+func (t Topology) PhysicalCores() int { return t.Sockets * t.CoresPerSocket }
+
+// LogicalCPUs returns the number of schedulable hardware threads.
+func (t Topology) LogicalCPUs() int { return t.PhysicalCores() * t.ThreadsPerCore }
+
+// Validate reports whether the topology is well formed.
+func (t Topology) Validate() error {
+	if t.Sockets <= 0 || t.CoresPerSocket <= 0 {
+		return fmt.Errorf("cpumodel: invalid topology %+v", t)
+	}
+	if t.ThreadsPerCore != 1 && t.ThreadsPerCore != 2 {
+		return fmt.Errorf("cpumodel: unsupported threads per core %d", t.ThreadsPerCore)
+	}
+	return nil
+}
+
+// FreqDomain describes the frequency behaviour of the CPU package.
+type FreqDomain struct {
+	// Min is the lowest operating frequency (the paper's "nominal"
+	// frequency, 1.2 GHz on SMALL INTEL).
+	Min units.Hertz
+	// Base is the sustained all-core frequency with turboboost disabled.
+	Base units.Hertz
+	// Turbo is the single-core maximum with turboboost enabled.
+	Turbo units.Hertz
+	// TurboDerate is the frequency lost per additional active core when
+	// turbo is enabled, modelling the all-core turbo limit.
+	TurboDerate units.Hertz
+}
+
+// Validate reports whether the frequency domain is well formed.
+func (f FreqDomain) Validate() error {
+	if f.Min <= 0 || f.Base < f.Min || f.Turbo < f.Base || f.TurboDerate < 0 {
+		return fmt.Errorf("cpumodel: invalid frequency domain %+v", f)
+	}
+	return nil
+}
+
+// ActiveFreq returns the frequency the package runs busy cores at, given the
+// number of active physical cores and whether turboboost is enabled. With
+// turbo off this is the base frequency; with turbo on it is the turbo
+// frequency derated per active core, floored at base. maxFreq, if nonzero,
+// caps the result (a cpufreq-style limit, used to reproduce the §III-B
+// frequency-capping observations); the cap cannot go below Min.
+func (f FreqDomain) ActiveFreq(activeCores int, turbo bool, maxFreq units.Hertz) units.Hertz {
+	if activeCores <= 0 {
+		return f.Min
+	}
+	freq := f.Base
+	if turbo {
+		freq = f.Turbo - units.Hertz(activeCores-1)*f.TurboDerate
+		if freq < f.Base {
+			freq = f.Base
+		}
+	}
+	if maxFreq > 0 && freq > maxFreq {
+		freq = maxFreq
+	}
+	if freq < f.Min {
+		freq = f.Min
+	}
+	return freq
+}
+
+// FreqPoint is a calibration point of the residual curve.
+type FreqPoint struct {
+	Freq units.Hertz
+	R    units.Watts
+}
+
+// ResidualCurve is a piecewise-linear interpolation of residual consumption
+// as a function of the fastest busy core's frequency. Points must be sorted
+// by frequency (NewResidualCurve sorts them).
+type ResidualCurve struct {
+	points []FreqPoint
+}
+
+// NewResidualCurve builds a residual curve from calibration points.
+// It panics if no points are given, since a machine model without a
+// residual curve is a construction error.
+func NewResidualCurve(points ...FreqPoint) ResidualCurve {
+	if len(points) == 0 {
+		panic("cpumodel: residual curve needs at least one point")
+	}
+	pts := append([]FreqPoint(nil), points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Freq < pts[j].Freq })
+	return ResidualCurve{points: pts}
+}
+
+// At returns the residual consumption at frequency f, clamping outside the
+// calibrated range to the end points.
+func (c ResidualCurve) At(f units.Hertz) units.Watts {
+	pts := c.points
+	if len(pts) == 0 {
+		return 0
+	}
+	if f <= pts[0].Freq {
+		return pts[0].R
+	}
+	if f >= pts[len(pts)-1].Freq {
+		return pts[len(pts)-1].R
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Freq >= f }) // pts[i-1].Freq < f <= pts[i].Freq
+	lo, hi := pts[i-1], pts[i]
+	frac := float64(f-lo.Freq) / float64(hi.Freq-lo.Freq)
+	return lo.R + units.Watts(frac)*(hi.R-lo.R)
+}
+
+// Points returns a copy of the calibration points.
+func (c ResidualCurve) Points() []FreqPoint { return append([]FreqPoint(nil), c.points...) }
+
+// CoreLoad describes the load on one logical CPU during one simulation tick.
+type CoreLoad struct {
+	// Util is the fraction of the tick the logical CPU was busy, in [0,1].
+	Util float64
+	// CostAtBase is the full-core active power of the workload occupying
+	// this logical CPU, at base frequency, per fully busy core.
+	CostAtBase units.Watts
+	// Freq is the frequency the core ran at while busy.
+	Freq units.Hertz
+	// SMTSibling marks the second hardware thread of a physical core whose
+	// first thread is also busy; its active power is discounted by the
+	// model's SMTEfficiency.
+	SMTSibling bool
+}
+
+// PowerModel computes package power from per-core loads.
+type PowerModel struct {
+	// Idle is the floor drawn by the package regardless of load.
+	Idle units.Watts
+	// Residual is the load-induced residual consumption curve R(f).
+	Residual ResidualCurve
+	// FreqExponent is the exponent with which active per-core power scales
+	// with frequency relative to base: cost × (f/base)^FreqExponent.
+	// Dynamic CPU power scales roughly with f·V² and V tracks f, so values
+	// around 2 are physical; 2 is the default used by the calibrations.
+	FreqExponent float64
+	// SMTEfficiency is the fraction of a full core's active power added by
+	// a busy SMT sibling thread (≈0.3: the second hardware thread reuses
+	// the already-powered execution units).
+	SMTEfficiency float64
+	// BaseFreq is the frequency at which CostAtBase is expressed.
+	BaseFreq units.Hertz
+}
+
+// Breakdown is the decomposition of machine power for one tick.
+type Breakdown struct {
+	Idle     units.Watts
+	Residual units.Watts
+	// Active is the summed per-core active power.
+	Active units.Watts
+	// PerCore is the active power of each input load, index-aligned with
+	// the loads passed to Power.
+	PerCore []units.Watts
+}
+
+// Total returns idle + residual + active.
+func (b Breakdown) Total() units.Watts { return b.Idle + b.Residual + b.Active }
+
+// Power computes the package power decomposition for one tick given the
+// per-logical-CPU loads. Loads with zero utilization contribute nothing.
+//
+// The residual term is R(f_max) scaled by the largest per-core duty factor,
+// where f_max is the highest frequency among busy cores: residual is not
+// cumulative (one busy core incurs all of it) but a machine whose busiest
+// core is duty-cycled to 50 % only incurs half of it, because the package
+// drops back toward idle states for the other half of the time.
+func (m PowerModel) Power(loads []CoreLoad) Breakdown {
+	bd := Breakdown{Idle: m.Idle, PerCore: make([]units.Watts, len(loads))}
+	exp := m.FreqExponent
+	if exp == 0 {
+		exp = 2
+	}
+	var fMax units.Hertz
+	maxDuty := 0.0
+	for i, ld := range loads {
+		if ld.Util <= 0 {
+			continue
+		}
+		util := math.Min(ld.Util, 1)
+		freq := ld.Freq
+		if freq <= 0 {
+			freq = m.BaseFreq
+		}
+		scale := 1.0
+		if m.BaseFreq > 0 {
+			scale = math.Pow(float64(freq)/float64(m.BaseFreq), exp)
+		}
+		p := units.Watts(float64(ld.CostAtBase) * util * scale)
+		if ld.SMTSibling {
+			p = units.Watts(float64(p) * m.SMTEfficiency)
+		}
+		bd.PerCore[i] = p
+		bd.Active += p
+		if freq > fMax {
+			fMax = freq
+		}
+		if util > maxDuty {
+			maxDuty = util
+		}
+	}
+	if maxDuty > 0 {
+		bd.Residual = units.Watts(float64(m.Residual.At(fMax)) * maxDuty)
+	}
+	return bd
+}

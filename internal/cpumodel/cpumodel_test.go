@@ -1,0 +1,414 @@
+package cpumodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"powerdiv/internal/units"
+)
+
+func TestTopology(t *testing.T) {
+	small := SmallIntel().Topology
+	if got := small.PhysicalCores(); got != 6 {
+		t.Errorf("SMALL INTEL physical cores = %d, want 6", got)
+	}
+	if got := small.LogicalCPUs(); got != 12 {
+		t.Errorf("SMALL INTEL logical CPUs = %d, want 12", got)
+	}
+	dahu := Dahu().Topology
+	if got := dahu.PhysicalCores(); got != 32 {
+		t.Errorf("DAHU physical cores = %d, want 32", got)
+	}
+	if got := dahu.LogicalCPUs(); got != 64 {
+		t.Errorf("DAHU logical CPUs = %d, want 64", got)
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	bad := []Topology{
+		{Sockets: 0, CoresPerSocket: 4, ThreadsPerCore: 1},
+		{Sockets: 1, CoresPerSocket: 0, ThreadsPerCore: 1},
+		{Sockets: 1, CoresPerSocket: 4, ThreadsPerCore: 3},
+		{Sockets: -1, CoresPerSocket: 4, ThreadsPerCore: 2},
+	}
+	for _, tp := range bad {
+		if err := tp.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", tp)
+		}
+	}
+	good := Topology{Sockets: 2, CoresPerSocket: 16, ThreadsPerCore: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(%+v) = %v", good, err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	for _, spec := range Specs() {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("spec %s invalid: %v", spec.Name, err)
+		}
+	}
+	bad := SmallIntel()
+	bad.Freq.Base = 0.5 * units.GHz // below Min
+	if err := bad.Validate(); err == nil {
+		t.Error("spec with base below min should be invalid")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if _, ok := SpecByName("SMALL INTEL"); !ok {
+		t.Error("SMALL INTEL not found")
+	}
+	if _, ok := SpecByName("DAHU"); !ok {
+		t.Error("DAHU not found")
+	}
+	if _, ok := SpecByName("NONEXISTENT"); ok {
+		t.Error("NONEXISTENT should not be found")
+	}
+}
+
+func TestActiveFreqNoTurbo(t *testing.T) {
+	f := SmallIntel().Freq
+	for n := 1; n <= 6; n++ {
+		if got := f.ActiveFreq(n, false, 0); got != 3.6*units.GHz {
+			t.Errorf("ActiveFreq(%d, no turbo) = %v, want 3.6 GHz", n, got)
+		}
+	}
+	if got := f.ActiveFreq(0, false, 0); got != f.Min {
+		t.Errorf("ActiveFreq(0) = %v, want Min %v", got, f.Min)
+	}
+}
+
+func TestActiveFreqTurboDerates(t *testing.T) {
+	f := SmallIntel().Freq
+	one := f.ActiveFreq(1, true, 0)
+	if one != 3.9*units.GHz {
+		t.Errorf("single-core turbo = %v, want 3.9 GHz", one)
+	}
+	six := f.ActiveFreq(6, true, 0)
+	want := 3.9*units.GHz - 5*0.05*units.GHz
+	if math.Abs(float64(six-want)) > 1 {
+		t.Errorf("six-core turbo = %v, want %v", six, want)
+	}
+	if six >= one {
+		t.Error("turbo frequency should derate with active cores")
+	}
+	// Derating never goes below base.
+	if got := f.ActiveFreq(1000, true, 0); got != f.Base {
+		t.Errorf("heavily derated turbo = %v, want base %v", got, f.Base)
+	}
+}
+
+func TestActiveFreqCap(t *testing.T) {
+	f := SmallIntel().Freq
+	if got := f.ActiveFreq(1, true, 2.0*units.GHz); got != 2.0*units.GHz {
+		t.Errorf("capped freq = %v, want 2 GHz", got)
+	}
+	// Cap below Min clamps to Min.
+	if got := f.ActiveFreq(1, false, 0.5*units.GHz); got != f.Min {
+		t.Errorf("cap below min = %v, want %v", got, f.Min)
+	}
+	// Cap above current frequency is a no-op.
+	if got := f.ActiveFreq(1, false, 10*units.GHz); got != f.Base {
+		t.Errorf("loose cap = %v, want base", got)
+	}
+}
+
+func TestResidualCurvePaperPoints(t *testing.T) {
+	r := SmallIntel().Power.Residual
+	tests := []struct {
+		f    units.Hertz
+		want units.Watts
+	}{
+		{1.2 * units.GHz, 15}, // nominal frequency (§III-B)
+		{2.0 * units.GHz, 17}, // frequency capped to 2 GHz (§III-B)
+		{3.6 * units.GHz, 28}, // base frequency (§IV-B)
+	}
+	for _, tt := range tests {
+		if got := r.At(tt.f); math.Abs(float64(got-tt.want)) > 1e-9 {
+			t.Errorf("R(%v) = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestResidualCurveInterpolationAndClamp(t *testing.T) {
+	r := NewResidualCurve(
+		FreqPoint{1 * units.GHz, 10},
+		FreqPoint{3 * units.GHz, 30},
+	)
+	if got := r.At(2 * units.GHz); math.Abs(float64(got-20)) > 1e-9 {
+		t.Errorf("midpoint = %v, want 20", got)
+	}
+	if got := r.At(0.5 * units.GHz); got != 10 {
+		t.Errorf("below range = %v, want 10", got)
+	}
+	if got := r.At(5 * units.GHz); got != 30 {
+		t.Errorf("above range = %v, want 30", got)
+	}
+}
+
+func TestResidualCurveMonotoneForCalibrations(t *testing.T) {
+	for _, spec := range Specs() {
+		pts := spec.Power.Residual.Points()
+		for i := 1; i < len(pts); i++ {
+			if pts[i].R < pts[i-1].R {
+				t.Errorf("%s residual curve not monotone at %v", spec.Name, pts[i].Freq)
+			}
+		}
+	}
+}
+
+func TestNewResidualCurvePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewResidualCurve() did not panic")
+		}
+	}()
+	NewResidualCurve()
+}
+
+func TestPowerIdleOnly(t *testing.T) {
+	m := SmallIntel().Power
+	bd := m.Power(make([]CoreLoad, 12))
+	if bd.Total() != m.Idle {
+		t.Errorf("idle machine total = %v, want %v", bd.Total(), m.Idle)
+	}
+	if bd.Residual != 0 || bd.Active != 0 {
+		t.Errorf("idle machine residual/active = %v/%v, want 0/0", bd.Residual, bd.Active)
+	}
+}
+
+func TestPowerSingleCoreIncursFullResidual(t *testing.T) {
+	m := SmallIntel().Power
+	loads := []CoreLoad{{Util: 1, CostAtBase: 7, Freq: 3.6 * units.GHz}}
+	bd := m.Power(loads)
+	if math.Abs(float64(bd.Residual-28)) > 1e-9 {
+		t.Errorf("residual = %v, want 28", bd.Residual)
+	}
+	if math.Abs(float64(bd.Active-7)) > 1e-9 {
+		t.Errorf("active = %v, want 7", bd.Active)
+	}
+	if math.Abs(float64(bd.Total()-(8+28+7))) > 1e-9 {
+		t.Errorf("total = %v, want 43", bd.Total())
+	}
+}
+
+func TestPowerResidualNotCumulative(t *testing.T) {
+	m := SmallIntel().Power
+	one := m.Power([]CoreLoad{{Util: 1, CostAtBase: 5, Freq: 3.6 * units.GHz}})
+	six := m.Power([]CoreLoad{
+		{Util: 1, CostAtBase: 5, Freq: 3.6 * units.GHz},
+		{Util: 1, CostAtBase: 5, Freq: 3.6 * units.GHz},
+		{Util: 1, CostAtBase: 5, Freq: 3.6 * units.GHz},
+		{Util: 1, CostAtBase: 5, Freq: 3.6 * units.GHz},
+		{Util: 1, CostAtBase: 5, Freq: 3.6 * units.GHz},
+		{Util: 1, CostAtBase: 5, Freq: 3.6 * units.GHz},
+	})
+	if one.Residual != six.Residual {
+		t.Errorf("residual grew with cores: %v vs %v", one.Residual, six.Residual)
+	}
+	if math.Abs(float64(six.Active-6*one.Active)) > 1e-9 {
+		t.Errorf("active not linear: %v vs 6×%v", six.Active, one.Active)
+	}
+}
+
+func TestPowerDutyCycledResidual(t *testing.T) {
+	// §IV-B: a stress capped to 50 % CPU time produced about half the
+	// residual of an uncapped one (15 W vs 28 W).
+	m := SmallIntel().Power
+	capped := m.Power([]CoreLoad{{Util: 0.5, CostAtBase: 6, Freq: 3.6 * units.GHz}})
+	if math.Abs(float64(capped.Residual-14)) > 1e-9 {
+		t.Errorf("capped residual = %v, want 14", capped.Residual)
+	}
+	// Active power also halves with the duty factor.
+	if math.Abs(float64(capped.Active-3)) > 1e-9 {
+		t.Errorf("capped active = %v, want 3", capped.Active)
+	}
+}
+
+func TestPowerCappedPlusUncappedResidualDominates(t *testing.T) {
+	// §IV-B: "the same residual consumption was observed when capped and
+	// uncapped applications were running in parallel" — the uncapped core's
+	// full-speed residual wins.
+	m := SmallIntel().Power
+	mixed := m.Power([]CoreLoad{
+		{Util: 0.5, CostAtBase: 6, Freq: 3.6 * units.GHz},
+		{Util: 1, CostAtBase: 6, Freq: 3.6 * units.GHz},
+	})
+	if math.Abs(float64(mixed.Residual-28)) > 1e-9 {
+		t.Errorf("mixed residual = %v, want 28", mixed.Residual)
+	}
+}
+
+func TestPowerFrequencyScaling(t *testing.T) {
+	m := SmallIntel().Power
+	base := m.Power([]CoreLoad{{Util: 1, CostAtBase: 6, Freq: 3.6 * units.GHz}})
+	slow := m.Power([]CoreLoad{{Util: 1, CostAtBase: 6, Freq: 1.8 * units.GHz}})
+	// Half frequency, exponent 2 => quarter active power.
+	if math.Abs(float64(slow.Active)-float64(base.Active)/4) > 1e-9 {
+		t.Errorf("active at half freq = %v, want %v", slow.Active, float64(base.Active)/4)
+	}
+	if slow.Residual >= base.Residual {
+		t.Errorf("residual should drop with frequency: %v vs %v", slow.Residual, base.Residual)
+	}
+}
+
+func TestPowerSMTSiblingDiscount(t *testing.T) {
+	m := SmallIntel().Power
+	full := m.Power([]CoreLoad{{Util: 1, CostAtBase: 6, Freq: 3.6 * units.GHz}})
+	sib := m.Power([]CoreLoad{{Util: 1, CostAtBase: 6, Freq: 3.6 * units.GHz, SMTSibling: true}})
+	want := float64(full.Active) * m.SMTEfficiency
+	if math.Abs(float64(sib.Active)-want) > 1e-9 {
+		t.Errorf("sibling active = %v, want %v", sib.Active, want)
+	}
+}
+
+func TestPowerUtilClamped(t *testing.T) {
+	m := SmallIntel().Power
+	over := m.Power([]CoreLoad{{Util: 2.5, CostAtBase: 6, Freq: 3.6 * units.GHz}})
+	one := m.Power([]CoreLoad{{Util: 1, CostAtBase: 6, Freq: 3.6 * units.GHz}})
+	if over.Total() != one.Total() {
+		t.Errorf("util > 1 not clamped: %v vs %v", over.Total(), one.Total())
+	}
+}
+
+func TestPowerZeroFreqUsesBase(t *testing.T) {
+	m := SmallIntel().Power
+	implicit := m.Power([]CoreLoad{{Util: 1, CostAtBase: 6}})
+	explicit := m.Power([]CoreLoad{{Util: 1, CostAtBase: 6, Freq: m.BaseFreq}})
+	if implicit.Total() != explicit.Total() {
+		t.Errorf("zero freq = %v, want base-freq result %v", implicit.Total(), explicit.Total())
+	}
+}
+
+func TestPowerBreakdownPerCoreAligned(t *testing.T) {
+	m := SmallIntel().Power
+	loads := []CoreLoad{
+		{Util: 1, CostAtBase: 4, Freq: 3.6 * units.GHz},
+		{},
+		{Util: 1, CostAtBase: 7, Freq: 3.6 * units.GHz},
+	}
+	bd := m.Power(loads)
+	if len(bd.PerCore) != 3 {
+		t.Fatalf("PerCore len = %d, want 3", len(bd.PerCore))
+	}
+	if bd.PerCore[1] != 0 {
+		t.Errorf("idle core power = %v, want 0", bd.PerCore[1])
+	}
+	if math.Abs(float64(bd.PerCore[0]+bd.PerCore[2]-bd.Active)) > 1e-9 {
+		t.Error("PerCore does not sum to Active")
+	}
+}
+
+// Property: total power is monotone in utilization.
+func TestPowerMonotoneInUtil(t *testing.T) {
+	m := SmallIntel().Power
+	f := func(u1, u2 float64) bool {
+		u1 = math.Abs(math.Mod(u1, 1))
+		u2 = math.Abs(math.Mod(u2, 1))
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		p1 := m.Power([]CoreLoad{{Util: u1, CostAtBase: 6, Freq: 3.6 * units.GHz}}).Total()
+		p2 := m.Power([]CoreLoad{{Util: u2, CostAtBase: 6, Freq: 3.6 * units.GHz}}).Total()
+		return p1 <= p2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the machine total always decomposes exactly.
+func TestPowerDecomposition(t *testing.T) {
+	m := Dahu().Power
+	f := func(utils []float64) bool {
+		loads := make([]CoreLoad, len(utils))
+		for i, u := range utils {
+			loads[i] = CoreLoad{Util: math.Abs(math.Mod(u, 1)), CostAtBase: 2, Freq: 2.1 * units.GHz}
+		}
+		bd := m.Power(loads)
+		var sum units.Watts
+		for _, p := range bd.PerCore {
+			sum += p
+		}
+		return math.Abs(float64(sum-bd.Active)) < 1e-9 &&
+			math.Abs(float64(bd.Total()-(bd.Idle+bd.Residual+bd.Active))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigure1ShapeNoHTTB(t *testing.T) {
+	// Without HT/turbo the curve must show: a large idle→1-core jump
+	// (residual ≫ per-core cost), then near-linear growth.
+	spec := SmallIntel()
+	m := spec.Power
+	freq := spec.Freq.ActiveFreq(1, false, 0)
+	totals := make([]units.Watts, spec.Topology.PhysicalCores()+1)
+	totals[0] = m.Power(nil).Total()
+	for n := 1; n <= spec.Topology.PhysicalCores(); n++ {
+		loads := make([]CoreLoad, n)
+		for i := range loads {
+			loads[i] = CoreLoad{Util: 1, CostAtBase: 7, Freq: freq}
+		}
+		totals[n] = m.Power(loads).Total()
+	}
+	jump := totals[1] - totals[0]
+	slope := totals[2] - totals[1]
+	if jump < 3*slope {
+		t.Errorf("idle→1core jump %v not ≫ per-core slope %v", jump, slope)
+	}
+	// Linearity of the tail: all increments equal.
+	for n := 2; n <= spec.Topology.PhysicalCores(); n++ {
+		inc := totals[n] - totals[n-1]
+		if math.Abs(float64(inc-slope)) > 1e-9 {
+			t.Errorf("increment at %d cores = %v, want %v (linear)", n, inc, slope)
+		}
+	}
+}
+
+func TestFigure3ShapeHTTB(t *testing.T) {
+	// With HT/turbo the curve must be concave: increments shrink as load
+	// grows (turbo derating over physical cores, SMT discount beyond them).
+	spec := SmallIntel()
+	m := spec.Power
+	phys := spec.Topology.PhysicalCores()
+	logical := spec.Topology.LogicalCPUs()
+	totals := make([]units.Watts, logical+1)
+	totals[0] = m.Power(nil).Total()
+	for n := 1; n <= logical; n++ {
+		active := n
+		if active > phys {
+			active = phys
+		}
+		freq := spec.Freq.ActiveFreq(active, true, 0)
+		loads := make([]CoreLoad, n)
+		for i := range loads {
+			loads[i] = CoreLoad{Util: 1, CostAtBase: 7, Freq: freq, SMTSibling: i >= phys}
+		}
+		totals[n] = m.Power(loads).Total()
+	}
+	firstInc := totals[2] - totals[1]
+	lastInc := totals[logical] - totals[logical-1]
+	if lastInc >= firstInc {
+		t.Errorf("curve not concave: first increment %v, last %v", firstInc, lastInc)
+	}
+	// SMT region increments must be well below physical-core increments.
+	if float64(lastInc) > 0.5*float64(firstInc) {
+		t.Errorf("SMT increment %v not ≪ physical increment %v", lastInc, firstInc)
+	}
+}
+
+func TestDahuResidualGap(t *testing.T) {
+	// Fig 1: on DAHU the idle→1-core gap is about 81 W.
+	spec := Dahu()
+	freq := spec.Freq.ActiveFreq(1, false, 0)
+	idle := spec.Power.Power(nil).Total()
+	one := spec.Power.Power([]CoreLoad{{Util: 1, CostAtBase: 1.9, Freq: freq}}).Total()
+	gap := float64(one - idle)
+	if gap < 70 || gap > 95 {
+		t.Errorf("DAHU idle→1core gap = %.1f W, want ≈81 W", gap)
+	}
+}

@@ -1,0 +1,84 @@
+package cpumodel
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"powerdiv/internal/units"
+)
+
+// ParseCurveCSV reads calibration sweep samples from CSV with the header
+// "cores,freq_ghz,power_w" (header optional, column order fixed). The
+// idle row uses cores 0; its frequency column is ignored. Blank lines and
+// lines starting with '#' are skipped.
+func ParseCurveCSV(r io.Reader) ([]CurveSample, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for better messages
+	cr.Comment = '#'
+	var out []CurveSample
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cpumodel: csv: %w", err)
+		}
+		line++
+		if len(rec) == 0 {
+			continue
+		}
+		// Header row.
+		if line == 1 && strings.EqualFold(strings.TrimSpace(rec[0]), "cores") {
+			continue
+		}
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("cpumodel: csv line %d: %d fields, want 3 (cores,freq_ghz,power_w)", line, len(rec))
+		}
+		cores, err := strconv.Atoi(strings.TrimSpace(rec[0]))
+		if err != nil {
+			return nil, fmt.Errorf("cpumodel: csv line %d: cores %q: %w", line, rec[0], err)
+		}
+		ghz, err := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cpumodel: csv line %d: freq %q: %w", line, rec[1], err)
+		}
+		power, err := strconv.ParseFloat(strings.TrimSpace(rec[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cpumodel: csv line %d: power %q: %w", line, rec[2], err)
+		}
+		out = append(out, CurveSample{
+			Cores: cores,
+			Freq:  units.Hertz(ghz) * units.GHz,
+			Power: units.Watts(power),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cpumodel: csv: no samples")
+	}
+	return out, nil
+}
+
+// WriteCurveCSV writes samples in the ParseCurveCSV format.
+func WriteCurveCSV(w io.Writer, samples []CurveSample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cores", "freq_ghz", "power_w"}); err != nil {
+		return fmt.Errorf("cpumodel: csv: %w", err)
+	}
+	for _, s := range samples {
+		rec := []string{
+			strconv.Itoa(s.Cores),
+			strconv.FormatFloat(s.Freq.GHz(), 'f', -1, 64),
+			strconv.FormatFloat(float64(s.Power), 'f', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("cpumodel: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

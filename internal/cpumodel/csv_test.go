@@ -1,0 +1,88 @@
+package cpumodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"powerdiv/internal/units"
+)
+
+func TestParseCurveCSV(t *testing.T) {
+	in := `cores,freq_ghz,power_w
+0,0,8
+# a comment
+1,3.6,43
+2,3.6,50.1
+`
+	samples, err := ParseCurveCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("%d samples, want 3", len(samples))
+	}
+	if samples[0].Cores != 0 || samples[0].Power != 8 {
+		t.Errorf("idle sample = %+v", samples[0])
+	}
+	if samples[1].Freq != 3.6*units.GHz || samples[1].Power != 43 {
+		t.Errorf("sample 1 = %+v", samples[1])
+	}
+	if samples[2].Power != 50.1 {
+		t.Errorf("sample 2 = %+v", samples[2])
+	}
+}
+
+func TestParseCurveCSVNoHeader(t *testing.T) {
+	samples, err := ParseCurveCSV(strings.NewReader("0,0,8\n1,2.1,120\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("%d samples, want 2", len(samples))
+	}
+}
+
+func TestParseCurveCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"short row":   "1,3.6\n",
+		"bad cores":   "x,3.6,40\n",
+		"bad freq":    "1,x,40\n",
+		"bad power":   "1,3.6,x\n",
+		"header only": "cores,freq_ghz,power_w\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseCurveCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCurveCSVRoundTrip(t *testing.T) {
+	orig := sweepFrom(SmallIntel().Power, 6.5, 6, []units.Hertz{1.2 * units.GHz, 3.6 * units.GHz})
+	var buf bytes.Buffer
+	if err := WriteCurveCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCurveCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip %d samples, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Errorf("sample %d: %+v vs %+v", i, back[i], orig[i])
+		}
+	}
+	// And the fit still works on the round-tripped data.
+	res, err := FitPowerModel(back, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.Idle != 8 {
+		t.Errorf("fitted idle = %v", res.Model.Idle)
+	}
+}

@@ -1,0 +1,173 @@
+package cpumodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"powerdiv/internal/units"
+)
+
+// CurveSample is one measured point of a calibration sweep: the mean
+// machine power with a given number of fully busy cores, while busy cores
+// ran at the given frequency (vary it with cpufreq caps, as §III-B does).
+// A Cores == 0 sample is the idle measurement.
+type CurveSample struct {
+	Cores int
+	Freq  units.Hertz
+	Power units.Watts
+}
+
+// FitResult is the outcome of FitPowerModel.
+type FitResult struct {
+	// Model is the fitted power model (Idle, Residual curve,
+	// FreqExponent; SMTEfficiency keeps the supplied default, since
+	// fitting it needs SMT-loaded samples).
+	Model PowerModel
+	// ProbeCostAtBase is the fitted per-core active cost of the probe
+	// workload used for the sweep, at base frequency.
+	ProbeCostAtBase units.Watts
+	// Residuals are the per-frequency fit residuals (RMS of the linear
+	// fit), a quality indicator.
+	Residuals map[units.Hertz]float64
+}
+
+// FitPowerModel calibrates a PowerModel from load-curve measurements —
+// the reverse of what the simulator computes, and the procedure the paper
+// implicitly performs in §III-B: measure power at 0..N busy cores for a
+// few frequency caps, fit the linear tail of each curve, and read off
+//
+//	intercept(f) = Idle + R(f)      (the idle→one-core jump)
+//	slope(f)     = cost × (f/f_base)^exponent
+//
+// Requirements: exactly one idle sample (Cores == 0), and at least one
+// frequency with two or more loaded samples. The highest frequency present
+// is taken as the base frequency. The frequency exponent is fitted from
+// the slopes when multiple frequencies are present, else defaults to 2.
+func FitPowerModel(samples []CurveSample, smtEfficiency float64) (FitResult, error) {
+	res := FitResult{Residuals: map[units.Hertz]float64{}}
+	var idle units.Watts
+	idleSeen := false
+	byFreq := map[units.Hertz][]CurveSample{}
+	for _, s := range samples {
+		if s.Cores < 0 || s.Power < 0 {
+			return res, fmt.Errorf("cpumodel: invalid sample %+v", s)
+		}
+		if s.Cores == 0 {
+			if idleSeen && s.Power != idle {
+				return res, fmt.Errorf("cpumodel: conflicting idle samples (%v vs %v)", idle, s.Power)
+			}
+			idle = s.Power
+			idleSeen = true
+			continue
+		}
+		if s.Freq <= 0 {
+			return res, fmt.Errorf("cpumodel: loaded sample without frequency: %+v", s)
+		}
+		byFreq[s.Freq] = append(byFreq[s.Freq], s)
+	}
+	if !idleSeen {
+		return res, fmt.Errorf("cpumodel: no idle (Cores == 0) sample")
+	}
+	if len(byFreq) == 0 {
+		return res, fmt.Errorf("cpumodel: no loaded samples")
+	}
+
+	freqs := make([]units.Hertz, 0, len(byFreq))
+	for f := range byFreq {
+		freqs = append(freqs, f)
+	}
+	sort.Slice(freqs, func(i, j int) bool { return freqs[i] < freqs[j] })
+	base := freqs[len(freqs)-1]
+
+	type fit struct {
+		slope, intercept float64
+	}
+	fits := map[units.Hertz]fit{}
+	var points []FreqPoint
+	for _, f := range freqs {
+		group := byFreq[f]
+		if len(group) < 2 {
+			return res, fmt.Errorf("cpumodel: need ≥2 loaded samples at %v, have %d", f, len(group))
+		}
+		slope, intercept, rms, err := linearFit(group)
+		if err != nil {
+			return res, fmt.Errorf("cpumodel: at %v: %w", f, err)
+		}
+		if slope < 0 {
+			return res, fmt.Errorf("cpumodel: negative per-core slope %.3f at %v", slope, f)
+		}
+		r := intercept - float64(idle)
+		if r < 0 {
+			r = 0
+		}
+		fits[f] = fit{slope: slope, intercept: intercept}
+		points = append(points, FreqPoint{Freq: f, R: units.Watts(r)})
+		res.Residuals[f] = rms
+	}
+
+	// Frequency exponent from slope ratios (least-squares in log space).
+	exponent := 2.0
+	if len(freqs) > 1 {
+		var sx, sy, sxx, sxy float64
+		var n int
+		baseSlope := fits[base].slope
+		if baseSlope <= 0 {
+			return res, fmt.Errorf("cpumodel: zero slope at base frequency")
+		}
+		for _, f := range freqs {
+			if f == base {
+				continue
+			}
+			x := math.Log(float64(f) / float64(base))
+			y := math.Log(fits[f].slope / baseSlope)
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+			n++
+		}
+		den := float64(n)*sxx - sx*sx
+		if den != 0 {
+			exponent = (float64(n)*sxy - sx*sy) / den
+		}
+	}
+
+	res.Model = PowerModel{
+		Idle:          idle,
+		Residual:      NewResidualCurve(points...),
+		FreqExponent:  exponent,
+		SMTEfficiency: smtEfficiency,
+		BaseFreq:      base,
+	}
+	res.ProbeCostAtBase = units.Watts(fits[base].slope)
+	return res, nil
+}
+
+// linearFit runs an ordinary least squares fit of power against core count
+// and returns slope, intercept and the RMS residual.
+func linearFit(group []CurveSample) (slope, intercept, rms float64, err error) {
+	var sx, sy, sxx, sxy float64
+	for _, s := range group {
+		x := float64(s.Cores)
+		y := float64(s.Power)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	n := float64(len(group))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, fmt.Errorf("degenerate fit (all samples at the same core count)")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	var ss float64
+	for _, s := range group {
+		d := float64(s.Power) - (intercept + slope*float64(s.Cores))
+		ss += d * d
+	}
+	rms = math.Sqrt(ss / n)
+	return slope, intercept, rms, nil
+}

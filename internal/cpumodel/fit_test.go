@@ -1,0 +1,163 @@
+package cpumodel
+
+import (
+	"math"
+	"testing"
+
+	"powerdiv/internal/units"
+)
+
+// sweepFrom synthesises sweep samples from a known model — the round-trip
+// fixture for FitPowerModel.
+func sweepFrom(m PowerModel, cost units.Watts, maxCores int, freqs []units.Hertz) []CurveSample {
+	samples := []CurveSample{{Cores: 0, Power: m.Idle}}
+	for _, f := range freqs {
+		for n := 1; n <= maxCores; n++ {
+			loads := make([]CoreLoad, n)
+			for i := range loads {
+				loads[i] = CoreLoad{Util: 1, CostAtBase: cost, Freq: f}
+			}
+			samples = append(samples, CurveSample{Cores: n, Freq: f, Power: m.Power(loads).Total()})
+		}
+	}
+	return samples
+}
+
+func TestFitRecoversSmallIntel(t *testing.T) {
+	truth := SmallIntel().Power
+	const cost = 6.5
+	freqs := []units.Hertz{1.2 * units.GHz, 2.0 * units.GHz, 3.6 * units.GHz}
+	samples := sweepFrom(truth, cost, 6, freqs)
+
+	res, err := FitPowerModel(samples, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.Idle != truth.Idle {
+		t.Errorf("idle = %v, want %v", res.Model.Idle, truth.Idle)
+	}
+	if math.Abs(float64(res.ProbeCostAtBase-cost)) > 0.01 {
+		t.Errorf("cost = %v, want %v", res.ProbeCostAtBase, cost)
+	}
+	if res.Model.BaseFreq != 3.6*units.GHz {
+		t.Errorf("base freq = %v, want 3.6 GHz", res.Model.BaseFreq)
+	}
+	// Residual curve matches the paper's calibration points.
+	for _, f := range freqs {
+		got := res.Model.Residual.At(f)
+		want := truth.Residual.At(f)
+		if math.Abs(float64(got-want)) > 0.1 {
+			t.Errorf("R(%v) = %v, want %v", f, got, want)
+		}
+	}
+	// Frequency exponent ≈2.
+	if math.Abs(res.Model.FreqExponent-2) > 0.05 {
+		t.Errorf("exponent = %v, want 2", res.Model.FreqExponent)
+	}
+	// The fit is exact on noiseless data.
+	for f, rms := range res.Residuals {
+		if rms > 1e-9 {
+			t.Errorf("RMS at %v = %v, want 0", f, rms)
+		}
+	}
+}
+
+func TestFitSingleFrequencyDefaultsExponent(t *testing.T) {
+	truth := Dahu().Power
+	samples := sweepFrom(truth, 1.5, 32, []units.Hertz{2.1 * units.GHz})
+	res, err := FitPowerModel(samples, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.FreqExponent != 2 {
+		t.Errorf("exponent = %v, want default 2", res.Model.FreqExponent)
+	}
+	if math.Abs(float64(res.Model.Residual.At(2.1*units.GHz)-79)) > 0.1 {
+		t.Errorf("R = %v, want 79", res.Model.Residual.At(2.1*units.GHz))
+	}
+}
+
+func TestFitRoundTripThroughModel(t *testing.T) {
+	// Fitted model reproduces the original sweep powers.
+	truth := SmallIntel().Power
+	const cost = 5.0
+	samples := sweepFrom(truth, cost, 6, []units.Hertz{1.2 * units.GHz, 3.6 * units.GHz})
+	res, err := FitPowerModel(samples, truth.SMTEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.Cores == 0 {
+			continue
+		}
+		loads := make([]CoreLoad, s.Cores)
+		for i := range loads {
+			loads[i] = CoreLoad{Util: 1, CostAtBase: res.ProbeCostAtBase, Freq: s.Freq}
+		}
+		got := res.Model.Power(loads).Total()
+		if math.Abs(float64(got-s.Power)) > 0.2 {
+			t.Errorf("replay %d cores @ %v: %v, want %v", s.Cores, s.Freq, got, s.Power)
+		}
+	}
+}
+
+func TestFitNoisyData(t *testing.T) {
+	truth := SmallIntel().Power
+	samples := sweepFrom(truth, 6.0, 6, []units.Hertz{3.6 * units.GHz})
+	// Perturb the loaded samples deterministically by ±0.3 W.
+	for i := range samples {
+		if samples[i].Cores == 0 {
+			continue
+		}
+		if i%2 == 0 {
+			samples[i].Power += 0.3
+		} else {
+			samples[i].Power -= 0.3
+		}
+	}
+	res, err := FitPowerModel(samples, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.ProbeCostAtBase-6.0)) > 0.3 {
+		t.Errorf("noisy cost = %v, want ≈6", res.ProbeCostAtBase)
+	}
+	if rms := res.Residuals[3.6*units.GHz]; rms < 0.1 || rms > 0.5 {
+		t.Errorf("RMS = %v, want ≈0.3", rms)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	good := sweepFrom(SmallIntel().Power, 6, 6, []units.Hertz{3.6 * units.GHz})
+	cases := []struct {
+		name    string
+		samples []CurveSample
+	}{
+		{"empty", nil},
+		{"no idle", good[1:]},
+		{"no loaded", good[:1]},
+		{"one point per freq", []CurveSample{{Cores: 0, Power: 8}, {Cores: 1, Freq: units.GHz, Power: 40}}},
+		{"conflicting idle", append([]CurveSample{{Cores: 0, Power: 9}}, good...)},
+		{"missing freq", []CurveSample{{Cores: 0, Power: 8}, {Cores: 1, Power: 40}, {Cores: 2, Power: 45}}},
+		{"negative power", []CurveSample{{Cores: 0, Power: 8}, {Cores: 1, Freq: units.GHz, Power: -1}}},
+		{"negative slope", []CurveSample{
+			{Cores: 0, Power: 8},
+			{Cores: 1, Freq: units.GHz, Power: 50},
+			{Cores: 2, Freq: units.GHz, Power: 40},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := FitPowerModel(tc.samples, 0.3); err == nil {
+			t.Errorf("%s: fit accepted", tc.name)
+		}
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, _, err := linearFit([]CurveSample{
+		{Cores: 2, Power: 10},
+		{Cores: 2, Power: 12},
+	}); err == nil {
+		t.Error("degenerate fit accepted")
+	}
+}

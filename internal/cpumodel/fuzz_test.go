@@ -1,0 +1,29 @@
+package cpumodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCurveCSV feeds arbitrary CSV: the parser must never panic, and
+// whatever it accepts must survive a Fit attempt without panicking either.
+func FuzzParseCurveCSV(f *testing.F) {
+	f.Add("cores,freq_ghz,power_w\n0,0,8\n1,3.6,43\n2,3.6,50\n")
+	f.Add("0,0,8\n1,2.1,120\n")
+	f.Add("x,y,z\n")
+	f.Add("")
+	f.Add("1,3.6\n")
+	f.Add("-1,-3.6,-40\n")
+	f.Add("999999999,1e308,1e308\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		samples, err := ParseCurveCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(samples) == 0 {
+			t.Error("accepted input produced no samples")
+		}
+		// Fitting may reject the data but must not panic.
+		_, _ = FitPowerModel(samples, 0.3)
+	})
+}

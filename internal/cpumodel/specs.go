@@ -1,0 +1,114 @@
+package cpumodel
+
+import "powerdiv/internal/units"
+
+// Spec bundles the full physical description of a machine: topology,
+// frequency behaviour, and the calibrated power model.
+type Spec struct {
+	Name     string
+	Topology Topology
+	Freq     FreqDomain
+	Power    PowerModel
+}
+
+// Validate checks the whole spec.
+func (s Spec) Validate() error {
+	if err := s.Topology.Validate(); err != nil {
+		return err
+	}
+	return s.Freq.Validate()
+}
+
+// SmallIntel returns the calibration of the paper's SMALL INTEL machine
+// (Table II): a 6-core / 12-thread Intel Xeon W-2133 workstation.
+//
+// Calibration targets, from the paper:
+//   - residual consumption 28 W at 3.6 GHz, 17 W when frequency-capped to
+//     2 GHz, 15 W at the 1.2 GHz nominal frequency (§III-B, §IV-B);
+//   - per-core active cost up to ≈7 W for the hottest stress function
+//     (Fig 1's linear factor), with the 12 stress functions spread across
+//     the curve's width (≈8 W at full load);
+//   - machine total around 74 W when running uncapped stress on all
+//     physical cores (§IV-B).
+func SmallIntel() Spec {
+	return Spec{
+		Name: "SMALL INTEL",
+		Topology: Topology{
+			Sockets:        1,
+			CoresPerSocket: 6,
+			ThreadsPerCore: 2,
+		},
+		Freq: FreqDomain{
+			Min:         1.2 * units.GHz,
+			Base:        3.6 * units.GHz,
+			Turbo:       3.9 * units.GHz,
+			TurboDerate: 0.05 * units.GHz,
+		},
+		Power: PowerModel{
+			Idle: 8,
+			Residual: NewResidualCurve(
+				FreqPoint{1.2 * units.GHz, 15},
+				FreqPoint{2.0 * units.GHz, 17},
+				FreqPoint{2.4 * units.GHz, 19.5},
+				FreqPoint{3.6 * units.GHz, 28},
+				FreqPoint{3.9 * units.GHz, 31},
+			),
+			FreqExponent:  2,
+			SMTEfficiency: 0.3,
+			BaseFreq:      3.6 * units.GHz,
+		},
+	}
+}
+
+// Dahu returns the calibration of the paper's DAHU machine (Table II): a
+// dual-socket Intel Xeon Gold 6130 node (2×16 cores, 64 threads) from the
+// Grid'5000 Grenoble cluster.
+//
+// Calibration targets, from the paper:
+//   - an idle→one-core gap of about 81 W (Fig 1), dominated by residual
+//     consumption;
+//   - a power band of roughly 25 W width at full load across the stress
+//     functions, more than 10 % of the machine's maximum;
+//   - the QUEENS / FLOAT64 pair near the band edges, giving the 17.4 %
+//     maximum ratio error reported in §IV-A.
+func Dahu() Spec {
+	return Spec{
+		Name: "DAHU",
+		Topology: Topology{
+			Sockets:        2,
+			CoresPerSocket: 16,
+			ThreadsPerCore: 2,
+		},
+		Freq: FreqDomain{
+			Min:         1.0 * units.GHz,
+			Base:        2.1 * units.GHz,
+			Turbo:       3.7 * units.GHz,
+			TurboDerate: 0.03 * units.GHz,
+		},
+		Power: PowerModel{
+			Idle: 58,
+			Residual: NewResidualCurve(
+				FreqPoint{1.0 * units.GHz, 36},
+				FreqPoint{2.1 * units.GHz, 79},
+				FreqPoint{3.0 * units.GHz, 102},
+				FreqPoint{3.7 * units.GHz, 118},
+			),
+			FreqExponent:  2,
+			SMTEfficiency: 0.3,
+			BaseFreq:      2.1 * units.GHz,
+		},
+	}
+}
+
+// Specs returns all built-in machine calibrations.
+func Specs() []Spec { return []Spec{SmallIntel(), Dahu()} }
+
+// SpecByName returns the built-in calibration with the given name.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,140 @@
+package energyacct
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+	"powerdiv/internal/units"
+	"powerdiv/internal/workload"
+)
+
+func TestLedgerBasicAccounting(t *testing.T) {
+	l := New()
+	l.Record(time.Second, 100, map[string]units.Watts{"a": 60, "b": 40})
+	l.Record(time.Second, 100, map[string]units.Watts{"a": 30, "b": 70})
+	if got := l.Energy("a"); math.Abs(float64(got)-90) > 1e-9 {
+		t.Errorf("a = %v, want 90 J", got)
+	}
+	if got := l.Energy("b"); math.Abs(float64(got)-110) > 1e-9 {
+		t.Errorf("b = %v, want 110 J", got)
+	}
+	if got := l.Total(); math.Abs(float64(got)-200) > 1e-9 {
+		t.Errorf("total = %v, want 200 J", got)
+	}
+	if l.Unattributed() != 0 {
+		t.Errorf("unattributed = %v, want 0", l.Unattributed())
+	}
+	if l.Elapsed() != 2*time.Second {
+		t.Errorf("elapsed = %v", l.Elapsed())
+	}
+	if err := l.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLedgerUnattributedIntervals(t *testing.T) {
+	l := New()
+	l.Record(time.Second, 50, nil) // learning drop: all unattributed
+	l.Record(time.Second, 100, map[string]units.Watts{"a": 80})
+	if got := l.Unattributed(); math.Abs(float64(got)-70) > 1e-9 {
+		t.Errorf("unattributed = %v, want 70 J (50 drop + 20 remainder)", got)
+	}
+	if err := l.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLedgerIgnoresBadIntervals(t *testing.T) {
+	l := New()
+	l.Record(0, 100, map[string]units.Watts{"a": 100})
+	l.Record(-time.Second, 100, map[string]units.Watts{"a": 100})
+	if l.Total() != 0 || l.Elapsed() != 0 {
+		t.Errorf("non-positive intervals recorded: %v/%v", l.Total(), l.Elapsed())
+	}
+}
+
+func TestLedgerEntriesSorted(t *testing.T) {
+	l := New()
+	l.Record(time.Second, 100, map[string]units.Watts{"low": 10, "high": 60, "mid": 30})
+	entries := l.Entries()
+	if len(entries) != 3 || entries[0].ID != "high" || entries[1].ID != "mid" || entries[2].ID != "low" {
+		t.Errorf("entries = %v", entries)
+	}
+	// Ties break by ID.
+	l2 := New()
+	l2.Record(time.Second, 100, map[string]units.Watts{"b": 50, "a": 50})
+	e2 := l2.Entries()
+	if e2[0].ID != "a" {
+		t.Errorf("tie order = %v", e2)
+	}
+}
+
+func TestLedgerClose(t *testing.T) {
+	l := New()
+	l.Record(time.Second, 100, map[string]units.Watts{"a": 100})
+	entries, unattributed := l.Close()
+	if len(entries) != 1 || math.Abs(float64(entries[0].Energy)-100) > 1e-9 {
+		t.Errorf("closed entries = %v", entries)
+	}
+	if unattributed != 0 {
+		t.Errorf("closed unattributed = %v", unattributed)
+	}
+	// Fresh period.
+	if l.Total() != 0 || len(l.Entries()) != 0 || l.Elapsed() != 0 {
+		t.Error("ledger not reset after Close")
+	}
+	l.Record(time.Second, 40, map[string]units.Watts{"b": 40})
+	if got := l.Energy("a"); got != 0 {
+		t.Errorf("previous period leaked: a = %v", got)
+	}
+}
+
+// Property: conservation holds for arbitrary attribution patterns.
+func TestLedgerConservationProperty(t *testing.T) {
+	f := func(powers []uint16, splits []uint8) bool {
+		l := New()
+		for i, p := range powers {
+			power := units.Watts(p % 500)
+			var est map[string]units.Watts
+			if i < len(splits) {
+				frac := float64(splits[i]%101) / 100
+				est = map[string]units.Watts{
+					"a": units.Watts(float64(power) * frac),
+					"b": units.Watts(float64(power) * (1 - frac)),
+				}
+			}
+			l.Record(100*time.Millisecond, power, est)
+		}
+		return l.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromRunMatchesRunEnergy(t *testing.T) {
+	w, _ := workload.StressByName("int64")
+	run, err := machine.Simulate(machine.Config{Spec: cpumodel.SmallIntel()}, []machine.Proc{
+		{ID: "p0", Workload: w, Threads: 2},
+		{ID: "p1", Workload: w, Threads: 2},
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := FromRun(run, models.NewScaphandre(), 1)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(l.Total()-run.Energy())) > 1e-6 {
+		t.Errorf("ledger total %v != run energy %v", l.Total(), run.Energy())
+	}
+	// Identical workloads and sizes: equal bills.
+	if math.Abs(float64(l.Energy("p0")-l.Energy("p1"))) > 1e-6 {
+		t.Errorf("equal apps billed unequally: %v vs %v", l.Energy("p0"), l.Energy("p1"))
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+	"powerdiv/internal/report"
+	"powerdiv/internal/trace"
+	"powerdiv/internal/vm"
+	"powerdiv/internal/workload"
+)
+
+// BehaviorResult quantifies the §V-A observation that an application's
+// attributed power curve does not reflect its own behaviour: "the behavior
+// of BUILD2 is entirely contextual, mirroring the behavior of DACAPO and
+// mistaking its consumption troughs for peaks".
+//
+// For each application it holds the Pearson correlation of its *attributed*
+// power curve (colocated) with its own solo machine power curve and with
+// the co-runner's — phase-aligned, since the scripted workloads repeat
+// deterministically.
+type BehaviorResult struct {
+	Machine string
+	Model   string
+	App0    string
+	App1    string
+	// OwnCorr[i]: corr(attributed_i, solo_i); OtherCorr[i]:
+	// corr(attributed_i, solo_other).
+	OwnCorr   [2]float64
+	OtherCorr [2]float64
+}
+
+// Mirrored reports whether app i's attributed curve tracks the co-runner's
+// behaviour more strongly (in magnitude) than its own — the paper's
+// "entirely contextual" failure.
+func (r BehaviorResult) Mirrored(i int) bool {
+	return abs64(r.OtherCorr[i]) > abs64(r.OwnCorr[i])
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Table renders the correlation matrix.
+func (r BehaviorResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("§V-A behaviour correlation — %s ∥ %s (%s on %s)", r.App0, r.App1, r.Model, r.Machine),
+		"attributed curve", "corr with own solo", "corr with co-runner solo", "mirrored?",
+	)
+	apps := [2]string{r.App0, r.App1}
+	for i := 0; i < 2; i++ {
+		t.AddRowf(apps[i], r.OwnCorr[i], r.OtherCorr[i], r.Mirrored(i))
+	}
+	return t
+}
+
+// BehaviorCorrelation runs both applications solo and colocated and
+// correlates each one's attributed power curve against the two solo
+// signatures. The solo signature is the machine power trace of the
+// isolated run (what Fig 10 plots).
+func BehaviorCorrelation(cfg machine.Config, factory models.Factory, app0, app1 string, vcpus int, seed int64) (BehaviorResult, error) {
+	res := BehaviorResult{Machine: cfg.Spec.Name, Model: factory.Name, App0: app0, App1: app1}
+	w0, ok := workload.PhoronixByName(app0)
+	if !ok {
+		return res, fmt.Errorf("unknown application %q", app0)
+	}
+	w1, ok := workload.PhoronixByName(app1)
+	if !ok {
+		return res, fmt.Errorf("unknown application %q", app1)
+	}
+	maxDur := w0.Duration()
+	if d := w1.Duration(); d > maxDur {
+		maxDur = d
+	}
+	maxDur += time.Minute
+
+	solo := func(name string, w workload.Workload, s int64) (*trace.Series, error) {
+		runCfg := cfg
+		runCfg.Seed = s
+		run, err := vm.SimulateColocation(runCfg, []vm.VM{{Name: name, VCPUs: vcpus, App: w}}, maxDur)
+		if err != nil {
+			return nil, err
+		}
+		return run.PowerSeries(), nil
+	}
+	solo0, err := solo(app0, w0, seed+1)
+	if err != nil {
+		return res, err
+	}
+	solo1, err := solo(app1, w1, seed+2)
+	if err != nil {
+		return res, err
+	}
+
+	div, err := EnergyDivision(cfg, factory, app0, app1, vcpus, seed)
+	if err != nil {
+		return res, err
+	}
+	period := cfg.Tick
+	if period <= 0 {
+		period = machine.DefaultTick
+	}
+	res.OwnCorr[0] = trace.Correlation(div.Est0, solo0, period)
+	res.OtherCorr[0] = trace.Correlation(div.Est0, solo1, period)
+	res.OwnCorr[1] = trace.Correlation(div.Est1, solo1, period)
+	res.OtherCorr[1] = trace.Correlation(div.Est1, solo0, period)
+	return res, nil
+}

@@ -1,0 +1,67 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, built on the protocol, machine and models packages.
+// Each driver returns a typed result that the report package, the CLI
+// tools and the benchmark harness render; DESIGN.md maps every paper
+// artefact to its driver.
+package experiments
+
+import (
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+	"powerdiv/internal/protocol"
+)
+
+// DefaultNoise is the sensor noise used by all experiments; stress-ng
+// loads vary by under half a watt, so a quarter watt of Gaussian noise.
+const DefaultNoise = 0.25
+
+// LabConfig returns the paper's laboratory context on a machine:
+// hyperthreading and turboboost disabled.
+func LabConfig(spec cpumodel.Spec, seed int64) machine.Config {
+	return machine.Config{Spec: spec, NoiseStddev: DefaultNoise, Seed: seed}
+}
+
+// ProdConfig returns the paper's production context: both enabled.
+func ProdConfig(spec cpumodel.Spec, seed int64) machine.Config {
+	return machine.Config{
+		Spec:           spec,
+		Hyperthreading: true,
+		Turbo:          true,
+		NoiseStddev:    DefaultNoise,
+		Seed:           seed,
+	}
+}
+
+// LabContext returns the default protocol context for the laboratory
+// evaluation on a machine.
+func LabContext(spec cpumodel.Spec, seed int64) protocol.Context {
+	ctx := protocol.DefaultContext(LabConfig(spec, seed))
+	ctx.Seed = seed
+	return ctx
+}
+
+// ProdContext returns the default protocol context for the production
+// evaluation.
+func ProdContext(spec cpumodel.Spec, seed int64) protocol.Context {
+	ctx := protocol.DefaultContext(ProdConfig(spec, seed))
+	ctx.Seed = seed
+	return ctx
+}
+
+// PaperModels returns the two models the paper evaluates (§IV-A:
+// "PowerAPI and Scaphandre are the models we selected for evaluation").
+func PaperModels() []models.Factory {
+	return []models.Factory{
+		models.NewScaphandre(),
+		models.NewPowerAPI(models.DefaultPowerAPIConfig()),
+	}
+}
+
+// stressRun simulates one stress process configuration for the given
+// duration — the building block of the curve and §IV-B experiments.
+func stressRun(cfg machine.Config, procs []machine.Proc, d time.Duration) (*machine.Run, error) {
+	return machine.Simulate(cfg, procs, d)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+	"powerdiv/internal/report"
+	"powerdiv/internal/workload"
+)
+
+// InstabilityRun is one repetition of the Fig 8 experiment: the mean share
+// of machine power PowerAPI attributed to each application over the
+// estimated part of the run.
+type InstabilityRun struct {
+	Share map[string]float64
+}
+
+// InstabilityResult holds the repeated identical runs of Fig 8: the paper
+// ran MATRIXPROD against FLOAT64 twice on DAHU and got 90 % attributed to
+// opposite applications.
+type InstabilityResult struct {
+	Machine string
+	Fn0     string
+	Fn1     string
+	Runs    []InstabilityRun
+}
+
+// FlipFlopped reports whether any two runs disagree about which
+// application consumes the most.
+func (r InstabilityResult) FlipFlopped() bool {
+	winner := func(run InstabilityRun) string {
+		if run.Share[r.Fn0] >= run.Share[r.Fn1] {
+			return r.Fn0
+		}
+		return r.Fn1
+	}
+	for i := 1; i < len(r.Runs); i++ {
+		if winner(r.Runs[i]) != winner(r.Runs[0]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Table renders the per-run attributions.
+func (r InstabilityResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Fig 8 — PowerAPI attribution across identical runs (%s vs %s on %s)", r.Fn0, r.Fn1, r.Machine),
+		"run", r.Fn0+" share", r.Fn1+" share",
+	)
+	for i, run := range r.Runs {
+		t.AddRow(fmt.Sprint(i+1), report.Percent(run.Share[r.Fn0]), report.Percent(run.Share[r.Fn1]))
+	}
+	return t
+}
+
+// Instability reproduces Fig 8: `repeats` identical runs of fn0 ∥ fn1 on
+// the machine, each observed by a fresh PowerAPI instance with a different
+// seed (two launches of the real tool differ in exactly that way: same
+// workload, different internal state). On a many-core machine the
+// degenerate-calibration pathology makes the winning application flip
+// between runs.
+func Instability(cfg machine.Config, fn0, fn1 string, threads, repeats int, seed int64) (InstabilityResult, error) {
+	res := InstabilityResult{Machine: cfg.Spec.Name, Fn0: fn0, Fn1: fn1}
+	w0, ok := workload.StressByName(fn0)
+	if !ok {
+		return res, fmt.Errorf("unknown stress function %q", fn0)
+	}
+	w1, ok := workload.StressByName(fn1)
+	if !ok {
+		return res, fmt.Errorf("unknown stress function %q", fn1)
+	}
+	factory := models.NewPowerAPI(models.DefaultPowerAPIConfig())
+	for rep := 0; rep < repeats; rep++ {
+		runCfg := cfg
+		runCfg.Seed = seed + int64(rep)
+		run, err := machine.Simulate(runCfg, []machine.Proc{
+			{ID: fn0, Workload: w0, Threads: threads},
+			{ID: fn1, Workload: w1, Threads: threads},
+		}, 30*time.Second)
+		if err != nil {
+			return res, err
+		}
+		ests := models.Replay(factory.New(seed+int64(rep)*7919), run)
+		sums := map[string]float64{}
+		var total float64
+		for _, est := range ests {
+			if est == nil {
+				continue
+			}
+			for id, w := range est {
+				sums[id] += float64(w)
+				total += float64(w)
+			}
+		}
+		ir := InstabilityRun{Share: map[string]float64{}}
+		if total > 0 {
+			for id, s := range sums {
+				ir.Share[id] = s / total
+			}
+		}
+		res.Runs = append(res.Runs, ir)
+	}
+	return res, nil
+}

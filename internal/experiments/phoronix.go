@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"powerdiv/internal/machine"
+	"powerdiv/internal/report"
+	"powerdiv/internal/trace"
+	"powerdiv/internal/units"
+	"powerdiv/internal/vm"
+	"powerdiv/internal/workload"
+)
+
+// AppReference is one Phoronix application's Table V reference row: energy
+// and runtime of solo execution in a 6-vCPU VM, with run-to-run
+// variability over the repetitions, plus the Fig 10 power trace of one run.
+type AppReference struct {
+	Name string
+	// Energy and Duration are the means over the repetitions.
+	Energy   units.Joules
+	Duration time.Duration
+	// EnergyVarPct / DurationVarPct are the relative spreads
+	// (max−min)/mean, the paper's parenthesised variability.
+	EnergyVarPct   float64
+	DurationVarPct float64
+	// Trace is the machine power trace of the first run (Fig 10).
+	Trace *trace.Series
+}
+
+// PhoronixReference reproduces Table V and Fig 10: each Table IV
+// application runs `repeats` times alone in a 6-vCPU VM on the machine
+// (the paper ran three repetitions on SMALL INTEL with HT/turbo enabled).
+func PhoronixReference(cfg machine.Config, vcpus, repeats int, seed int64) ([]AppReference, error) {
+	if repeats < 1 {
+		return nil, fmt.Errorf("experiments: repeats must be ≥1")
+	}
+	var out []AppReference
+	for _, app := range workload.PhoronixSet() {
+		ref := AppReference{Name: app.Name}
+		var energies []float64
+		var durations []float64
+		for rep := 0; rep < repeats; rep++ {
+			runCfg := cfg
+			runCfg.Seed = seed + int64(rep)*101
+			run, err := vm.SimulateColocation(runCfg, []vm.VM{
+				{Name: app.Name, VCPUs: vcpus, App: app},
+			}, app.Duration()+time.Minute)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s run %d: %w", app.Name, rep, err)
+			}
+			energies = append(energies, float64(run.Energy()))
+			durations = append(durations, run.Duration.Seconds())
+			if rep == 0 {
+				ref.Trace = run.PowerSeries()
+			}
+		}
+		ref.Energy = units.Joules(mean(energies))
+		ref.Duration = time.Duration(mean(durations) * float64(time.Second))
+		ref.EnergyVarPct = relSpread(energies)
+		ref.DurationVarPct = relSpread(durations)
+		out = append(out, ref)
+	}
+	return out, nil
+}
+
+// TableV renders the references as the paper's Table V.
+func TableV(refs []AppReference) *report.Table {
+	t := report.NewTable(
+		"Table V — Phoronix reference values (solo, 6-vCPU VM)",
+		"application", "C_S (kJ)", "var %", "execution time (s)", "var %",
+	)
+	for _, r := range refs {
+		t.AddRow(
+			r.Name,
+			fmt.Sprintf("%.2f", r.Energy.Kilojoules()),
+			fmt.Sprintf("%.1f", r.EnergyVarPct*100),
+			fmt.Sprintf("%.0f", r.Duration.Seconds()),
+			fmt.Sprintf("%.1f", r.DurationVarPct*100),
+		)
+	}
+	return t
+}
+
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+func relSpread(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	m := mean(vals)
+	if m == 0 {
+		return 0
+	}
+	return (hi - lo) / m
+}

@@ -1,0 +1,233 @@
+package livemeter
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"powerdiv/internal/models"
+	"powerdiv/internal/rapl"
+	"powerdiv/internal/units"
+)
+
+// fakeHost builds synthetic powercap and proc trees and lets tests advance
+// the machine: energy counters and per-process jiffies.
+type fakeHost struct {
+	t        *testing.T
+	capRoot  string
+	procRoot string
+	energyUJ uint64
+	jiffies  map[int]uint64
+}
+
+func newFakeHost(t *testing.T) *fakeHost {
+	t.Helper()
+	h := &fakeHost{
+		t:        t,
+		capRoot:  t.TempDir(),
+		procRoot: t.TempDir(),
+		jiffies:  map[int]uint64{},
+	}
+	dir := filepath.Join(h.capRoot, "intel-rapl:0")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("name", "package-0\n")
+	write("max_energy_range_uj", "262143328850\n")
+	h.setEnergy(0)
+	return h
+}
+
+func (h *fakeHost) setEnergy(uj uint64) {
+	h.t.Helper()
+	h.energyUJ = uj
+	path := filepath.Join(h.capRoot, "intel-rapl:0", "energy_uj")
+	if err := os.WriteFile(path, []byte(strconv.FormatUint(uj, 10)+"\n"), 0o644); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+func (h *fakeHost) addEnergy(joules float64) {
+	h.setEnergy(h.energyUJ + uint64(joules*1e6))
+}
+
+func (h *fakeHost) setProc(pid int, jiffies uint64) {
+	h.t.Helper()
+	h.jiffies[pid] = jiffies
+	dir := filepath.Join(h.procRoot, strconv.Itoa(pid))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		h.t.Fatal(err)
+	}
+	line := strconv.Itoa(pid) + " (worker) R 1 1 1 0 -1 0 0 0 0 0 " +
+		strconv.FormatUint(jiffies, 10) + " 0 0 0 20 0 1 0 0 0 0\n"
+	if err := os.WriteFile(filepath.Join(dir, "stat"), []byte(line), 0o644); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+func openMeter(t *testing.T, h *fakeHost) *Meter {
+	t.Helper()
+	m, err := Open(Config{PowercapRoot: h.capRoot, ProcRoot: h.procRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestOpenNoRAPL(t *testing.T) {
+	_, err := Open(Config{PowercapRoot: t.TempDir(), ProcRoot: t.TempDir()})
+	if !errors.Is(err, rapl.ErrNoRAPL) {
+		t.Errorf("err = %v, want ErrNoRAPL", err)
+	}
+}
+
+func TestMeterAttribution(t *testing.T) {
+	h := newFakeHost(t)
+	h.setProc(10, 0)
+	h.setProc(11, 0)
+	m := openMeter(t, h)
+
+	base := time.Unix(1000, 0)
+	if _, err := m.Sample(base, []int{10, 11}); !errors.Is(err, ErrNotPrimed) {
+		t.Fatalf("first sample err = %v, want ErrNotPrimed", err)
+	}
+
+	// Over 1 s: 40 J consumed; pid 10 used 2× the CPU of pid 11.
+	h.addEnergy(40)
+	h.setProc(10, 100) // 1 s
+	h.setProc(11, 50)  // 0.5 s
+	attr, err := m.Sample(base.Add(time.Second), []int{10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(attr.MachinePower)-40) > 1e-9 {
+		t.Errorf("machine power = %v, want 40", attr.MachinePower)
+	}
+	if attr.PerPID == nil {
+		t.Fatal("no attribution")
+	}
+	if math.Abs(float64(attr.PerPID[10])-40*2.0/3) > 1e-9 {
+		t.Errorf("pid 10 = %v, want 26.67", attr.PerPID[10])
+	}
+	if math.Abs(float64(attr.PerPID[11])-40/3.0) > 1e-9 {
+		t.Errorf("pid 11 = %v, want 13.33", attr.PerPID[11])
+	}
+}
+
+func TestMeterIdleInterval(t *testing.T) {
+	h := newFakeHost(t)
+	h.setProc(10, 0)
+	m := openMeter(t, h)
+	base := time.Unix(1000, 0)
+	m.Sample(base, []int{10})
+	// Energy flows but the process used no CPU: machine power is known,
+	// attribution is nil.
+	h.addEnergy(10)
+	attr, err := m.Sample(base.Add(time.Second), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.PerPID != nil {
+		t.Errorf("attribution for idle interval = %v, want nil", attr.PerPID)
+	}
+	if math.Abs(float64(attr.MachinePower)-10) > 1e-9 {
+		t.Errorf("machine power = %v, want 10", attr.MachinePower)
+	}
+}
+
+func TestMeterCounterWrap(t *testing.T) {
+	h := newFakeHost(t)
+	h.setEnergy(262143328850 - 5_000_000) // 5 J before wrap
+	h.setProc(10, 0)
+	m := openMeter(t, h)
+	base := time.Unix(1000, 0)
+	m.Sample(base, []int{10})
+	h.setEnergy(5_000_000) // wrapped: 10 J consumed
+	h.setProc(10, 100)
+	attr, err := m.Sample(base.Add(time.Second), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(attr.MachinePower)-10) > 1e-9 {
+		t.Errorf("wrapped machine power = %v, want 10", attr.MachinePower)
+	}
+}
+
+func TestMeterNonAdvancingClock(t *testing.T) {
+	h := newFakeHost(t)
+	h.setProc(10, 0)
+	m := openMeter(t, h)
+	base := time.Unix(1000, 0)
+	m.Sample(base, []int{10})
+	if _, err := m.Sample(base, []int{10}); !errors.Is(err, ErrNotPrimed) {
+		t.Errorf("same-instant sample err = %v, want ErrNotPrimed", err)
+	}
+}
+
+func TestMeterZones(t *testing.T) {
+	h := newFakeHost(t)
+	m := openMeter(t, h)
+	zones := m.Zones()
+	if len(zones) != 1 || zones[0] != "package-0" {
+		t.Errorf("zones = %v", zones)
+	}
+}
+
+func TestMeterWithFrequencyAndModel(t *testing.T) {
+	// A residual-aware model receives the frequency read from a fake
+	// cpufreq tree and the per-process thread counts.
+	h := newFakeHost(t)
+	h.setProc(10, 0)
+	freqRoot := t.TempDir()
+	cpuDir := filepath.Join(freqRoot, "cpu0", "cpufreq")
+	if err := os.MkdirAll(cpuDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(cpuDir, "scaling_cur_freq"), []byte("3600000\n"), 0o644)
+
+	probe := &tickProbe{}
+	m, err := Open(Config{
+		PowercapRoot: h.capRoot,
+		ProcRoot:     h.procRoot,
+		CPUFreqRoot:  freqRoot,
+		Model:        probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1000, 0)
+	m.Sample(base, []int{10})
+	h.addEnergy(40)
+	h.setProc(10, 100)
+	if _, err := m.Sample(base.Add(time.Second), []int{10}); err != nil {
+		t.Fatal(err)
+	}
+	if probe.last.Freq != 3.6*units.GHz {
+		t.Errorf("model saw freq %v, want 3.6 GHz", probe.last.Freq)
+	}
+	ps := probe.last.Procs["10"]
+	if ps.Threads != 1 {
+		t.Errorf("model saw %d threads, want 1", ps.Threads)
+	}
+	if ps.CPUTime != units.CPUTime(time.Second) {
+		t.Errorf("model saw cpu %v, want 1s", ps.CPUTime)
+	}
+}
+
+// tickProbe records the last tick it observed.
+type tickProbe struct{ last models.Tick }
+
+func (p *tickProbe) Name() string { return "probe" }
+func (p *tickProbe) Observe(t models.Tick) map[string]units.Watts {
+	p.last = t
+	return nil
+}

@@ -1,0 +1,501 @@
+// Package machine is the discrete-time simulator of a physical server that
+// the evaluation protocol runs against. It replaces the paper's Grid'5000
+// hardware: it schedules process threads onto logical CPUs, drives the DVFS
+// governor, and produces per-tick machine power with the idle / residual /
+// active decomposition of the cpumodel package — plus the ground truth
+// (per-process active power) that real hardware cannot expose, which is
+// exactly what makes the protocol's objective value computable here.
+//
+// The simulator is deterministic: all randomness (sensor noise) comes from
+// an explicitly seeded source in the Config.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/perfcnt"
+	"powerdiv/internal/trace"
+	"powerdiv/internal/units"
+	"powerdiv/internal/workload"
+)
+
+// DefaultTick is the simulation step and sensor sampling period.
+const DefaultTick = 100 * time.Millisecond
+
+// ErrContention is returned by Run when the processes demand more logical
+// CPUs than the machine has. The paper's protocol requires contention-free
+// scenarios ("ensuring there is no contention on the machine"), so the
+// simulator refuses to run oversubscribed ones rather than silently
+// time-sharing.
+var ErrContention = errors.New("machine: scenario oversubscribes logical CPUs")
+
+// Config describes the simulated machine and its performance settings —
+// the paper's "laboratory" context is HT and turbo off, the "production"
+// context both on.
+type Config struct {
+	Spec cpumodel.Spec
+	// Hyperthreading exposes the second hardware thread of each core to
+	// the scheduler.
+	Hyperthreading bool
+	// Turbo enables turboboost in the frequency governor.
+	Turbo bool
+	// MaxFreq is an optional cpufreq-style frequency cap (0 = none),
+	// used by the §III-B frequency-capping observations.
+	MaxFreq units.Hertz
+	// Tick is the simulation step; DefaultTick if zero.
+	Tick time.Duration
+	// NoiseStddev is the standard deviation of Gaussian noise added to the
+	// measured machine power (the trace a sensor sees); ground-truth
+	// fields are noise-free. stress-ng loads vary by under 0.5 W, so the
+	// calibrations use ≈0.25 W.
+	NoiseStddev units.Watts
+	// Seed seeds the noise source.
+	Seed int64
+}
+
+func (c Config) tick() time.Duration {
+	if c.Tick <= 0 {
+		return DefaultTick
+	}
+	return c.Tick
+}
+
+// schedulableCPUs returns how many logical CPUs the scheduler may use.
+func (c Config) schedulableCPUs() int {
+	if c.Hyperthreading {
+		return c.Spec.Topology.LogicalCPUs()
+	}
+	return c.Spec.Topology.PhysicalCores()
+}
+
+// Proc is one process in a scenario.
+type Proc struct {
+	// ID names the process; it must be unique within a scenario.
+	ID string
+	// Workload drives the process's load and counters.
+	Workload workload.Workload
+	// Threads is the process's thread count (the default when the
+	// workload has no phase script, and the ceiling when it does).
+	Threads int
+	// Start is the process's arrival time into the scenario.
+	Start time.Duration
+	// Stop ends the process early (0 = run until the scenario ends or the
+	// workload's script completes).
+	Stop time.Duration
+	// CPUQuota is a cgroup-style cap on the fraction of CPU time each
+	// thread may consume (0 or 1 = uncapped; 0.5 = the paper's §IV-B
+	// 50 % cap).
+	CPUQuota float64
+	// Pinned optionally pins the process's threads to specific logical
+	// CPUs (taskset-style); thread i runs on Pinned[i]. Must have at
+	// least Threads entries when set.
+	Pinned []int
+}
+
+func (p Proc) quota() float64 {
+	if p.CPUQuota <= 0 || p.CPUQuota > 1 {
+		return 1
+	}
+	return p.CPUQuota
+}
+
+// Validate checks the process description against a config.
+func (p Proc) Validate(cfg Config) error {
+	if p.ID == "" {
+		return fmt.Errorf("machine: process with empty ID")
+	}
+	if err := p.Workload.Validate(); err != nil {
+		return fmt.Errorf("machine: process %s: %w", p.ID, err)
+	}
+	if p.Threads <= 0 {
+		return fmt.Errorf("machine: process %s: thread count %d", p.ID, p.Threads)
+	}
+	if p.Stop != 0 && p.Stop < p.Start {
+		return fmt.Errorf("machine: process %s: stop %v before start %v", p.ID, p.Stop, p.Start)
+	}
+	if p.Pinned != nil {
+		if len(p.Pinned) < p.Threads {
+			return fmt.Errorf("machine: process %s: %d pins for %d threads", p.ID, len(p.Pinned), p.Threads)
+		}
+		n := cfg.schedulableCPUs()
+		for _, cpu := range p.Pinned {
+			if cpu < 0 || cpu >= n {
+				return fmt.Errorf("machine: process %s: pin %d outside 0..%d", p.ID, cpu, n-1)
+			}
+		}
+	}
+	return nil
+}
+
+// ProcTick is a process's activity during one tick: its CPU time, its
+// ground-truth active power (the sum of the active power of the cores its
+// threads ran on — the quantity real hardware cannot report), and its
+// synthesised performance counters.
+type ProcTick struct {
+	CPUTime     units.CPUTime
+	ActivePower units.Watts
+	Threads     int
+	Counters    perfcnt.Counters
+}
+
+// TickRecord is one simulation step's full observation.
+type TickRecord struct {
+	At time.Duration
+	// Power is the machine power a sensor reads (ground truth + noise) —
+	// the paper's C_{S,t}.
+	Power units.Watts
+	// TruePower is the noise-free machine total.
+	TruePower units.Watts
+	// Idle, Residual and Active decompose TruePower.
+	Idle     units.Watts
+	Residual units.Watts
+	Active   units.Watts
+	// Freq is the frequency busy cores ran at during the tick.
+	Freq units.Hertz
+	// Procs maps process ID to its activity this tick; processes not yet
+	// started or already finished are absent.
+	Procs map[string]ProcTick
+}
+
+// Run is the result of simulating a scenario.
+type Run struct {
+	Config   Config
+	Ticks    []TickRecord
+	Duration time.Duration
+	// ProcEnd maps process ID to the time its workload finished (script
+	// completed or Stop reached); processes still running at scenario end
+	// map to the scenario duration. This is the paper's T_S^{P_i}.
+	ProcEnd map[string]time.Duration
+}
+
+// Simulate runs the scenario for at most maxDur and returns the trace.
+// The run ends early when every process has finished. It returns
+// ErrContention (wrapped) if at any tick the processes demand more logical
+// CPUs than the machine exposes.
+func Simulate(cfg Config, procs []Proc, maxDur time.Duration) (*Run, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if maxDur <= 0 {
+		return nil, fmt.Errorf("machine: non-positive duration %v", maxDur)
+	}
+	ids := map[string]bool{}
+	for _, p := range procs {
+		if err := p.Validate(cfg); err != nil {
+			return nil, err
+		}
+		if ids[p.ID] {
+			return nil, fmt.Errorf("machine: duplicate process ID %q", p.ID)
+		}
+		ids[p.ID] = true
+	}
+	// Deterministic scheduling order regardless of caller's slice order.
+	ordered := append([]Proc(nil), procs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+
+	tick := cfg.tick()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	run := &Run{Config: cfg, ProcEnd: map[string]time.Duration{}}
+	phys := cfg.Spec.Topology.PhysicalCores()
+	nCPU := cfg.schedulableCPUs()
+
+	for t := time.Duration(0); t < maxDur; t += tick {
+		rec, active, err := stepTick(cfg, ordered, t, tick, phys, nCPU, run.ProcEnd)
+		if err != nil {
+			return nil, fmt.Errorf("%w at t=%v", err, t)
+		}
+		if cfg.NoiseStddev > 0 {
+			rec.Power = units.Watts(float64(rec.Power) + rng.NormFloat64()*float64(cfg.NoiseStddev))
+		}
+		run.Ticks = append(run.Ticks, rec)
+		run.Duration = t + tick
+		if !active && allStarted(ordered, t) {
+			break
+		}
+	}
+	for _, p := range ordered {
+		if _, done := run.ProcEnd[p.ID]; !done {
+			run.ProcEnd[p.ID] = run.Duration
+		}
+	}
+	return run, nil
+}
+
+// allStarted reports whether every process's start time has passed.
+func allStarted(procs []Proc, t time.Duration) bool {
+	for _, p := range procs {
+		if p.Start > t {
+			return false
+		}
+	}
+	return true
+}
+
+// threadPlacement is one busy thread's slot for a tick.
+type threadPlacement struct {
+	proc *Proc
+	cpu  int
+	util float64
+	cost units.Watts
+}
+
+// pendingThread is a thread awaiting a CPU in a tick.
+type pendingThread struct {
+	proc *Proc
+	util float64
+	cost units.Watts
+	// pin is the pinned logical CPU, or -1 for scheduler placement.
+	pin int
+}
+
+// stepTick computes one simulation step. It returns the record, whether any
+// process was active this tick, and ErrContention on oversubscription.
+//
+// Unpinned threads are placed fairly: one thread per running process in
+// round-robin order before any process gets its second CPU, so that when
+// demand spills onto SMT siblings the discount is shared across processes
+// (as a load-balancing scheduler would) instead of falling entirely on the
+// last process in ID order.
+func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, procEnd map[string]time.Duration) (TickRecord, bool, error) {
+	var placements []threadPlacement
+	cpuBusy := make([]bool, nCPU)
+
+	// Gather each running process's demand for this tick.
+	perProc := make([][]pendingThread, 0, len(procs))
+	for i := range procs {
+		p := &procs[i]
+		if t < p.Start {
+			continue
+		}
+		if p.Stop != 0 && t >= p.Stop {
+			markEnd(procEnd, p.ID, p.Stop)
+			continue
+		}
+		phase, done := p.Workload.PhaseAt(t-p.Start, p.Threads)
+		if done {
+			markEnd(procEnd, p.ID, p.Start+p.Workload.Duration())
+			continue
+		}
+		threads := phase.Threads
+		if threads > p.Threads {
+			threads = p.Threads
+		}
+		util := phase.Util * p.quota()
+		cost := units.Watts(float64(p.Workload.CostOn(cfg.Spec.Name)) * phase.Intensity)
+		demand := make([]pendingThread, threads)
+		for th := 0; th < threads; th++ {
+			pin := -1
+			if p.Pinned != nil {
+				pin = p.Pinned[th]
+			}
+			demand[th] = pendingThread{proc: p, util: util, cost: cost, pin: pin}
+		}
+		perProc = append(perProc, demand)
+	}
+
+	// Pinned threads claim their CPUs first.
+	for _, demand := range perProc {
+		for _, pt := range demand {
+			if pt.pin < 0 {
+				continue
+			}
+			if cpuBusy[pt.pin] {
+				return TickRecord{}, false, ErrContention
+			}
+			cpuBusy[pt.pin] = true
+			placements = append(placements, threadPlacement{proc: pt.proc, cpu: pt.pin, util: pt.util, cost: pt.cost})
+		}
+	}
+	// Unpinned threads: round-robin across processes.
+	for round := 0; ; round++ {
+		progressed := false
+		for _, demand := range perProc {
+			// The round-th unpinned thread of this process.
+			idx := -1
+			count := 0
+			for i, pt := range demand {
+				if pt.pin >= 0 {
+					continue
+				}
+				if count == round {
+					idx = i
+					break
+				}
+				count++
+			}
+			if idx < 0 {
+				continue
+			}
+			progressed = true
+			pt := demand[idx]
+			cpu, ok := pickCPU(cpuBusy, phys)
+			if !ok {
+				return TickRecord{}, false, ErrContention
+			}
+			cpuBusy[cpu] = true
+			placements = append(placements, threadPlacement{proc: pt.proc, cpu: cpu, util: pt.util, cost: pt.cost})
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// Governor: frequency from the number of active physical cores.
+	activePhys := map[int]bool{}
+	for _, pl := range placements {
+		activePhys[pl.cpu%phys] = true
+	}
+	freq := cfg.Spec.Freq.ActiveFreq(len(activePhys), cfg.Turbo, cfg.MaxFreq)
+
+	// Build per-logical-CPU loads. A logical CPU is an SMT sibling when it
+	// is the higher-numbered thread of a core whose other thread is busy.
+	loads := make([]cpumodel.CoreLoad, nCPU)
+	for _, pl := range placements {
+		sibling := false
+		if pl.cpu >= phys && cpuBusy[pl.cpu-phys] {
+			sibling = true
+		}
+		loads[pl.cpu] = cpumodel.CoreLoad{
+			Util:       pl.util,
+			CostAtBase: pl.cost,
+			Freq:       freq,
+			SMTSibling: sibling,
+		}
+	}
+	bd := cfg.Spec.Power.Power(loads)
+
+	rec := TickRecord{
+		At:        t,
+		Idle:      bd.Idle,
+		Residual:  bd.Residual,
+		Active:    bd.Active,
+		TruePower: bd.Total(),
+		Freq:      freq,
+		Procs:     map[string]ProcTick{},
+	}
+	rec.Power = rec.TruePower
+	for _, pl := range placements {
+		pt := rec.Procs[pl.proc.ID]
+		cpuTime := units.CPUTime(float64(tick) * pl.util)
+		pt.CPUTime += cpuTime
+		pt.ActivePower += bd.PerCore[pl.cpu]
+		pt.Threads++
+		pt.Counters = pt.Counters.Add(perfcnt.Synthesize(pl.proc.Workload.Mix, cpuTime, freq))
+		rec.Procs[pl.proc.ID] = pt
+	}
+	return rec, len(placements) > 0, nil
+}
+
+// markEnd records the first time a process was observed finished.
+func markEnd(procEnd map[string]time.Duration, id string, at time.Duration) {
+	if _, ok := procEnd[id]; !ok {
+		procEnd[id] = at
+	}
+}
+
+// pickCPU returns a free logical CPU, preferring cores with no busy thread
+// (physical-first placement, like the Linux scheduler under low load).
+// Logical CPU numbering: 0..phys-1 are the first threads of each core,
+// phys..2·phys-1 their SMT siblings.
+func pickCPU(busy []bool, phys int) (int, bool) {
+	for c := 0; c < phys && c < len(busy); c++ {
+		if !busy[c] && (c+phys >= len(busy) || !busy[c+phys]) {
+			return c, true
+		}
+	}
+	for c := range busy {
+		if !busy[c] {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Tick returns the run's sampling period.
+func (r *Run) Tick() time.Duration { return r.Config.tick() }
+
+// PowerSeries returns the measured machine power trace (C_{S,t}).
+func (r *Run) PowerSeries() *trace.Series {
+	s := trace.New()
+	for _, rec := range r.Ticks {
+		s.Append(rec.At, float64(rec.Power))
+	}
+	return s
+}
+
+// TruePowerSeries returns the noise-free machine power trace.
+func (r *Run) TruePowerSeries() *trace.Series {
+	s := trace.New()
+	for _, rec := range r.Ticks {
+		s.Append(rec.At, float64(rec.TruePower))
+	}
+	return s
+}
+
+// ActiveSeries returns the machine's ground-truth active power (A_{S,t}).
+func (r *Run) ActiveSeries() *trace.Series {
+	s := trace.New()
+	for _, rec := range r.Ticks {
+		s.Append(rec.At, float64(rec.Active))
+	}
+	return s
+}
+
+// ResidualSeries returns the ground-truth residual power over time.
+func (r *Run) ResidualSeries() *trace.Series {
+	s := trace.New()
+	for _, rec := range r.Ticks {
+		s.Append(rec.At, float64(rec.Residual))
+	}
+	return s
+}
+
+// ProcActiveSeries returns a process's ground-truth active power trace.
+func (r *Run) ProcActiveSeries(id string) *trace.Series {
+	s := trace.New()
+	for _, rec := range r.Ticks {
+		if pt, ok := rec.Procs[id]; ok {
+			s.Append(rec.At, float64(pt.ActivePower))
+		}
+	}
+	return s
+}
+
+// ProcCPUSeries returns a process's CPU utilization trace (cores busy).
+func (r *Run) ProcCPUSeries(id string) *trace.Series {
+	s := trace.New()
+	tick := r.Tick()
+	for _, rec := range r.Ticks {
+		if pt, ok := rec.Procs[id]; ok {
+			s.Append(rec.At, pt.CPUTime.Utilization(tick))
+		}
+	}
+	return s
+}
+
+// Energy returns the total measured energy of the run.
+func (r *Run) Energy() units.Joules {
+	return r.PowerSeries().Energy(r.Tick())
+}
+
+// ProcIDs returns the IDs of all processes that were active at any tick,
+// sorted.
+func (r *Run) ProcIDs() []string {
+	seen := map[string]bool{}
+	for _, rec := range r.Ticks {
+		for id := range rec.Procs {
+			seen[id] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

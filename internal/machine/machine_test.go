@@ -1,0 +1,404 @@
+package machine
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/units"
+	"powerdiv/internal/workload"
+)
+
+// labConfig is the paper's laboratory context: HT and turbo off.
+func labConfig(spec cpumodel.Spec) Config {
+	return Config{Spec: spec}
+}
+
+// prodConfig is the paper's production context: HT and turbo on.
+func prodConfig(spec cpumodel.Spec) Config {
+	return Config{Spec: spec, Hyperthreading: true, Turbo: true}
+}
+
+func stressProc(id, fn string, threads int) Proc {
+	w, ok := workload.StressByName(fn)
+	if !ok {
+		panic("unknown stress function " + fn)
+	}
+	return Proc{ID: id, Workload: w, Threads: threads}
+}
+
+func TestSimulateIdleMachine(t *testing.T) {
+	run, err := Simulate(labConfig(cpumodel.SmallIntel()), nil, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An empty scenario still produces the idle floor.
+	if got := run.PowerSeries().Mean(); math.Abs(got-8) > 1e-9 {
+		t.Errorf("idle power = %v, want 8", got)
+	}
+	for _, rec := range run.Ticks {
+		if rec.Residual != 0 || rec.Active != 0 {
+			t.Fatalf("idle tick has residual/active %v/%v", rec.Residual, rec.Active)
+		}
+	}
+}
+
+func TestSimulateSingleStress(t *testing.T) {
+	cfg := labConfig(cpumodel.SmallIntel())
+	run, err := Simulate(cfg, []Proc{stressProc("p0", "matrixprod", 3)}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 cores × 7.1 W + residual 28 + idle 8 = 57.3 W.
+	want := 8 + 28 + 3*7.1
+	if got := run.TruePowerSeries().Mean(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("power = %v, want %v", got, want)
+	}
+	// Ground-truth per-process active power is the 3 cores' cost.
+	if got := run.ProcActiveSeries("p0").Mean(); math.Abs(got-21.3) > 1e-6 {
+		t.Errorf("proc active = %v, want 21.3", got)
+	}
+	// Frequency is base (no turbo).
+	if run.Ticks[0].Freq != 3.6*units.GHz {
+		t.Errorf("freq = %v, want 3.6 GHz", run.Ticks[0].Freq)
+	}
+	// CPU time: 3 threads fully busy.
+	if got := run.ProcCPUSeries("p0").Mean(); math.Abs(got-3) > 1e-9 {
+		t.Errorf("utilization = %v, want 3", got)
+	}
+}
+
+func TestSimulateParallelPairAddsActive(t *testing.T) {
+	cfg := labConfig(cpumodel.SmallIntel())
+	solo0, err := Simulate(cfg, []Proc{stressProc("p0", "fibonacci", 3)}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo1, err := Simulate(cfg, []Proc{stressProc("p1", "matrixprod", 3)}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := Simulate(cfg, []Proc{
+		stressProc("p0", "fibonacci", 3),
+		stressProc("p1", "matrixprod", 3),
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without HT/turbo, active power is additive (Fig 1 linearity):
+	// A_{P0||P1} == A_{P0} + A_{P1}.
+	a0 := solo0.ActiveSeries().Mean()
+	a1 := solo1.ActiveSeries().Mean()
+	ap := pair.ActiveSeries().Mean()
+	if math.Abs(ap-(a0+a1)) > 1e-6 {
+		t.Errorf("pair active %v != solo sum %v", ap, a0+a1)
+	}
+	// But total power is NOT additive: residual and idle are counted once.
+	cp := pair.TruePowerSeries().Mean()
+	c0 := solo0.TruePowerSeries().Mean()
+	c1 := solo1.TruePowerSeries().Mean()
+	if cp >= c0+c1 {
+		t.Errorf("pair power %v should be less than solo sum %v", cp, c0+c1)
+	}
+	// Per-process ground truth matches the solo run (same cores, same freq).
+	if got, want := pair.ProcActiveSeries("p0").Mean(), a0; math.Abs(got-want) > 1e-6 {
+		t.Errorf("p0 active in pair = %v, want %v", got, want)
+	}
+}
+
+func TestSimulateProductionSubAdditive(t *testing.T) {
+	// §III-C: with HT/turbo, A_S ≤ ΣA_{P_i} — the pair runs at a lower
+	// turbo frequency than each solo run did.
+	cfg := prodConfig(cpumodel.SmallIntel())
+	solo0, err := Simulate(cfg, []Proc{stressProc("p0", "float64", 3)}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo1, err := Simulate(cfg, []Proc{stressProc("p1", "jmp", 3)}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := Simulate(cfg, []Proc{
+		stressProc("p0", "float64", 3),
+		stressProc("p1", "jmp", 3),
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := solo0.ActiveSeries().Mean() + solo1.ActiveSeries().Mean()
+	if got := pair.ActiveSeries().Mean(); got >= sum {
+		t.Errorf("production pair active %v not below solo sum %v", got, sum)
+	}
+}
+
+func TestContentionDetected(t *testing.T) {
+	cfg := labConfig(cpumodel.SmallIntel()) // 6 schedulable CPUs
+	_, err := Simulate(cfg, []Proc{
+		stressProc("p0", "int64", 4),
+		stressProc("p1", "rand", 4),
+	}, time.Second)
+	if !errors.Is(err, ErrContention) {
+		t.Errorf("err = %v, want ErrContention", err)
+	}
+	// With hyperthreading on, 8 threads fit in 12 logical CPUs.
+	if _, err := Simulate(prodConfig(cpumodel.SmallIntel()), []Proc{
+		stressProc("p0", "int64", 4),
+		stressProc("p1", "rand", 4),
+	}, time.Second); err != nil {
+		t.Errorf("HT config should fit: %v", err)
+	}
+}
+
+func TestHyperthreadingSiblingDiscount(t *testing.T) {
+	cfg := prodConfig(cpumodel.SmallIntel())
+	cfg.Turbo = false // isolate SMT effect from turbo derating
+	// 6 threads fill the 6 physical cores; the 7th is an SMT sibling.
+	six, err := Simulate(cfg, []Proc{stressProc("p0", "int64", 6)}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seven, err := Simulate(cfg, []Proc{stressProc("p0", "int64", 7)}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := seven.ActiveSeries().Mean() - six.ActiveSeries().Mean()
+	perCore := six.ActiveSeries().Mean() / 6
+	if math.Abs(inc-0.3*perCore) > 1e-6 {
+		t.Errorf("SMT increment = %v, want %v (30%% of a core)", inc, 0.3*perCore)
+	}
+}
+
+func TestTurboDerating(t *testing.T) {
+	cfg := prodConfig(cpumodel.SmallIntel())
+	one, err := Simulate(cfg, []Proc{stressProc("p0", "int64", 1)}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := Simulate(cfg, []Proc{stressProc("p0", "int64", 6)}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Ticks[0].Freq != 3.9*units.GHz {
+		t.Errorf("single-core freq = %v, want 3.9 GHz", one.Ticks[0].Freq)
+	}
+	if six.Ticks[0].Freq >= one.Ticks[0].Freq {
+		t.Errorf("six-core freq %v not derated below %v", six.Ticks[0].Freq, one.Ticks[0].Freq)
+	}
+}
+
+func TestFrequencyCapLowersResidual(t *testing.T) {
+	// §III-B: capping SMALL INTEL to 2 GHz drops residual 28 → 17 W.
+	cfg := labConfig(cpumodel.SmallIntel())
+	cfg.MaxFreq = 2.0 * units.GHz
+	run, err := Simulate(cfg, []Proc{stressProc("p0", "int64", 2)}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.ResidualSeries().Mean(); math.Abs(got-17) > 1e-9 {
+		t.Errorf("residual at 2 GHz cap = %v, want 17", got)
+	}
+}
+
+func TestCPUQuotaHalvesCPUTimeAndResidual(t *testing.T) {
+	// §IV-B: a 50 %-capped stress produced about half the residual.
+	cfg := labConfig(cpumodel.SmallIntel())
+	p := stressProc("p0", "int64", 2)
+	p.CPUQuota = 0.5
+	p.Pinned = []int{0, 1}
+	run, err := Simulate(cfg, []Proc{p}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.ProcCPUSeries("p0").Mean(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("capped utilization = %v, want 1.0 (2 threads × 0.5)", got)
+	}
+	if got := run.ResidualSeries().Mean(); math.Abs(got-14) > 1e-9 {
+		t.Errorf("capped residual = %v, want 14", got)
+	}
+	// Capped + uncapped in parallel: full residual returns (§IV-B).
+	q := stressProc("p1", "int64", 2)
+	q.Pinned = []int{2, 3}
+	both, err := Simulate(cfg, []Proc{p, q}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := both.ResidualSeries().Mean(); math.Abs(got-28) > 1e-9 {
+		t.Errorf("mixed residual = %v, want 28", got)
+	}
+}
+
+func TestPinnedConflictRejected(t *testing.T) {
+	cfg := labConfig(cpumodel.SmallIntel())
+	a := stressProc("a", "int64", 1)
+	a.Pinned = []int{0}
+	b := stressProc("b", "rand", 1)
+	b.Pinned = []int{0}
+	if _, err := Simulate(cfg, []Proc{a, b}, time.Second); !errors.Is(err, ErrContention) {
+		t.Errorf("err = %v, want ErrContention for conflicting pins", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cfg := labConfig(cpumodel.SmallIntel())
+	w, _ := workload.StressByName("int64")
+	cases := []struct {
+		name  string
+		procs []Proc
+		dur   time.Duration
+	}{
+		{"empty id", []Proc{{Workload: w, Threads: 1}}, time.Second},
+		{"zero threads", []Proc{{ID: "x", Workload: w}}, time.Second},
+		{"stop before start", []Proc{{ID: "x", Workload: w, Threads: 1, Start: time.Second, Stop: time.Millisecond}}, 2 * time.Second},
+		{"pin out of range", []Proc{{ID: "x", Workload: w, Threads: 1, Pinned: []int{99}}}, time.Second},
+		{"too few pins", []Proc{{ID: "x", Workload: w, Threads: 2, Pinned: []int{0}}}, time.Second},
+		{"duplicate ids", []Proc{{ID: "x", Workload: w, Threads: 1}, {ID: "x", Workload: w, Threads: 1}}, time.Second},
+		{"zero duration", nil, 0},
+	}
+	for _, tc := range cases {
+		if _, err := Simulate(cfg, tc.procs, tc.dur); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestStartStopWindows(t *testing.T) {
+	cfg := labConfig(cpumodel.SmallIntel())
+	p := stressProc("p0", "int64", 1)
+	p.Start = time.Second
+	p.Stop = 3 * time.Second
+	run, err := Simulate(cfg, []Proc{p}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range run.Ticks {
+		_, present := rec.Procs["p0"]
+		want := rec.At >= time.Second && rec.At < 3*time.Second
+		if present != want {
+			t.Fatalf("t=%v: presence %v, want %v", rec.At, present, want)
+		}
+	}
+	if got := run.ProcEnd["p0"]; got != 3*time.Second {
+		t.Errorf("ProcEnd = %v, want 3s", got)
+	}
+}
+
+func TestScriptedWorkloadEndsRun(t *testing.T) {
+	cfg := prodConfig(cpumodel.SmallIntel())
+	w := workload.Workload{
+		Name: "short",
+		Kind: workload.App,
+		Mix:  workload.CounterMix{IPC: 1},
+		Script: []workload.Phase{
+			{Duration: 2 * time.Second, Threads: 2, Intensity: 1, Util: 1},
+		},
+	}
+	run, err := Simulate(cfg, []Proc{{ID: "app", Workload: w, Threads: 6}}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Duration > 3*time.Second {
+		t.Errorf("run lasted %v, want ≈2s (ends when script completes)", run.Duration)
+	}
+	if got := run.ProcEnd["app"]; got != 2*time.Second {
+		t.Errorf("ProcEnd = %v, want 2s", got)
+	}
+}
+
+func TestNoiseIsDeterministicPerSeed(t *testing.T) {
+	cfg := labConfig(cpumodel.SmallIntel())
+	cfg.NoiseStddev = 0.25
+	cfg.Seed = 42
+	r1, err := Simulate(cfg, []Proc{stressProc("p0", "int64", 2)}, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(cfg, []Proc{stressProc("p0", "int64", 2)}, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Ticks {
+		if r1.Ticks[i].Power != r2.Ticks[i].Power {
+			t.Fatalf("tick %d differs across identical seeds", i)
+		}
+	}
+	cfg.Seed = 43
+	r3, err := Simulate(cfg, []Proc{stressProc("p0", "int64", 2)}, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range r1.Ticks {
+		if r1.Ticks[i].Power != r3.Ticks[i].Power {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+	// Noise does not pollute ground truth.
+	if r1.Ticks[0].TruePower != r3.Ticks[0].TruePower {
+		t.Error("TruePower differs across seeds")
+	}
+}
+
+func TestCountersScaleWithCPUTimeAndIPC(t *testing.T) {
+	cfg := labConfig(cpumodel.SmallIntel())
+	run, err := Simulate(cfg, []Proc{
+		stressProc("fib", "fibonacci", 2),
+		stressProc("mat", "matrixprod", 2),
+	}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := run.Ticks[5]
+	fib := rec.Procs["fib"]
+	mat := rec.Procs["mat"]
+	// Same CPU time, same cycles.
+	if math.Abs(fib.Counters.Cycles-mat.Counters.Cycles) > 1e-6*fib.Counters.Cycles {
+		t.Errorf("cycles differ: %v vs %v", fib.Counters.Cycles, mat.Counters.Cycles)
+	}
+	// matrixprod has IPC 2.8 vs fibonacci 0.9: ~3.1× the instructions.
+	ratio := mat.Counters.Instructions / fib.Counters.Instructions
+	if math.Abs(ratio-2.8/0.9) > 1e-6 {
+		t.Errorf("instruction ratio = %v, want %v", ratio, 2.8/0.9)
+	}
+}
+
+func TestProcIDsAndEnergy(t *testing.T) {
+	cfg := labConfig(cpumodel.SmallIntel())
+	run, err := Simulate(cfg, []Proc{
+		stressProc("b", "int64", 1),
+		stressProc("a", "rand", 1),
+	}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := run.ProcIDs()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("ProcIDs = %v, want [a b]", ids)
+	}
+	// Energy ≈ mean power × duration.
+	wantE := run.PowerSeries().Mean() * run.Duration.Seconds()
+	if got := float64(run.Energy()); math.Abs(got-wantE) > 1e-6*wantE {
+		t.Errorf("Energy = %v, want %v", got, wantE)
+	}
+}
+
+func TestDahuScale(t *testing.T) {
+	cfg := labConfig(cpumodel.Dahu())
+	run, err := Simulate(cfg, []Proc{
+		stressProc("p0", "float64", 16),
+		stressProc("p1", "queens", 16),
+	}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 busy cores: idle 58 + residual 79 + 16×1.88 + 16×0.91.
+	want := 58 + 79 + 16*1.88 + 16*0.91
+	if got := run.TruePowerSeries().Mean(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("DAHU power = %v, want %v", got, want)
+	}
+}

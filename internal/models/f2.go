@@ -1,0 +1,100 @@
+package models
+
+import (
+	"sort"
+
+	"powerdiv/internal/units"
+)
+
+// F2 implements the paper's proposed ratio-preserving model family (F2):
+// the estimated consumption of two applications running in parallel keeps
+// the same ratio as their isolated executions. It divides each tick's
+// measured machine power in proportion to per-application isolated active
+// power baselines (the A_{P_i} of the protocol's phase 1), scaled by each
+// process's current CPU time so that phase changes inside an application
+// still register.
+//
+// The paper suggests exactly this construction as future work: "a model
+// that estimates the consumption of each application individually as
+// isolated at the machine level, and uses these estimations to compute a
+// ratio to allocate the actual consumption to each application". Here the
+// isolated estimates come from protocol phase 1 instead of a per-process
+// model, making F2 the reference implementation of the family rather than
+// a deployable meter.
+type F2 struct {
+	// baseline maps process ID to its isolated active power per fully
+	// busy core (A_{P_i} / cores used when isolated).
+	baseline map[string]units.Watts
+}
+
+// NewF2 returns an F2-model factory with the given per-process isolated
+// active power baselines, expressed per core of CPU usage.
+func NewF2(baselinePerCore map[string]units.Watts) Factory {
+	b := make(map[string]units.Watts, len(baselinePerCore))
+	for id, w := range baselinePerCore {
+		b[id] = w
+	}
+	return Factory{
+		Name: "f2",
+		New:  func(int64) Model { return &F2{baseline: b} },
+	}
+}
+
+// Name returns "f2".
+func (m *F2) Name() string { return "f2" }
+
+// Observe divides the tick's power by isolated-baseline × CPU-usage shares.
+// Processes without a baseline weigh in with the mean baseline, so the
+// model degrades to CPU-time shares rather than ignoring them.
+func (m *F2) Observe(t Tick) map[string]units.Watts {
+	if len(t.Procs) == 0 {
+		return nil
+	}
+	var mean float64
+	if len(m.baseline) > 0 {
+		ids := make([]string, 0, len(m.baseline))
+		for id := range m.baseline {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		var sum units.Watts
+		for _, id := range ids {
+			sum += m.baseline[id]
+		}
+		mean = float64(sum) / float64(len(m.baseline))
+	} else {
+		mean = 1
+	}
+	weights := make(map[string]float64, len(t.Procs))
+	for id, p := range t.Procs {
+		per := mean
+		if w, ok := m.baseline[id]; ok {
+			per = float64(w)
+		}
+		weights[id] = per * p.CPUTime.Seconds()
+	}
+	return ShareOut(t.MachinePower, weights)
+}
+
+// Oracle divides power by the simulator's ground-truth per-process active
+// power. It is the perfect member of family (F1): active and residual
+// consumption split by the true active ratio. Only meaningful on simulated
+// input; on real sensor input (TrueActive == 0) it returns nil.
+type Oracle struct{}
+
+// NewOracle returns an Oracle-model factory.
+func NewOracle() Factory {
+	return Factory{Name: "oracle", New: func(int64) Model { return Oracle{} }}
+}
+
+// Name returns "oracle".
+func (Oracle) Name() string { return "oracle" }
+
+// Observe divides the tick's power by true active power shares.
+func (Oracle) Observe(t Tick) map[string]units.Watts {
+	weights := make(map[string]float64, len(t.Procs))
+	for id, p := range t.Procs {
+		weights[id] = float64(p.TrueActive)
+	}
+	return ShareOut(t.MachinePower, weights)
+}

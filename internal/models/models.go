@@ -1,0 +1,139 @@
+// Package models implements the process-level power division models the
+// paper evaluates, behind a single streaming interface:
+//
+//   - Scaphandre: CPU-time-share division of the measured machine power;
+//   - PowerAPI: per-window linear regression of machine power against
+//     performance counters with a learning phase, and the many-core
+//     calibration instability the paper observed on DAHU (Fig 8);
+//   - Kepler: performance-counter-share division (the paper discards it
+//     from its runs because it targets Kubernetes, but notes its model is
+//     close to Scaphandre's — it is included here to check that claim);
+//   - F2: the paper's proposed ratio-preserving family, which divides
+//     power by the ratio of per-application isolated baselines;
+//   - Oracle: ground-truth division, available only on the simulator.
+//
+// All of these are "F1-shaped" in their output contract: each tick they
+// split the measured machine power C_{S,t} among the running processes (the
+// estimates sum to C_{S,t} whenever they produce estimates at all).
+package models
+
+import (
+	"sort"
+	"time"
+
+	"powerdiv/internal/machine"
+	"powerdiv/internal/perfcnt"
+	"powerdiv/internal/units"
+)
+
+// ProcSample is what a power model may observe about one process during one
+// sampling interval: scheduler-level CPU accounting and performance
+// counters. TrueActive is the simulator's ground-truth active power; it is
+// zero when the samples come from real sensors and is only consumed by the
+// Oracle model.
+type ProcSample struct {
+	CPUTime  units.CPUTime
+	Counters perfcnt.Counters
+	// Threads is the number of busy threads observed for the process
+	// during the interval (0 when the backend cannot tell).
+	Threads int
+	// TrueActive is simulator ground truth; real backends leave it 0.
+	TrueActive units.Watts
+}
+
+// Tick is one sampling interval's model input.
+type Tick struct {
+	At       time.Duration
+	Interval time.Duration
+	// MachinePower is the sensor reading (RAPL) for the interval: C_{S,t}.
+	MachinePower units.Watts
+	// LogicalCPUs is the machine's logical CPU count; some models behave
+	// differently at scale.
+	LogicalCPUs int
+	// Freq is the frequency busy cores ran at during the interval
+	// (observable on real hardware via cpufreq's scaling_cur_freq; 0 when
+	// unknown). Residual-aware models consume it.
+	Freq  units.Hertz
+	Procs map[string]ProcSample
+}
+
+// Model is a streaming power division model. Observe returns the estimated
+// power of each process for the tick (the paper's Ce^{P_i}_{S,t}), or nil
+// when the model has no estimate (e.g. during PowerAPI's learning phase —
+// the paper notes such drops "occur whenever there is a change in context"
+// and removes them from consideration, as the protocol driver does here).
+type Model interface {
+	Name() string
+	Observe(t Tick) map[string]units.Watts
+}
+
+// Factory constructs a fresh model instance for one scenario run. seed
+// feeds any internal randomness (PowerAPI's calibration instability);
+// deterministic models ignore it.
+type Factory struct {
+	Name string
+	New  func(seed int64) Model
+}
+
+// TickFromRecord adapts a simulator tick record into a model input.
+func TickFromRecord(rec machine.TickRecord, interval time.Duration, logicalCPUs int) Tick {
+	t := Tick{
+		At:           rec.At,
+		Interval:     interval,
+		MachinePower: rec.Power,
+		LogicalCPUs:  logicalCPUs,
+		Freq:         rec.Freq,
+		Procs:        make(map[string]ProcSample, len(rec.Procs)),
+	}
+	for id, pt := range rec.Procs {
+		t.Procs[id] = ProcSample{
+			CPUTime:    pt.CPUTime,
+			Counters:   pt.Counters,
+			Threads:    pt.Threads,
+			TrueActive: pt.ActivePower,
+		}
+	}
+	return t
+}
+
+// Replay feeds every tick of a simulator run to the model and returns the
+// per-tick estimates, index-aligned with run.Ticks. Ticks where the model
+// produced no estimate hold a nil map.
+func Replay(m Model, run *machine.Run) []map[string]units.Watts {
+	out := make([]map[string]units.Watts, len(run.Ticks))
+	logical := run.Config.Spec.Topology.LogicalCPUs()
+	for i, rec := range run.Ticks {
+		out[i] = m.Observe(TickFromRecord(rec, run.Tick(), logical))
+	}
+	return out
+}
+
+// ShareOut distributes power among processes proportionally to weights.
+// It returns nil when all weights are zero (nothing to attribute).
+// Summation runs in sorted key order so results are bit-reproducible
+// across runs despite map iteration being randomised.
+func ShareOut(power units.Watts, weights map[string]float64) map[string]units.Watts {
+	ids := make([]string, 0, len(weights))
+	for id := range weights {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var total float64
+	for _, id := range ids {
+		if w := weights[id]; w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make(map[string]units.Watts, len(weights))
+	for _, id := range ids {
+		w := weights[id]
+		if w < 0 {
+			w = 0
+		}
+		out[id] = units.Watts(float64(power) * w / total)
+	}
+	return out
+}

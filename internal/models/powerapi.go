@@ -1,0 +1,250 @@
+package models
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"powerdiv/internal/units"
+)
+
+// PowerAPIConfig tunes the PowerAPI/SmartWatts-style model.
+type PowerAPIConfig struct {
+	// LearnWindow is how long the model calibrates before producing
+	// estimates after each context change. The paper observed "the first
+	// ten seconds of test execution are disregarded by the model,
+	// generating no estimations", so the default is 10 s.
+	LearnWindow time.Duration
+	// Ridge is the regularisation strength of the calibration fit.
+	Ridge float64
+	// ManyCoreThreshold is the logical CPU count at or above which the
+	// calibration instability the paper observed on DAHU (§IV-A, Fig 8)
+	// can occur. SMALL INTEL (12 logical CPUs) stays below the default of
+	// 32; DAHU (64) is above it.
+	ManyCoreThreshold int
+	// InstabilityProb is the per-calibration probability of a degenerate
+	// fit on a many-core machine. The paper reports PowerAPI's DAHU
+	// average error of 16.23 % against ≈3 % on SMALL INTEL, with identical
+	// runs flipping a 90/10 attribution (Fig 8); degenerate calibrations
+	// reproduce that behaviour.
+	InstabilityProb float64
+	// Deterministic disables the instability pathology entirely,
+	// modelling an idealised implementation.
+	Deterministic bool
+}
+
+// DefaultPowerAPIConfig returns the configuration matching the paper's
+// observations of PowerAPI 2.1.2.
+func DefaultPowerAPIConfig() PowerAPIConfig {
+	return PowerAPIConfig{
+		LearnWindow:       10 * time.Second,
+		Ridge:             1e-3,
+		ManyCoreThreshold: 32,
+		InstabilityProb:   0.40,
+	}
+}
+
+// PowerAPI models the PowerAPI/SmartWatts approach: a self-calibrating
+// software power meter that regresses the machine's RAPL power onto
+// aggregate performance-counter rates over a learning window, then divides
+// each tick's measured power among processes in proportion to the fitted
+// counter weights applied to each process's own counters.
+//
+// Context changes (the process set changing) restart the learning window,
+// which is why the model produces no estimates for the first seconds of
+// every scenario — the "estimation drops" the paper works around.
+type PowerAPI struct {
+	cfg PowerAPIConfig
+	rng *rand.Rand
+
+	sig        string
+	learnStart time.Duration
+	started    bool
+	rows       [][4]float64
+	targets    []float64
+
+	fitted     bool
+	weights    [4]float64
+	scales     [4]float64
+	degenerate bool
+	favored    string
+}
+
+// NewPowerAPI returns a PowerAPI-model factory with the given config.
+func NewPowerAPI(cfg PowerAPIConfig) Factory {
+	if cfg.LearnWindow <= 0 {
+		cfg.LearnWindow = 10 * time.Second
+	}
+	if cfg.Ridge <= 0 {
+		cfg.Ridge = 1e-3
+	}
+	if cfg.ManyCoreThreshold <= 0 {
+		cfg.ManyCoreThreshold = 32
+	}
+	return Factory{
+		Name: "powerapi",
+		New: func(seed int64) Model {
+			return &PowerAPI{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+		},
+	}
+}
+
+// Name returns "powerapi".
+func (m *PowerAPI) Name() string { return "powerapi" }
+
+// Observe ingests one tick. During learning it returns nil.
+func (m *PowerAPI) Observe(t Tick) map[string]units.Watts {
+	if len(t.Procs) == 0 {
+		return nil
+	}
+	if sig := procSignature(t.Procs); sig != m.sig {
+		// Context change: drop estimates and recalibrate (§IV-A).
+		m.sig = sig
+		m.started = true
+		m.learnStart = t.At
+		m.rows = m.rows[:0]
+		m.targets = m.targets[:0]
+		m.fitted = false
+		m.degenerate = false
+		m.favored = ""
+	}
+	if !m.fitted {
+		var agg [4]float64
+		for _, id := range sortedIDs(t.Procs) {
+			v := t.Procs[id].Counters.Rate(t.Interval).Vector()
+			for d := range agg {
+				agg[d] += v[d]
+			}
+		}
+		m.rows = append(m.rows, agg)
+		m.targets = append(m.targets, float64(t.MachinePower))
+		if t.At-m.learnStart < m.cfg.LearnWindow {
+			return nil
+		}
+		m.fit(t.LogicalCPUs)
+	}
+	return m.estimate(t)
+}
+
+// fit calibrates the counter weights from the collected window.
+func (m *PowerAPI) fit(logicalCPUs int) {
+	m.fitted = true
+	if !m.cfg.Deterministic &&
+		logicalCPUs >= m.cfg.ManyCoreThreshold &&
+		m.rng.Float64() < m.cfg.InstabilityProb {
+		// Degenerate calibration: with the near-singular feature matrices
+		// of many-core machines the fit lands on an arbitrary point of
+		// the solution manifold, and the attribution effectively locks
+		// onto one process. Fig 8 shows exactly this: two identical
+		// MATRIXPROD/FLOAT64 runs attributed ≈90 % to opposite processes.
+		// The favored process is drawn (seeded) at first estimation.
+		m.degenerate = true
+		return
+	}
+	m.weights, m.scales = RidgeFit4(m.rows, m.targets, m.cfg.Ridge)
+}
+
+// estimate divides the tick's power by fitted-weight shares.
+func (m *PowerAPI) estimate(t Tick) map[string]units.Watts {
+	if m.degenerate {
+		return m.estimateDegenerate(t)
+	}
+	// Attribution follows the cycles-family counters: with aggregate
+	// features the calibration's predictive power collapses onto active
+	// cycles (the other counters are nearly collinear with them at machine
+	// level), which is why the paper finds that for PowerAPI, exactly as
+	// for Scaphandre, "only CPU time ... seems to have an impact on the
+	// results" — same-thread-count applications split near 50/50 whatever
+	// their instruction mix.
+	raw := make(map[string]float64, len(t.Procs))
+	var total float64
+	for _, id := range sortedIDs(t.Procs) {
+		v := t.Procs[id].Counters.Rate(t.Interval).Vector()
+		s := m.weights[0] * v[0] / m.scales[0]
+		if s < 0 {
+			s = 0
+		}
+		raw[id] = s
+		total += s
+	}
+	if total <= 0 {
+		// The fit assigns nothing; fall back to CPU-time shares, as the
+		// real implementation's static component does.
+		weights := make(map[string]float64, len(t.Procs))
+		for id, p := range t.Procs {
+			weights[id] = p.CPUTime.Seconds()
+		}
+		return ShareOut(t.MachinePower, weights)
+	}
+	return ShareOut(t.MachinePower, raw)
+}
+
+// estimateDegenerate models the miscalibrated attribution: the favored
+// process's share is inflated well beyond its CPU-time share (by 0.4,
+// capped at 0.9 — two equal processes split 90/10, exactly the Fig 8
+// flip-flop), with the remainder divided among the others by CPU time. The
+// model's static component keeps losing processes above zero, which is why
+// the paper observes 90/10 rather than 100/0.
+func (m *PowerAPI) estimateDegenerate(t Tick) map[string]units.Watts {
+	ids := sortedIDs(t.Procs)
+	var totalCPU float64
+	for _, id := range ids {
+		totalCPU += t.Procs[id].CPUTime.Seconds()
+	}
+	if totalCPU <= 0 {
+		return nil
+	}
+	if m.favored == "" || !hasProc(t.Procs, m.favored) {
+		m.favored = ids[m.rng.Intn(len(ids))]
+	}
+	if len(t.Procs) == 1 {
+		return map[string]units.Watts{m.favored: t.MachinePower}
+	}
+	favShare := t.Procs[m.favored].CPUTime.Seconds()/totalCPU + 0.4
+	if favShare > 0.9 {
+		favShare = 0.9
+	}
+	restCPU := totalCPU - t.Procs[m.favored].CPUTime.Seconds()
+	shares := make(map[string]float64, len(t.Procs))
+	shares[m.favored] = favShare
+	for id, p := range t.Procs {
+		if id == m.favored {
+			continue
+		}
+		if restCPU > 0 {
+			shares[id] = (1 - favShare) * p.CPUTime.Seconds() / restCPU
+		}
+	}
+	return ShareOut(t.MachinePower, shares)
+}
+
+func hasProc(procs map[string]ProcSample, id string) bool {
+	_, ok := procs[id]
+	return ok
+}
+
+// sortedIDs returns the process IDs in sorted order, so that aggregate
+// floating-point sums are bit-reproducible across runs.
+func sortedIDs(procs map[string]ProcSample) []string {
+	ids := make([]string, 0, len(procs))
+	for id := range procs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Degenerate reports whether the current calibration is degenerate; it is
+// exported for white-box assertions in experiments and tests.
+func (m *PowerAPI) Degenerate() bool { return m.degenerate }
+
+// procSignature canonically identifies the set of running processes.
+func procSignature(procs map[string]ProcSample) string {
+	ids := make([]string, 0, len(procs))
+	for id := range procs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, "\x00")
+}

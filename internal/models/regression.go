@@ -1,0 +1,101 @@
+package models
+
+// RidgeFit4 solves the ridge-regularised least squares problem
+// (XᵀX + λI) w = Xᵀy for w, with feature scaling: each column of X is
+// divided by its mean absolute value before fitting, and the returned
+// scales let callers apply the weights to raw feature vectors. Rows are
+// observations (feature vectors of width dim), y the targets.
+func RidgeFit4(rows [][4]float64, y []float64, lambda float64) (weights, scales [4]float64) {
+	const dim = 4
+	for d := 0; d < dim; d++ {
+		scales[d] = 1
+	}
+	if len(rows) == 0 || len(rows) != len(y) {
+		return weights, scales
+	}
+	// Column scaling keeps the ridge penalty meaningful across features of
+	// wildly different magnitudes (cycles ~1e10/s vs cache refs ~1e7/s).
+	for d := 0; d < dim; d++ {
+		var sum float64
+		for _, r := range rows {
+			v := r[d]
+			if v < 0 {
+				v = -v
+			}
+			sum += v
+		}
+		mean := sum / float64(len(rows))
+		if mean > 0 {
+			scales[d] = mean
+		}
+	}
+	// Normal equations in scaled space.
+	var a [dim][dim]float64
+	var b [dim]float64
+	for i, r := range rows {
+		var x [dim]float64
+		for d := 0; d < dim; d++ {
+			x[d] = r[d] / scales[d]
+		}
+		for p := 0; p < dim; p++ {
+			for q := 0; q < dim; q++ {
+				a[p][q] += x[p] * x[q]
+			}
+			b[p] += x[p] * y[i]
+		}
+	}
+	for d := 0; d < dim; d++ {
+		a[d][d] += lambda * float64(len(rows))
+	}
+	w, ok := solve4(a, b)
+	if !ok {
+		return weights, scales
+	}
+	return w, scales
+}
+
+// solve4 solves the 4×4 linear system a·x = b by Gaussian elimination with
+// partial pivoting. ok is false for a (numerically) singular system.
+func solve4(a [4][4]float64, b [4]float64) (x [4]float64, ok bool) {
+	const n = 4
+	// Augment.
+	var m [n][n + 1]float64
+	for i := 0; i < n; i++ {
+		copy(m[i][:n], a[i][:])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if abs(m[r][col]) > abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if abs(m[piv][col]) < 1e-12 {
+			return x, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

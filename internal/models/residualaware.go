@@ -1,0 +1,118 @@
+package models
+
+import (
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/units"
+)
+
+// ResidualAware is the division model the paper's §IV-B analysis calls
+// for: instead of treating the machine total as an undifferentiated pool
+// (family F1), it decomposes each tick's power using a machine calibration
+//
+//	C = idle + R(f)·maxDuty + active
+//
+// and corrects the allocation for residual causation: each process's
+// weight is its estimated active power (CPU-time share of the active part)
+// plus the residual *excess* it is responsible for — R(f) times how much
+// its own duty factor exceeds the smallest duty in the scenario. A 50 %-
+// capped process thus stops subsidising an uncapped neighbour's residual,
+// matching the §IV-B statement that "the increase in residual consumption
+// should be attributed to the applications that caused one of the cores to
+// increase CPU frequency". When all duty factors are equal (the ordinary
+// uncapped case) the correction vanishes and the model coincides with
+// CPU-time division.
+//
+// It needs a machine calibration (idle power and residual curve — obtain
+// one with cpumodel.FitPowerModel on a real machine, or from the built-in
+// specs) plus the per-tick core frequency, which real meters can read from
+// cpufreq.
+type ResidualAware struct {
+	idle     units.Watts
+	residual cpumodel.ResidualCurve
+	baseFreq units.Hertz
+}
+
+// NewResidualAware returns a residual-aware model factory for a machine
+// with the given calibration.
+func NewResidualAware(idle units.Watts, residual cpumodel.ResidualCurve, baseFreq units.Hertz) Factory {
+	return Factory{
+		Name: "residual-aware",
+		New: func(int64) Model {
+			return &ResidualAware{idle: idle, residual: residual, baseFreq: baseFreq}
+		},
+	}
+}
+
+// NewResidualAwareFromSpec builds the factory from a built-in calibration.
+func NewResidualAwareFromSpec(spec cpumodel.Spec) Factory {
+	return NewResidualAware(spec.Power.Idle, spec.Power.Residual, spec.Power.BaseFreq)
+}
+
+// Name returns "residual-aware".
+func (m *ResidualAware) Name() string { return "residual-aware" }
+
+// duty returns a process's per-thread duty factor in [0, 1]: the fraction
+// of the interval its busiest threads ran. Without thread counts it falls
+// back to min(1, total utilization).
+func duty(p ProcSample, interval units.CPUTime) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	util := p.CPUTime.Seconds() / interval.Seconds()
+	if p.Threads > 0 {
+		util /= float64(p.Threads)
+	}
+	if util > 1 {
+		util = 1
+	}
+	return util
+}
+
+// Observe decomposes and allocates the tick's power.
+func (m *ResidualAware) Observe(t Tick) map[string]units.Watts {
+	ids := sortedIDs(t.Procs)
+	interval := units.CPUTime(t.Interval)
+
+	var totalCPU float64
+	maxDuty := 0.0
+	duties := make(map[string]float64, len(t.Procs))
+	for _, id := range ids {
+		p := t.Procs[id]
+		totalCPU += p.CPUTime.Seconds()
+		d := duty(p, interval)
+		duties[id] = d
+		if d > maxDuty {
+			maxDuty = d
+		}
+	}
+	if totalCPU <= 0 {
+		return nil
+	}
+
+	freq := t.Freq
+	if freq <= 0 {
+		freq = m.baseFreq
+	}
+	r := m.residual.At(freq)
+	drawnResidual := units.Watts(float64(r) * maxDuty)
+	active := t.MachinePower - m.idle - drawnResidual
+	if active < 0 {
+		active = 0
+	}
+
+	minDuty := maxDuty
+	for _, d := range duties {
+		if d < minDuty {
+			minDuty = d
+		}
+	}
+	weights := make(map[string]float64, len(t.Procs))
+	for _, id := range ids {
+		p := t.Procs[id]
+		cpuShare := p.CPUTime.Seconds() / totalCPU
+		// Estimated active power plus the residual excess this process
+		// causes beyond the scenario's least-demanding one.
+		weights[id] = float64(active)*cpuShare + float64(r)*(duties[id]-minDuty)
+	}
+	return ShareOut(t.MachinePower, weights)
+}

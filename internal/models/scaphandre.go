@@ -1,0 +1,54 @@
+package models
+
+import "powerdiv/internal/units"
+
+// Scaphandre divides the measured machine power among processes by their
+// share of CPU time — the algorithm documented by the Scaphandre project:
+// each process receives RAPL power × (process jiffies / total busy jiffies).
+//
+// This is the paper's family (F1): residual and idle consumption are split
+// with the same ratio as active consumption, because the division simply
+// does not distinguish them.
+type Scaphandre struct{}
+
+// NewScaphandre returns a Scaphandre-model factory.
+func NewScaphandre() Factory {
+	return Factory{Name: "scaphandre", New: func(int64) Model { return Scaphandre{} }}
+}
+
+// Name returns "scaphandre".
+func (Scaphandre) Name() string { return "scaphandre" }
+
+// Observe divides the tick's machine power by CPU-time share.
+func (Scaphandre) Observe(t Tick) map[string]units.Watts {
+	weights := make(map[string]float64, len(t.Procs))
+	for id, p := range t.Procs {
+		weights[id] = p.CPUTime.Seconds()
+	}
+	return ShareOut(t.MachinePower, weights)
+}
+
+// Kepler divides the measured machine power among processes by their share
+// of retired instructions, the dominant term of Kepler's eBPF-sampled
+// counter model for Kubernetes workloads. The paper notes Kepler "operates
+// on a model that is relatively similar to the one utilized by Scaphandre"
+// and that its conclusions transfer; the instruction basis differs from the
+// CPU-time basis exactly by the workloads' IPC ratios.
+type Kepler struct{}
+
+// NewKepler returns a Kepler-model factory.
+func NewKepler() Factory {
+	return Factory{Name: "kepler", New: func(int64) Model { return Kepler{} }}
+}
+
+// Name returns "kepler".
+func (Kepler) Name() string { return "kepler" }
+
+// Observe divides the tick's machine power by instruction share.
+func (Kepler) Observe(t Tick) map[string]units.Watts {
+	weights := make(map[string]float64, len(t.Procs))
+	for id, p := range t.Procs {
+		weights[id] = p.Counters.Instructions
+	}
+	return ShareOut(t.MachinePower, weights)
+}

@@ -1,0 +1,112 @@
+package perfcnt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"powerdiv/internal/units"
+	"powerdiv/internal/workload"
+)
+
+func TestSynthesize(t *testing.T) {
+	mix := workload.CounterMix{IPC: 2, CacheRefsPerKiloInstr: 10, BranchesPerKiloInstr: 100}
+	// 1 core-second at 3 GHz: 3e9 cycles, 6e9 instructions.
+	c := Synthesize(mix, units.CPUTime(time.Second), 3*units.GHz)
+	if c.Cycles != 3e9 {
+		t.Errorf("Cycles = %v, want 3e9", c.Cycles)
+	}
+	if c.Instructions != 6e9 {
+		t.Errorf("Instructions = %v, want 6e9", c.Instructions)
+	}
+	if c.CacheRefs != 6e7 {
+		t.Errorf("CacheRefs = %v, want 6e7", c.CacheRefs)
+	}
+	if c.Branches != 6e8 {
+		t.Errorf("Branches = %v, want 6e8", c.Branches)
+	}
+}
+
+func TestSynthesizeZeroCPU(t *testing.T) {
+	mix := workload.CounterMix{IPC: 2}
+	c := Synthesize(mix, 0, 3*units.GHz)
+	if c.Cycles != 0 || c.Instructions != 0 {
+		t.Errorf("zero CPU time counters = %+v", c)
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := Counters{Cycles: 1, Instructions: 2, CacheRefs: 3, Branches: 4}
+	b := Counters{Cycles: 10, Instructions: 20, CacheRefs: 30, Branches: 40}
+	sum := a.Add(b)
+	if sum.Cycles != 11 || sum.Instructions != 22 || sum.CacheRefs != 33 || sum.Branches != 44 {
+		t.Errorf("Add = %+v", sum)
+	}
+	sc := a.Scale(2)
+	if sc.Cycles != 2 || sc.Branches != 8 {
+		t.Errorf("Scale = %+v", sc)
+	}
+}
+
+func TestRate(t *testing.T) {
+	c := Counters{Cycles: 100, Instructions: 200}
+	r := c.Rate(100 * time.Millisecond)
+	if r.Cycles != 1000 || r.Instructions != 2000 {
+		t.Errorf("Rate = %+v", r)
+	}
+	if got := c.Rate(0); got != (Counters{}) {
+		t.Errorf("zero-interval Rate = %+v", got)
+	}
+}
+
+func TestVectorLayout(t *testing.T) {
+	c := Counters{Cycles: 1, Instructions: 2, CacheRefs: 3, Branches: 4}
+	v := c.Vector()
+	if v != [4]float64{1, 2, 3, 4} {
+		t.Errorf("Vector = %v", v)
+	}
+}
+
+// Property: counters are linear in CPU time.
+func TestSynthesizeLinearInCPUTime(t *testing.T) {
+	mix := workload.CounterMix{IPC: 1.5, CacheRefsPerKiloInstr: 2, BranchesPerKiloInstr: 50}
+	f := func(ms uint16) bool {
+		cpu := units.CPUTime(time.Duration(ms) * time.Millisecond)
+		one := Synthesize(mix, cpu, 2*units.GHz)
+		two := Synthesize(mix, cpu*2, 2*units.GHz)
+		return math.Abs(two.Cycles-2*one.Cycles) < 1e-6*(1+one.Cycles) &&
+			math.Abs(two.Instructions-2*one.Instructions) < 1e-6*(1+one.Instructions)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add is commutative and Scale distributes over Add.
+func TestCounterAlgebra(t *testing.T) {
+	f := func(a1, a2, b1, b2, k float64) bool {
+		if math.IsNaN(k) || math.IsInf(k, 0) {
+			return true
+		}
+		k = math.Mod(k, 1e3)
+		clean := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e9)
+		}
+		a := Counters{Cycles: clean(a1), Instructions: clean(a2)}
+		b := Counters{Cycles: clean(b1), Instructions: clean(b2)}
+		if a.Add(b) != b.Add(a) {
+			return false
+		}
+		lhs := a.Add(b).Scale(k)
+		rhs := a.Scale(k).Add(b.Scale(k))
+		return math.Abs(lhs.Cycles-rhs.Cycles) < 1e-6*(1+math.Abs(lhs.Cycles)) &&
+			math.Abs(lhs.Instructions-rhs.Instructions) < 1e-6*(1+math.Abs(lhs.Instructions))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package procfs reads per-process and machine-wide CPU time from a Linux
+// /proc filesystem — the scheduler metrics CPU-time-share models
+// (Scaphandre) divide power with. The root directory is a parameter so
+// tests run against a synthetic tree and the live meter runs against /proc.
+package procfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"powerdiv/internal/units"
+)
+
+// DefaultRoot is the real procfs mount point.
+const DefaultRoot = "/proc"
+
+// DefaultHz is the kernel's USER_HZ: jiffies per second for the utime/stime
+// fields. Virtually every Linux build uses 100.
+const DefaultHz = 100
+
+// FS reads a procfs tree.
+type FS struct {
+	root string
+	hz   int
+}
+
+// New returns an FS over the given root ("" = /proc) with the given
+// USER_HZ (0 = 100).
+func New(root string, hz int) *FS {
+	if root == "" {
+		root = DefaultRoot
+	}
+	if hz <= 0 {
+		hz = DefaultHz
+	}
+	return &FS{root: root, hz: hz}
+}
+
+// jiffies converts a jiffy count to CPU time.
+func (fs *FS) jiffies(n uint64) units.CPUTime {
+	return units.CPUTime(time.Duration(n) * time.Second / time.Duration(fs.hz))
+}
+
+// CPUTotals is the machine-wide CPU accounting from the first line of
+// /proc/stat.
+type CPUTotals struct {
+	Busy units.CPUTime // user+nice+system+irq+softirq+steal
+	Idle units.CPUTime // idle+iowait
+}
+
+// Total returns busy + idle.
+func (c CPUTotals) Total() units.CPUTime { return c.Busy + c.Idle }
+
+// ReadCPUTotals parses the aggregate "cpu" line of /proc/stat.
+func (fs *FS) ReadCPUTotals() (CPUTotals, error) {
+	b, err := os.ReadFile(filepath.Join(fs.root, "stat"))
+	if err != nil {
+		return CPUTotals{}, fmt.Errorf("procfs: %w", err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 5 || fields[0] != "cpu" {
+			continue
+		}
+		// cpu user nice system idle iowait irq softirq steal guest guest_nice
+		var vals []uint64
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return CPUTotals{}, fmt.Errorf("procfs: stat field %q: %w", f, err)
+			}
+			vals = append(vals, v)
+		}
+		get := func(i int) uint64 {
+			if i < len(vals) {
+				return vals[i]
+			}
+			return 0
+		}
+		busy := get(0) + get(1) + get(2) + get(5) + get(6) + get(7)
+		idle := get(3) + get(4)
+		return CPUTotals{Busy: fs.jiffies(busy), Idle: fs.jiffies(idle)}, nil
+	}
+	return CPUTotals{}, fmt.Errorf("procfs: no cpu line in %s/stat", fs.root)
+}
+
+// ProcCPU is one process's cumulative CPU time split.
+type ProcCPU struct {
+	PID     int
+	Command string
+	// User and System are cumulative utime/stime.
+	User   units.CPUTime
+	System units.CPUTime
+	// NumThreads is the process's thread count (stat field 20).
+	NumThreads int
+}
+
+// Total returns user + system time.
+func (p ProcCPU) Total() units.CPUTime { return p.User + p.System }
+
+// ReadProc parses /proc/<pid>/stat. It handles commands containing spaces
+// and parentheses per the procfs(5) rules (scan for the last ')').
+func (fs *FS) ReadProc(pid int) (ProcCPU, error) {
+	b, err := os.ReadFile(filepath.Join(fs.root, strconv.Itoa(pid), "stat"))
+	if err != nil {
+		return ProcCPU{}, fmt.Errorf("procfs: pid %d: %w", pid, err)
+	}
+	s := string(b)
+	open := strings.IndexByte(s, '(')
+	close := strings.LastIndexByte(s, ')')
+	if open < 0 || close < open {
+		return ProcCPU{}, fmt.Errorf("procfs: pid %d: malformed stat", pid)
+	}
+	command := s[open+1 : close]
+	rest := strings.Fields(s[close+1:])
+	// rest[0] is field 3 (state); utime is field 14, stime field 15.
+	if len(rest) < 13 {
+		return ProcCPU{}, fmt.Errorf("procfs: pid %d: truncated stat (%d fields after comm)", pid, len(rest))
+	}
+	utime, err := strconv.ParseUint(rest[11], 10, 64)
+	if err != nil {
+		return ProcCPU{}, fmt.Errorf("procfs: pid %d utime: %w", pid, err)
+	}
+	stime, err := strconv.ParseUint(rest[12], 10, 64)
+	if err != nil {
+		return ProcCPU{}, fmt.Errorf("procfs: pid %d stime: %w", pid, err)
+	}
+	p := ProcCPU{
+		PID:     pid,
+		Command: command,
+		User:    fs.jiffies(utime),
+		System:  fs.jiffies(stime),
+	}
+	// num_threads is field 20 (rest index 17); tolerate truncated stats,
+	// which simply leave the count unknown.
+	if len(rest) > 17 {
+		if n, err := strconv.Atoi(rest[17]); err == nil && n > 0 {
+			p.NumThreads = n
+		}
+	}
+	return p, nil
+}
+
+// ReadCurFreqKHz reads a CPU's current frequency in kHz from the cpufreq
+// sysfs tree rooted at root (pass DefaultCPUFreqRoot on a real machine).
+func ReadCurFreqKHz(root string, cpu int) (uint64, error) {
+	path := filepath.Join(root, fmt.Sprintf("cpu%d", cpu), "cpufreq", "scaling_cur_freq")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("procfs: %w", err)
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("procfs: parsing %s: %w", path, err)
+	}
+	return v, nil
+}
+
+// DefaultCPUFreqRoot is the real cpufreq sysfs location.
+const DefaultCPUFreqRoot = "/sys/devices/system/cpu"
+
+// ListPIDs returns the numeric directory entries of the tree.
+func (fs *FS) ListPIDs() ([]int, error) {
+	entries, err := os.ReadDir(fs.root)
+	if err != nil {
+		return nil, fmt.Errorf("procfs: %w", err)
+	}
+	var pids []int
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pid, err := strconv.Atoi(e.Name())
+		if err != nil || pid <= 0 {
+			continue
+		}
+		pids = append(pids, pid)
+	}
+	return pids, nil
+}
+
+// Tracker samples a set of processes and reports per-interval CPU-time
+// deltas, the jiffy accounting a Scaphandre-style meter consumes.
+type Tracker struct {
+	fs   *FS
+	last map[int]units.CPUTime
+}
+
+// NewTracker returns a tracker over the filesystem.
+func NewTracker(fs *FS) *Tracker {
+	return &Tracker{fs: fs, last: map[int]units.CPUTime{}}
+}
+
+// ProcDelta is one interval's per-process observation.
+type ProcDelta struct {
+	CPUTime    units.CPUTime
+	NumThreads int
+}
+
+// Sample reads the given processes and returns each one's CPU time consumed
+// since the previous Sample call (zero on first observation). Processes
+// that have exited are silently dropped from the result.
+func (t *Tracker) Sample(pids []int) map[int]units.CPUTime {
+	detailed := t.SampleDetailed(pids)
+	out := make(map[int]units.CPUTime, len(detailed))
+	for pid, d := range detailed {
+		out[pid] = d.CPUTime
+	}
+	return out
+}
+
+// SampleDetailed is Sample plus each process's current thread count.
+func (t *Tracker) SampleDetailed(pids []int) map[int]ProcDelta {
+	out := make(map[int]ProcDelta, len(pids))
+	seen := make(map[int]bool, len(pids))
+	for _, pid := range pids {
+		cur, err := t.fs.ReadProc(pid)
+		if err != nil {
+			continue
+		}
+		seen[pid] = true
+		total := cur.Total()
+		d := ProcDelta{NumThreads: cur.NumThreads}
+		if prev, ok := t.last[pid]; ok {
+			delta := total - prev
+			if delta < 0 {
+				delta = 0 // PID reuse: a new process with the same PID
+			}
+			d.CPUTime = delta
+		}
+		out[pid] = d
+		t.last[pid] = total
+	}
+	for pid := range t.last {
+		if !seen[pid] {
+			delete(t.last, pid)
+		}
+	}
+	return out
+}

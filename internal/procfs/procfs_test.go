@@ -1,0 +1,270 @@
+package procfs
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"powerdiv/internal/units"
+)
+
+// fakeProc builds a synthetic proc tree.
+type fakeProc struct {
+	t    *testing.T
+	root string
+}
+
+func newFakeProc(t *testing.T) *fakeProc {
+	t.Helper()
+	return &fakeProc{t: t, root: t.TempDir()}
+}
+
+func (f *fakeProc) writeStat(content string) {
+	f.t.Helper()
+	if err := os.WriteFile(filepath.Join(f.root, "stat"), []byte(content), 0o644); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+func (f *fakeProc) writeProc(pid int, comm string, utime, stime uint64) {
+	f.t.Helper()
+	dir := filepath.Join(f.root, strconv.Itoa(pid))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		f.t.Fatal(err)
+	}
+	// pid (comm) state ppid pgrp session tty tpgid flags minflt cminflt
+	// majflt cmajflt utime stime ...
+	line := strconv.Itoa(pid) + " (" + comm + ") R 1 1 1 0 -1 4194304 100 0 0 0 " +
+		strconv.FormatUint(utime, 10) + " " + strconv.FormatUint(stime, 10) +
+		" 0 0 20 0 1 0 100 0 0\n"
+	if err := os.WriteFile(filepath.Join(dir, "stat"), []byte(line), 0o644); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+func TestReadCPUTotals(t *testing.T) {
+	f := newFakeProc(t)
+	//            user nice sys  idle iow irq sirq steal
+	f.writeStat("cpu  100  0    50   800  50  0   0    0 0 0\ncpu0 100 0 50 800 50 0 0 0 0 0\n")
+	fs := New(f.root, 100)
+	tot, err := fs.ReadCPUTotals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Busy != units.CPUTime(1500*time.Millisecond) {
+		t.Errorf("Busy = %v, want 1.5s", tot.Busy)
+	}
+	if tot.Idle != units.CPUTime(8500*time.Millisecond) {
+		t.Errorf("Idle = %v, want 8.5s", tot.Idle)
+	}
+	if tot.Total() != units.CPUTime(10*time.Second) {
+		t.Errorf("Total = %v, want 10s", tot.Total())
+	}
+}
+
+func TestReadCPUTotalsErrors(t *testing.T) {
+	fs := New(filepath.Join(t.TempDir(), "missing"), 0)
+	if _, err := fs.ReadCPUTotals(); err == nil {
+		t.Error("missing stat accepted")
+	}
+	f := newFakeProc(t)
+	f.writeStat("intr 12345\n")
+	if _, err := New(f.root, 0).ReadCPUTotals(); err == nil {
+		t.Error("stat without cpu line accepted")
+	}
+	f.writeStat("cpu garbage 0 0 0\n")
+	if _, err := New(f.root, 0).ReadCPUTotals(); err == nil {
+		t.Error("garbage cpu line accepted")
+	}
+}
+
+func TestReadProc(t *testing.T) {
+	f := newFakeProc(t)
+	f.writeProc(42, "stress-ng", 250, 50)
+	fs := New(f.root, 100)
+	p, err := fs.ReadProc(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Command != "stress-ng" {
+		t.Errorf("Command = %q", p.Command)
+	}
+	if p.User != units.CPUTime(2500*time.Millisecond) {
+		t.Errorf("User = %v, want 2.5s", p.User)
+	}
+	if p.System != units.CPUTime(500*time.Millisecond) {
+		t.Errorf("System = %v, want 0.5s", p.System)
+	}
+	if p.Total() != units.CPUTime(3*time.Second) {
+		t.Errorf("Total = %v, want 3s", p.Total())
+	}
+}
+
+func TestReadProcCommandWithSpacesAndParens(t *testing.T) {
+	// procfs(5): comm can contain spaces and parentheses; parse to the
+	// LAST closing paren.
+	f := newFakeProc(t)
+	f.writeProc(7, "weird (name) here", 100, 0)
+	p, err := New(f.root, 100).ReadProc(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Command != "weird (name) here" {
+		t.Errorf("Command = %q", p.Command)
+	}
+	if p.User != units.CPUTime(time.Second) {
+		t.Errorf("User = %v, want 1s", p.User)
+	}
+}
+
+func TestReadProcErrors(t *testing.T) {
+	f := newFakeProc(t)
+	fs := New(f.root, 100)
+	if _, err := fs.ReadProc(999); err == nil {
+		t.Error("missing pid accepted")
+	}
+	dir := filepath.Join(f.root, "13")
+	os.MkdirAll(dir, 0o755)
+	os.WriteFile(filepath.Join(dir, "stat"), []byte("13 no-parens R 1\n"), 0o644)
+	if _, err := fs.ReadProc(13); err == nil {
+		t.Error("malformed stat accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "stat"), []byte("13 (x) R 1 2\n"), 0o644)
+	if _, err := fs.ReadProc(13); err == nil {
+		t.Error("truncated stat accepted")
+	}
+}
+
+func TestListPIDs(t *testing.T) {
+	f := newFakeProc(t)
+	f.writeProc(1, "init", 0, 0)
+	f.writeProc(42, "stress", 0, 0)
+	os.MkdirAll(filepath.Join(f.root, "sys"), 0o755) // non-numeric: skipped
+	pids, err := New(f.root, 100).ListPIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pids) != 2 {
+		t.Fatalf("pids = %v, want [1 42]", pids)
+	}
+}
+
+func TestTrackerDeltas(t *testing.T) {
+	f := newFakeProc(t)
+	f.writeProc(10, "a", 100, 0)
+	f.writeProc(11, "b", 200, 0)
+	tr := NewTracker(New(f.root, 100))
+
+	first := tr.Sample([]int{10, 11})
+	if first[10] != 0 || first[11] != 0 {
+		t.Errorf("first sample deltas = %v, want zeros", first)
+	}
+
+	f.writeProc(10, "a", 150, 10) // +60 jiffies = 600 ms
+	f.writeProc(11, "b", 200, 0)  // unchanged
+	second := tr.Sample([]int{10, 11})
+	if second[10] != units.CPUTime(600*time.Millisecond) {
+		t.Errorf("pid 10 delta = %v, want 600ms", second[10])
+	}
+	if second[11] != 0 {
+		t.Errorf("pid 11 delta = %v, want 0", second[11])
+	}
+}
+
+func TestTrackerExitAndReuse(t *testing.T) {
+	f := newFakeProc(t)
+	f.writeProc(10, "a", 1000, 0)
+	tr := NewTracker(New(f.root, 100))
+	tr.Sample([]int{10})
+
+	// Process exits.
+	os.RemoveAll(filepath.Join(f.root, "10"))
+	gone := tr.Sample([]int{10})
+	if _, ok := gone[10]; ok {
+		t.Error("exited process still reported")
+	}
+
+	// A new process reuses the PID with lower counters: first observation
+	// again (no negative delta).
+	f.writeProc(10, "fresh", 5, 0)
+	again := tr.Sample([]int{10})
+	if again[10] != 0 {
+		t.Errorf("reused PID delta = %v, want 0", again[10])
+	}
+}
+
+func TestTrackerPIDReuseWithoutGap(t *testing.T) {
+	// Same PID, counters went backwards between consecutive samples: the
+	// delta clamps to zero instead of going negative.
+	f := newFakeProc(t)
+	f.writeProc(10, "a", 1000, 0)
+	tr := NewTracker(New(f.root, 100))
+	tr.Sample([]int{10})
+	f.writeProc(10, "b", 5, 0)
+	got := tr.Sample([]int{10})
+	if got[10] != 0 {
+		t.Errorf("backwards counter delta = %v, want 0", got[10])
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	fs := New("", 0)
+	if fs.root != DefaultRoot || fs.hz != DefaultHz {
+		t.Errorf("defaults = %q/%d", fs.root, fs.hz)
+	}
+}
+
+func TestReadProcNumThreads(t *testing.T) {
+	f := newFakeProc(t)
+	f.writeProc(42, "stress-ng", 250, 50)
+	p, err := New(f.root, 100).ReadProc(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fake stat line writes "1" at the num_threads position.
+	if p.NumThreads != 1 {
+		t.Errorf("NumThreads = %d, want 1", p.NumThreads)
+	}
+}
+
+func TestSampleDetailed(t *testing.T) {
+	f := newFakeProc(t)
+	f.writeProc(10, "a", 100, 0)
+	tr := NewTracker(New(f.root, 100))
+	tr.SampleDetailed([]int{10})
+	f.writeProc(10, "a", 150, 0)
+	got := tr.SampleDetailed([]int{10})
+	if got[10].CPUTime != units.CPUTime(500*time.Millisecond) {
+		t.Errorf("delta = %v, want 500ms", got[10].CPUTime)
+	}
+	if got[10].NumThreads != 1 {
+		t.Errorf("NumThreads = %d, want 1", got[10].NumThreads)
+	}
+}
+
+func TestReadCurFreqKHz(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "cpu0", "cpufreq")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "scaling_cur_freq"), []byte("3600000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	khz, err := ReadCurFreqKHz(root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if khz != 3600000 {
+		t.Errorf("freq = %d kHz, want 3600000", khz)
+	}
+	if _, err := ReadCurFreqKHz(root, 1); err == nil {
+		t.Error("missing cpu accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "scaling_cur_freq"), []byte("garbage\n"), 0o644)
+	if _, err := ReadCurFreqKHz(root, 0); err == nil {
+		t.Error("garbage frequency accepted")
+	}
+}

@@ -1,0 +1,424 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"powerdiv/internal/division"
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+	"powerdiv/internal/units"
+)
+
+// Objective selects the truth construction a model is scored against.
+type Objective int
+
+const (
+	// ObjectiveActive is Equation 3: shares of isolated active power. The
+	// default, used for the §IV-A laboratory and production evaluations.
+	ObjectiveActive Objective = iota
+	// ObjectiveResidualAware allocates inter-application residual deltas
+	// to the application causing them (§IV-B, Fig 9a).
+	ObjectiveResidualAware
+	// ObjectiveNominalResidual treats residual above the nominal-frequency
+	// residual R0 as application consumption (§IV-B, Fig 9b).
+	ObjectiveNominalResidual
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveActive:
+		return "active (Eq 3)"
+	case ObjectiveResidualAware:
+		return "residual-aware (Fig 9a)"
+	case ObjectiveNominalResidual:
+		return "nominal-residual (Fig 9b)"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Scenario is a parallel scenario S of applications (usually a pair).
+type Scenario struct {
+	Apps []AppSpec
+}
+
+// Label identifies the scenario, e.g. "fibonacci-3 || matrixprod-3".
+func (s Scenario) Label() string {
+	out := ""
+	for i, a := range s.Apps {
+		if i > 0 {
+			out += " || "
+		}
+		out += a.ID
+	}
+	return out
+}
+
+// SameSize reports whether all applications have the same thread count.
+func (s Scenario) SameSize() bool {
+	for _, a := range s.Apps[1:] {
+		if a.Threads != s.Apps[0].Threads {
+			return false
+		}
+	}
+	return true
+}
+
+// Evaluation is the scored outcome of one model on one scenario.
+type Evaluation struct {
+	Scenario Scenario
+	Model    string
+	// AE is the absolute error of Equation 5 over the scored window.
+	AE float64
+	// Truth is the objective share of each application.
+	Truth division.Shares
+	// EstShare is the model's mean estimated share of each application
+	// over the scored window.
+	EstShare division.Shares
+	// Point is the scenario's ratio-scatter point (Fig 4–7 axes), defined
+	// for two-application scenarios.
+	Point division.RatioPoint
+	// ScoredTicks is how many ticks entered the Eq 5 average.
+	ScoredTicks int
+}
+
+// EvaluatePair runs protocol phases 2–3 for one scenario and model: the
+// applications execute in parallel, the model observes the run, and Eq 5
+// scores it against the selected objective. r0 is only used by
+// ObjectiveNominalResidual.
+func EvaluatePair(ctx Context, s Scenario, factory models.Factory, baselines map[string]division.Baseline, obj Objective, r0 units.Watts) (Evaluation, error) {
+	evs, err := EvaluatePairMulti(ctx, s, factory, baselines, []Objective{obj}, r0)
+	if err != nil {
+		return Evaluation{Scenario: s, Model: factory.Name}, err
+	}
+	return evs[0], nil
+}
+
+// EvaluatePairMulti is EvaluatePair scoring several objectives from a
+// single simulated run (the run and the model replay are identical across
+// objectives; only the truth construction differs). The returned slice is
+// index-aligned with objectives.
+func EvaluatePairMulti(ctx Context, s Scenario, factory models.Factory, baselines map[string]division.Baseline, objectives []Objective, r0 units.Watts) ([]Evaluation, error) {
+	if len(s.Apps) < 2 {
+		return nil, fmt.Errorf("protocol: scenario %q needs ≥2 applications", s.Label())
+	}
+	if len(objectives) == 0 {
+		return nil, fmt.Errorf("protocol: no objectives for %q", s.Label())
+	}
+	bs := make([]division.Baseline, 0, len(s.Apps))
+	for _, a := range s.Apps {
+		b, ok := baselines[a.ID]
+		if !ok {
+			return nil, fmt.Errorf("protocol: no baseline for %s (run phase 1 first)", a.ID)
+		}
+		bs = append(bs, b)
+	}
+	truths := make([]division.Shares, len(objectives))
+	for i, obj := range objectives {
+		var truth division.Shares
+		switch obj {
+		case ObjectiveActive:
+			truth = division.TruthShares(bs)
+		case ObjectiveResidualAware:
+			truth = division.TruthSharesResidualAware(bs)
+		case ObjectiveNominalResidual:
+			truth = division.TruthSharesNominalResidual(bs, r0)
+		default:
+			return nil, fmt.Errorf("protocol: unknown objective %d", int(obj))
+		}
+		if truth == nil {
+			return nil, fmt.Errorf("protocol: degenerate objective %v for %q", obj, s.Label())
+		}
+		truths[i] = truth
+	}
+
+	cfg := ctx.Machine
+	cfg.Seed = deriveSeed(ctx.Seed, "pair", s.Label())
+	procs := make([]machine.Proc, len(s.Apps))
+	for i, a := range s.Apps {
+		procs[i] = a.proc()
+	}
+	run, err := machine.Simulate(cfg, procs, ctx.RunFor)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: scenario %q: %w", s.Label(), err)
+	}
+	model := factory.New(deriveSeed(ctx.Seed, "model", factory.Name, s.Label()))
+	ests := models.Replay(model, run)
+
+	from, to := stableScoringWindow(ctx, run, ests)
+	if to <= from {
+		return nil, fmt.Errorf("protocol: scenario %q: model %s produced no estimates", s.Label(), factory.Name)
+	}
+	var scoredEsts []map[string]units.Watts
+	var scoredPower []units.Watts
+	meanEst := map[string]float64{}
+	for i, rec := range run.Ticks {
+		if rec.At < from || rec.At >= to || ests[i] == nil {
+			continue
+		}
+		scoredEsts = append(scoredEsts, ests[i])
+		scoredPower = append(scoredPower, rec.Power)
+		for id, w := range ests[i] {
+			meanEst[id] += float64(w)
+		}
+	}
+	var meanPower float64
+	for _, p := range scoredPower {
+		meanPower += float64(p)
+	}
+	estShare := division.Shares{}
+	for id, sum := range meanEst {
+		if meanPower > 0 {
+			estShare[id] = sum / meanPower
+		}
+	}
+
+	out := make([]Evaluation, len(objectives))
+	for i, truth := range truths {
+		ev := Evaluation{Scenario: s, Model: factory.Name, Truth: truth, EstShare: estShare}
+		ae, err := division.AbsoluteError(scoredEsts, scoredPower, division.ConstShares(len(scoredEsts), truth))
+		if err != nil {
+			return nil, fmt.Errorf("protocol: scenario %q: %w", s.Label(), err)
+		}
+		ev.AE = ae
+		ev.ScoredTicks = len(scoredEsts)
+		if len(s.Apps) == 2 {
+			id0, id1 := s.Apps[0].ID, s.Apps[1].ID
+			ev.Point = division.RatioPoint{
+				X:     division.RatioPercent(truth[id0], truth[id1]),
+				Y:     division.RatioPercent(estShare[id0], estShare[id1]),
+				Label: s.Label(),
+			}
+		}
+		out[i] = ev
+	}
+	return out, nil
+}
+
+// Summary aggregates the evaluations of one model over a campaign.
+type Summary struct {
+	Model string
+	// MeanAE and MaxAE are over all scenarios (Eq 5 averaged per scenario
+	// first, as the paper reports).
+	MeanAE float64
+	MaxAE  float64
+	// WorstScenario is the scenario achieving MaxAE.
+	WorstScenario string
+	Evaluations   []Evaluation
+}
+
+// Summarize aggregates per-scenario evaluations.
+func Summarize(model string, evs []Evaluation) Summary {
+	s := Summary{Model: model, Evaluations: evs}
+	for _, ev := range evs {
+		s.MeanAE += ev.AE
+		if ev.AE > s.MaxAE {
+			s.MaxAE = ev.AE
+			s.WorstScenario = ev.Scenario.Label()
+		}
+	}
+	if len(evs) > 0 {
+		s.MeanAE /= float64(len(evs))
+	}
+	return s
+}
+
+// Filter returns the evaluations satisfying keep.
+func Filter(evs []Evaluation, keep func(Evaluation) bool) []Evaluation {
+	var out []Evaluation
+	for _, ev := range evs {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// StressPairs generates the paper's phase 2 scenario list: every unordered
+// pair of distinct stress functions at each same-size combination, plus
+// every ordered-by-size pair (including same function) across different
+// sizes. sizes must be chosen so the largest pair fits the machine without
+// contention (3+3 on SMALL INTEL without HT, 16+16 on DAHU).
+func StressPairs(fns []string, sizes []int) ([]Scenario, error) {
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	var out []Scenario
+	// Same size, distinct functions.
+	for _, n := range sorted {
+		for i := 0; i < len(fns); i++ {
+			for j := i + 1; j < len(fns); j++ {
+				a, err := StressApp(fns[i], n)
+				if err != nil {
+					return nil, err
+				}
+				b, err := StressApp(fns[j], n)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Scenario{Apps: []AppSpec{a, b}})
+			}
+		}
+	}
+	// Different sizes, all function combinations (including identical).
+	for si := 0; si < len(sorted); si++ {
+		for sj := si + 1; sj < len(sorted); sj++ {
+			for i := 0; i < len(fns); i++ {
+				for j := 0; j < len(fns); j++ {
+					a, err := StressApp(fns[i], sorted[si])
+					if err != nil {
+						return nil, err
+					}
+					b, err := StressApp(fns[j], sorted[sj])
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, Scenario{Apps: []AppSpec{a, b}})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// StressCombos generates all k-way combinations of distinct stress
+// functions at a fixed thread count — the n-application generalisation of
+// the pair campaign (the paper's formalism defines scenarios of n
+// applications; its evaluation stops at pairs). k×threads must fit the
+// machine without contention.
+func StressCombos(fns []string, threads, k int) ([]Scenario, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("protocol: combination size %d", k)
+	}
+	if k > len(fns) {
+		return nil, fmt.Errorf("protocol: %d-way combos of %d functions", k, len(fns))
+	}
+	var out []Scenario
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		apps := make([]AppSpec, k)
+		for i, j := range idx {
+			a, err := StressApp(fns[j], threads)
+			if err != nil {
+				return nil, err
+			}
+			apps[i] = a
+		}
+		out = append(out, Scenario{Apps: apps})
+		// Next combination (lexicographic).
+		i := k - 1
+		for i >= 0 && idx[i] == len(fns)-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return out, nil
+}
+
+// AppsOf collects the distinct applications appearing in the scenarios,
+// keyed by ID — the phase 1 measurement list.
+func AppsOf(scenarios []Scenario) []AppSpec {
+	seen := map[string]AppSpec{}
+	for _, s := range scenarios {
+		for _, a := range s.Apps {
+			seen[a.ID] = a
+		}
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]AppSpec, len(ids))
+	for i, id := range ids {
+		out[i] = seen[id]
+	}
+	return out
+}
+
+// EvaluateCampaign runs the full protocol for one model over a scenario
+// list: phase 1 on every distinct application, then phases 2–3 per
+// scenario. It returns the per-scenario evaluations in scenario order.
+func EvaluateCampaign(ctx Context, scenarios []Scenario, factory models.Factory, obj Objective, r0 units.Watts) ([]Evaluation, error) {
+	baselines, err := MeasureBaselines(ctx, AppsOf(scenarios))
+	if err != nil {
+		return nil, err
+	}
+	evs := make([]Evaluation, 0, len(scenarios))
+	for _, s := range scenarios {
+		ev, err := EvaluatePair(ctx, s, factory, baselines, obj, r0)
+		if err != nil {
+			return nil, err
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}
+
+// EvaluateModels runs the full protocol for several models over one
+// scenario list, measuring the phase 1 baselines once. The factories
+// function receives the baselines so that models needing them (F2) can be
+// constructed; it returns the model factories to evaluate.
+func EvaluateModels(ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, obj Objective, r0 units.Watts) (map[string][]Evaluation, error) {
+	baselines, err := MeasureBaselines(ctx, AppsOf(scenarios))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]Evaluation{}
+	for _, f := range factories(baselines) {
+		evs := make([]Evaluation, 0, len(scenarios))
+		for _, s := range scenarios {
+			ev, err := EvaluatePair(ctx, s, f, baselines, obj, r0)
+			if err != nil {
+				return nil, err
+			}
+			evs = append(evs, ev)
+		}
+		out[f.Name] = evs
+	}
+	return out, nil
+}
+
+// MaxThreadsWithoutContention returns the largest per-application thread
+// count so that two applications fit the machine's schedulable CPUs — the
+// paper's "the two largest applications can run on the machines without
+// competing for CPU".
+func MaxThreadsWithoutContention(cfg machine.Config) int {
+	n := cfg.Spec.Topology.PhysicalCores()
+	if cfg.Hyperthreading {
+		n = cfg.Spec.Topology.LogicalCPUs()
+	}
+	return n / 2
+}
+
+// SizesFor returns the thread-size ladder {max/4, max/2, max} used by the
+// evaluations (1,2,3 → SMALL INTEL lab handled by rounding up to ≥1).
+func SizesFor(cfg machine.Config) []int {
+	max := MaxThreadsWithoutContention(cfg)
+	sizes := []int{
+		int(math.Max(1, math.Round(float64(max)/4))),
+		int(math.Max(1, math.Round(float64(max)/2))),
+		max,
+	}
+	// Deduplicate in case of tiny machines.
+	out := sizes[:0]
+	seen := map[int]bool{}
+	for _, s := range sizes {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package protocol
+
+import (
+	"runtime"
+	"sync"
+
+	"powerdiv/internal/division"
+	"powerdiv/internal/models"
+	"powerdiv/internal/units"
+)
+
+// parallelism is the worker count for campaign evaluation: scenarios are
+// independent simulations, so they scale with cores.
+func parallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// forEachIndexed runs fn(i) for i in [0, n) across the worker pool and
+// returns the first error (by index order, so results are deterministic
+// regardless of scheduling). fn must only write state owned by its index.
+func forEachIndexed(n int, fn func(i int) error) error {
+	workers := parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EvaluateCampaignParallel is EvaluateCampaign with scenarios evaluated
+// concurrently across CPU cores. Results are identical to the sequential
+// version (every simulation and model seed derives from the scenario
+// label, not from execution order).
+func EvaluateCampaignParallel(ctx Context, scenarios []Scenario, factory models.Factory, obj Objective, r0 units.Watts) ([]Evaluation, error) {
+	baselines, err := MeasureBaselinesParallel(ctx, AppsOf(scenarios))
+	if err != nil {
+		return nil, err
+	}
+	evs := make([]Evaluation, len(scenarios))
+	err = forEachIndexed(len(scenarios), func(i int) error {
+		ev, err := EvaluatePair(ctx, scenarios[i], factory, baselines, obj, r0)
+		if err != nil {
+			return err
+		}
+		evs[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return evs, nil
+}
+
+// MeasureBaselinesParallel is MeasureBaselines with solo runs executed
+// concurrently.
+func MeasureBaselinesParallel(ctx Context, apps []AppSpec) (map[string]division.Baseline, error) {
+	results := make([]division.Baseline, len(apps))
+	err := forEachIndexed(len(apps), func(i int) error {
+		b, _, err := MeasureBaseline(ctx, apps[i])
+		if err != nil {
+			return err
+		}
+		results[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]division.Baseline, len(apps))
+	for i, app := range apps {
+		out[app.ID] = results[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package protocol
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"powerdiv/internal/models"
+)
+
+func TestForEachIndexed(t *testing.T) {
+	const n = 100
+	var sum int64
+	err := forEachIndexed(n, func(i int) error {
+		atomic.AddInt64(&sum, int64(i))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != n*(n-1)/2 {
+		t.Errorf("sum = %d, want %d", sum, n*(n-1)/2)
+	}
+}
+
+func TestForEachIndexedError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := forEachIndexed(50, func(i int) error {
+		if i == 7 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if err := forEachIndexed(0, func(int) error { return sentinel }); err != nil {
+		t.Errorf("empty iteration err = %v", err)
+	}
+}
+
+func TestParallelCampaignMatchesSequential(t *testing.T) {
+	ctx := labSmall()
+	scenarios, err := StressPairs([]string{"fibonacci", "float64", "matrixprod", "queens"}, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := EvaluateCampaign(ctx, scenarios, models.NewScaphandre(), ObjectiveActive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := EvaluateCampaignParallel(ctx, scenarios, models.NewScaphandre(), ObjectiveActive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Scenario.Label() != par[i].Scenario.Label() {
+			t.Fatalf("scenario %d order differs: %q vs %q", i, seq[i].Scenario.Label(), par[i].Scenario.Label())
+		}
+		if seq[i].AE != par[i].AE {
+			t.Errorf("scenario %q: AE %v vs %v", seq[i].Scenario.Label(), seq[i].AE, par[i].AE)
+		}
+	}
+}
+
+func TestParallelBaselinesMatchSequential(t *testing.T) {
+	ctx := labSmall()
+	apps := []AppSpec{
+		mustStressApp(t, "fibonacci", 1),
+		mustStressApp(t, "matrixprod", 2),
+		mustStressApp(t, "int64", 3),
+	}
+	seq, err := MeasureBaselines(ctx, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MeasureBaselinesParallel(ctx, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, b := range seq {
+		p, ok := par[id]
+		if !ok {
+			t.Fatalf("missing %s in parallel baselines", id)
+		}
+		if b != p {
+			t.Errorf("%s: %+v vs %+v", id, b, p)
+		}
+	}
+}
+
+func TestParallelCampaignPropagatesErrors(t *testing.T) {
+	ctx := labSmall()
+	// A scenario that oversubscribes the machine fails inside the pool.
+	big := Scenario{Apps: []AppSpec{
+		mustStressApp(t, "fibonacci", 4),
+		mustStressApp(t, "matrixprod", 4),
+	}}
+	small := Scenario{Apps: []AppSpec{
+		mustStressApp(t, "fibonacci", 1),
+		mustStressApp(t, "matrixprod", 1),
+	}}
+	_, err := EvaluateCampaignParallel(ctx, []Scenario{small, big}, models.NewScaphandre(), ObjectiveActive, 0)
+	if err == nil {
+		t.Error("oversubscribed scenario did not fail")
+	}
+}

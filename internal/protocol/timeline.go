@@ -1,0 +1,104 @@
+package protocol
+
+import (
+	"fmt"
+	"time"
+
+	"powerdiv/internal/division"
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+	"powerdiv/internal/units"
+)
+
+// TimelineApp is an application with a lifetime inside a dynamic scenario —
+// the arrivals and departures of the paper's Fig 11 ("production
+// environment, contexts often change due to the arrival and departure of
+// applications").
+type TimelineApp struct {
+	App AppSpec
+	// Start is the arrival time; Stop (0 = scenario end) the departure.
+	Start, Stop time.Duration
+}
+
+// TimelineResult scores a model over a dynamic scenario.
+type TimelineResult struct {
+	// AE is the Eq 5 absolute error over every scored tick, with the
+	// objective shares recomputed per tick over the applications present.
+	AE float64
+	// Coverage is the fraction of busy ticks (some application running)
+	// for which the model produced an estimate — context-change
+	// recalibration (PowerAPI's learning drops) lowers it.
+	Coverage float64
+	// BusyTicks counts ticks with at least one application running.
+	BusyTicks int
+	// ScoredTicks counts ticks that entered the Eq 5 average.
+	ScoredTicks int
+}
+
+// EvaluateTimeline runs a dynamic scenario and scores the model against a
+// per-tick objective: at each tick, Equation 3 shares are computed over
+// the applications actually running (from their phase 1 baselines). No
+// stable-window selection applies — dynamic contexts are scored whole,
+// since transitions are exactly what is under test.
+func EvaluateTimeline(ctx Context, apps []TimelineApp, factory models.Factory, baselines map[string]division.Baseline, maxDur time.Duration) (TimelineResult, error) {
+	var res TimelineResult
+	if len(apps) == 0 {
+		return res, fmt.Errorf("protocol: empty timeline")
+	}
+	label := "timeline:"
+	procs := make([]machine.Proc, len(apps))
+	for i, ta := range apps {
+		if _, ok := baselines[ta.App.ID]; !ok {
+			return res, fmt.Errorf("protocol: no baseline for %s", ta.App.ID)
+		}
+		p := ta.App.proc()
+		p.Start, p.Stop = ta.Start, ta.Stop
+		procs[i] = p
+		label += " " + ta.App.ID
+	}
+	cfg := ctx.Machine
+	cfg.Seed = deriveSeed(ctx.Seed, "timeline", label)
+	run, err := machine.Simulate(cfg, procs, maxDur)
+	if err != nil {
+		return res, fmt.Errorf("protocol: timeline: %w", err)
+	}
+	model := factory.New(deriveSeed(ctx.Seed, "model", factory.Name, label))
+	ests := models.Replay(model, run)
+
+	var scoredEsts []map[string]units.Watts
+	var scoredPower []units.Watts
+	var truths []division.Shares
+	for i, rec := range run.Ticks {
+		if len(rec.Procs) == 0 {
+			continue
+		}
+		res.BusyTicks++
+		if ests[i] == nil {
+			continue
+		}
+		bs := make([]division.Baseline, 0, len(rec.Procs))
+		for id := range rec.Procs {
+			bs = append(bs, baselines[id])
+		}
+		truth := division.TruthShares(bs)
+		if truth == nil {
+			continue
+		}
+		scoredEsts = append(scoredEsts, ests[i])
+		scoredPower = append(scoredPower, rec.Power)
+		truths = append(truths, truth)
+	}
+	if res.BusyTicks == 0 {
+		return res, fmt.Errorf("protocol: timeline never ran any application")
+	}
+	res.ScoredTicks = len(scoredEsts)
+	res.Coverage = float64(res.ScoredTicks) / float64(res.BusyTicks)
+	if res.ScoredTicks > 0 {
+		ae, err := division.AbsoluteError(scoredEsts, scoredPower, truths)
+		if err != nil {
+			return res, err
+		}
+		res.AE = ae
+	}
+	return res, nil
+}

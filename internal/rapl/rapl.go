@@ -1,0 +1,171 @@
+// Package rapl provides RAPL-style energy sensors: monotonically increasing
+// microjoule counters that wrap at a zone-specific range, exactly like the
+// Linux powercap interface exposes Intel RAPL.
+//
+// Two backends implement the Zone interface:
+//
+//   - PowercapZone reads a real /sys/class/powercap tree (or any directory
+//     with the same layout, which is how the tests exercise it on machines
+//     without RAPL) — the same data source Scaphandre and Kepler use;
+//   - SimZone replays a machine simulator run as an energy counter,
+//     including wraparound, so that everything downstream of the sensor is
+//     exercised with the exact counter semantics of real hardware.
+//
+// The Counter helper turns successive readings into power samples, handling
+// wraparound the way all RAPL consumers must.
+package rapl
+
+import (
+	"fmt"
+	"time"
+
+	"powerdiv/internal/machine"
+	"powerdiv/internal/trace"
+	"powerdiv/internal/units"
+)
+
+// DefaultMaxEnergyRange is the counter range used by SimZone: the value is
+// typical of real package zones (≈262 kJ).
+const DefaultMaxEnergyRange uint64 = 262143328850
+
+// Zone is one RAPL energy counter domain (a package, core, dram... zone).
+type Zone interface {
+	// Name is the zone label, e.g. "package-0".
+	Name() string
+	// MaxEnergyRange returns the counter's wraparound range in µJ.
+	MaxEnergyRange() uint64
+	// ReadEnergy returns the cumulative energy counter in µJ.
+	ReadEnergy() (uint64, error)
+}
+
+// Reading is a timestamped counter value.
+type Reading struct {
+	At       time.Duration
+	EnergyUJ uint64
+}
+
+// Counter converts successive readings of one zone into average power over
+// each interval, handling counter wraparound.
+type Counter struct {
+	maxRange uint64
+	last     Reading
+	primed   bool
+}
+
+// NewCounter returns a Counter for a zone with the given wraparound range.
+func NewCounter(maxRange uint64) *Counter {
+	if maxRange == 0 {
+		maxRange = DefaultMaxEnergyRange
+	}
+	return &Counter{maxRange: maxRange}
+}
+
+// Power ingests a reading and returns the average power since the previous
+// one. ok is false for the first reading (no interval yet) and for
+// non-advancing timestamps.
+func (c *Counter) Power(r Reading) (units.Watts, bool) {
+	if !c.primed {
+		c.last = r
+		c.primed = true
+		return 0, false
+	}
+	dt := r.At - c.last.At
+	if dt <= 0 {
+		return 0, false
+	}
+	var deltaUJ uint64
+	if r.EnergyUJ >= c.last.EnergyUJ {
+		deltaUJ = r.EnergyUJ - c.last.EnergyUJ
+	} else {
+		// Counter wrapped.
+		deltaUJ = c.maxRange - c.last.EnergyUJ + r.EnergyUJ
+	}
+	c.last = r
+	joules := units.Joules(float64(deltaUJ) * 1e-6)
+	return joules.Power(dt), true
+}
+
+// Reset forgets the previous reading.
+func (c *Counter) Reset() { c.primed = false }
+
+// SimZone replays a simulated run as a RAPL package counter.
+type SimZone struct {
+	name     string
+	maxRange uint64
+	run      *machine.Run
+	cursor   time.Duration
+	// cum[i] is the energy accumulated before tick i.
+	cum []units.Joules
+	// startUJ offsets the counter so wraparound paths get exercised.
+	startUJ uint64
+}
+
+// NewSimZone wraps a run as a package-0 zone. startUJ sets the counter's
+// initial value (real counters start at an arbitrary point in their range).
+func NewSimZone(run *machine.Run, startUJ uint64) *SimZone {
+	z := &SimZone{
+		name:     "package-0",
+		maxRange: DefaultMaxEnergyRange,
+		run:      run,
+		startUJ:  startUJ % DefaultMaxEnergyRange,
+	}
+	tick := run.Tick()
+	z.cum = make([]units.Joules, len(run.Ticks)+1)
+	for i, rec := range run.Ticks {
+		z.cum[i+1] = z.cum[i] + rec.Power.Energy(tick)
+	}
+	return z
+}
+
+// Name implements Zone.
+func (z *SimZone) Name() string { return z.name }
+
+// MaxEnergyRange implements Zone.
+func (z *SimZone) MaxEnergyRange() uint64 { return z.maxRange }
+
+// ReadEnergy implements Zone: it reads the counter at the current cursor
+// position (advanced with Advance, like wall time on real hardware).
+func (z *SimZone) ReadEnergy() (uint64, error) {
+	return z.EnergyAt(z.cursor), nil
+}
+
+// Advance moves the zone's clock forward.
+func (z *SimZone) Advance(dt time.Duration) { z.cursor += dt }
+
+// EnergyAt returns the counter value at simulation time t: the energy
+// accumulated over all fully elapsed ticks plus the partially elapsed one.
+func (z *SimZone) EnergyAt(t time.Duration) uint64 {
+	tick := z.run.Tick()
+	if t < 0 {
+		t = 0
+	}
+	full := int(t / tick)
+	if full > len(z.run.Ticks) {
+		full = len(z.run.Ticks)
+	}
+	e := z.cum[full]
+	if full < len(z.run.Ticks) {
+		partial := t - time.Duration(full)*tick
+		e += z.run.Ticks[full].Power.Energy(partial)
+	}
+	uj := z.startUJ + uint64(e.Microjoules())
+	return uj % z.maxRange
+}
+
+// Trace samples the zone every period for the run's duration and converts
+// the counter stream back into a power series — the round trip a real
+// RAPL-based meter performs.
+func (z *SimZone) Trace(period time.Duration) (*trace.Series, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("rapl: non-positive period %v", period)
+	}
+	c := NewCounter(z.maxRange)
+	s := trace.New()
+	for t := time.Duration(0); t <= z.run.Duration; t += period {
+		uj := z.EnergyAt(t)
+		if p, ok := c.Power(Reading{At: t, EnergyUJ: uj}); ok {
+			s.Append(t, float64(p))
+		}
+	}
+	return s, nil
+}

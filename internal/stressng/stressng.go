@@ -1,0 +1,239 @@
+// Package stressng provides real, runnable CPU-stress kernels named after
+// the 12 stress-ng functions of the paper's Table III. They are used by the
+// live meter (to generate actual load on a real machine, where the
+// simulator's workload descriptors cannot) and by the benchmark harness.
+//
+// Each kernel executes one deterministic batch of work and returns a
+// checksum, so the compiler cannot eliminate the computation and tests can
+// assert the kernels actually compute what their names claim.
+package stressng
+
+import (
+	"context"
+	"math"
+	"time"
+)
+
+// Kernel is one stress function.
+type Kernel struct {
+	// Name matches the workload.StressSet entry.
+	Name string
+	// Description says what the batch computes.
+	Description string
+	// Batch runs one unit of work and returns its checksum.
+	Batch func() uint64
+}
+
+// Kernels returns the 12 kernels in Table III order.
+func Kernels() []Kernel {
+	return []Kernel{
+		{"ackermann", "Ackermann function A(2, 10)", batchAckermann},
+		{"queens", "count 8-queens solutions", batchQueens},
+		{"fibonacci", "recursive Fibonacci(24)", batchFibonacci},
+		{"float64", "float64 multiply-add chain", batchFloat64},
+		{"int64", "int64 arithmetic chain", batchInt64},
+		{"decimal64", "scaled-integer decimal arithmetic", batchDecimal64},
+		{"double", "float64 transcendental chain", batchDouble},
+		{"int64float", "int64 → float64 conversion chain", batchInt64Float},
+		{"int64double", "int64 → float64 round-trip chain", batchInt64Double},
+		{"matrixprod", "32×32 float64 matrix product", batchMatrixProd},
+		{"rand", "xorshift64 pseudo-random generation", batchRand},
+		{"jmp", "data-dependent conditional jumps", batchJmp},
+	}
+}
+
+// ByName returns the kernel with the given name.
+func ByName(name string) (Kernel, bool) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// Burn runs the kernel repeatedly until d elapses or ctx is cancelled,
+// returning the number of batches completed and the accumulated checksum.
+func Burn(ctx context.Context, k Kernel, d time.Duration) (batches int, sum uint64) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		select {
+		case <-ctx.Done():
+			return batches, sum
+		default:
+		}
+		sum += k.Batch()
+		batches++
+	}
+	return batches, sum
+}
+
+// ackermann computes the Ackermann function recursively.
+func ackermann(m, n uint64) uint64 {
+	switch {
+	case m == 0:
+		return n + 1
+	case n == 0:
+		return ackermann(m-1, 1)
+	default:
+		return ackermann(m-1, ackermann(m, n-1))
+	}
+}
+
+func batchAckermann() uint64 { return ackermann(2, 10) }
+
+// batchQueens counts the solutions of the 8-queens problem with bitboards.
+func batchQueens() uint64 {
+	const n = 8
+	var count uint64
+	var solve func(row, cols, diag1, diag2 uint32)
+	solve = func(row, cols, diag1, diag2 uint32) {
+		if row == n {
+			count++
+			return
+		}
+		free := ^(cols | diag1 | diag2) & ((1 << n) - 1)
+		for free != 0 {
+			bit := free & (-free)
+			free ^= bit
+			solve(row+1, cols|bit, (diag1|bit)<<1, (diag2|bit)>>1)
+		}
+	}
+	solve(0, 0, 0, 0)
+	return count
+}
+
+// fib is deliberately the naive exponential recursion, like stress-ng's.
+func fib(n int) uint64 {
+	if n < 2 {
+		return uint64(n)
+	}
+	return fib(n-1) + fib(n-2)
+}
+
+func batchFibonacci() uint64 { return fib(24) }
+
+func batchFloat64() uint64 {
+	x := 1.000001
+	acc := 0.0
+	for i := 0; i < 20000; i++ {
+		acc += x * 1.5
+		x = x*1.0000001 + 0.0000001
+		acc -= x / 3.0
+	}
+	return math.Float64bits(acc)
+}
+
+func batchInt64() uint64 {
+	var acc int64 = 0x2545F4914F6CDD1D
+	for i := int64(1); i <= 20000; i++ {
+		acc += i * 3
+		acc ^= acc >> 7
+		acc -= i / 3
+		acc *= 0x9E3779B9
+	}
+	return uint64(acc)
+}
+
+// batchDecimal64 emulates 64-bit decimal arithmetic with scaled integers
+// (4 fractional digits), the way software decimal implementations do.
+func batchDecimal64() uint64 {
+	const scale = 10000
+	var a, b int64 = 1_2345, 6_7890 // 1.2345, 6.7890
+	var acc int64
+	for i := 0; i < 10000; i++ {
+		sum := a + b
+		prod := (a * b) / scale
+		quot := (a * scale) / b
+		acc += sum + prod + quot
+		a = (a + 7) % (100 * scale)
+		b = (b + 13) % (100 * scale)
+		if b == 0 {
+			b = scale
+		}
+	}
+	return uint64(acc)
+}
+
+func batchDouble() uint64 {
+	acc := 0.0
+	x := 0.5
+	for i := 0; i < 4000; i++ {
+		acc += math.Sqrt(x) + math.Log(x+1) + math.Sin(x)
+		x += 0.001
+	}
+	return math.Float64bits(acc)
+}
+
+func batchInt64Float() uint64 {
+	var acc float64
+	for i := int64(1); i <= 20000; i++ {
+		acc += float64(i*7) / float64(i+3)
+	}
+	return math.Float64bits(acc)
+}
+
+func batchInt64Double() uint64 {
+	var acc int64
+	for i := int64(1); i <= 20000; i++ {
+		d := float64(i) * 1.5
+		acc += int64(d) ^ i
+	}
+	return uint64(acc)
+}
+
+func batchMatrixProd() uint64 {
+	const n = 32
+	var a, b, c [n][n]float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] = float64(i*n+j) * 0.5
+			b[i][j] = float64((i+j)%7) * 1.25
+		}
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i][k]
+			for j := 0; j < n; j++ {
+				c[i][j] += aik * b[k][j]
+			}
+		}
+	}
+	return math.Float64bits(c[n-1][n-1] + c[0][0])
+}
+
+func batchRand() uint64 {
+	x := uint64(0x9E3779B97F4A7C15)
+	var acc uint64
+	for i := 0; i < 20000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		acc += x
+	}
+	return acc
+}
+
+// batchJmp stresses the branch units with data-dependent jumps.
+func batchJmp() uint64 {
+	x := uint64(88172645463325252)
+	var taken uint64
+	for i := 0; i < 20000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		switch {
+		case x%7 == 0:
+			taken += 3
+		case x%5 == 0:
+			taken += 2
+		case x%3 == 0:
+			taken++
+		case x%2 == 0:
+			taken += 5
+		default:
+			taken += 7
+		}
+	}
+	return taken
+}

@@ -1,0 +1,95 @@
+package stressng
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"powerdiv/internal/workload"
+)
+
+func TestKernelsMatchTable3Workloads(t *testing.T) {
+	names := map[string]bool{}
+	for _, k := range Kernels() {
+		names[k.Name] = true
+	}
+	for _, want := range workload.StressNames() {
+		if !names[want] {
+			t.Errorf("no kernel for workload %q", want)
+		}
+	}
+	if len(Kernels()) != 12 {
+		t.Errorf("%d kernels, want 12", len(Kernels()))
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	for _, k := range Kernels() {
+		a := k.Batch()
+		b := k.Batch()
+		if a != b {
+			t.Errorf("%s: non-deterministic batch (%d vs %d)", k.Name, a, b)
+		}
+	}
+}
+
+func TestKnownResults(t *testing.T) {
+	// Kernels whose results are externally known.
+	tests := []struct {
+		name string
+		want uint64
+	}{
+		{"queens", 92},       // 8-queens has 92 solutions
+		{"ackermann", 23},    // A(2, n) = 2n + 3
+		{"fibonacci", 46368}, // fib(24)
+	}
+	for _, tt := range tests {
+		k, ok := ByName(tt.name)
+		if !ok {
+			t.Fatalf("kernel %s missing", tt.name)
+		}
+		if got := k.Batch(); got != tt.want {
+			t.Errorf("%s = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("matrixprod"); !ok {
+		t.Error("matrixprod missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("nonexistent kernel found")
+	}
+}
+
+func TestBurnRunsForDuration(t *testing.T) {
+	k, _ := ByName("rand")
+	start := time.Now()
+	batches, _ := Burn(context.Background(), k, 50*time.Millisecond)
+	elapsed := time.Since(start)
+	if batches == 0 {
+		t.Error("no batches completed")
+	}
+	if elapsed < 50*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("burn took %v for a 50ms budget", elapsed)
+	}
+}
+
+func TestBurnHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	k, _ := ByName("jmp")
+	batches, _ := Burn(ctx, k, time.Minute)
+	if batches > 1 {
+		t.Errorf("cancelled burn completed %d batches", batches)
+	}
+}
+
+func TestKernelsProduceWork(t *testing.T) {
+	for _, k := range Kernels() {
+		if got := k.Batch(); got == 0 {
+			t.Errorf("%s: zero checksum (dead code?)", k.Name)
+		}
+	}
+}

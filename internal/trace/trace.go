@@ -1,0 +1,412 @@
+// Package trace provides the time-series machinery used by the evaluation
+// protocol: power traces, resampling and alignment, integration to energy,
+// and the "stable window" selection the paper applies before scoring a model
+// (keeping the 10 seconds with the least extreme values of a 30-second run).
+//
+// A Series is a sequence of (time offset, value) samples. Values are plain
+// float64 so the same machinery serves power (watts), CPU utilization,
+// frequency and counter rates; functions that are specifically about power
+// carry it in their names (Energy, for instance, integrates watts into
+// joules).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"powerdiv/internal/units"
+)
+
+// Sample is a single observation at a time offset from the start of the
+// observation window.
+type Sample struct {
+	At    time.Duration
+	Value float64
+}
+
+// Series is an ordered sequence of samples. Samples must be in
+// non-decreasing time order; the constructors and appenders maintain this
+// and Validate checks it.
+type Series struct {
+	samples []Sample
+}
+
+// ErrUnordered is returned by Validate when samples are out of time order.
+var ErrUnordered = errors.New("trace: samples out of time order")
+
+// ErrEmpty is returned by operations that need at least one sample.
+var ErrEmpty = errors.New("trace: empty series")
+
+// New returns a Series built from the given samples, sorted by time.
+func New(samples ...Sample) *Series {
+	s := &Series{samples: append([]Sample(nil), samples...)}
+	sort.SliceStable(s.samples, func(i, j int) bool { return s.samples[i].At < s.samples[j].At })
+	return s
+}
+
+// FromValues builds a regularly sampled series: values[i] is the sample at
+// i*period.
+func FromValues(period time.Duration, values ...float64) *Series {
+	s := &Series{samples: make([]Sample, len(values))}
+	for i, v := range values {
+		s.samples[i] = Sample{At: time.Duration(i) * period, Value: v}
+	}
+	return s
+}
+
+// Append adds a sample at the end of the series. It panics if at is earlier
+// than the last sample, since that indicates a sequencing bug in the caller.
+func (s *Series) Append(at time.Duration, value float64) {
+	if n := len(s.samples); n > 0 && at < s.samples[n-1].At {
+		panic(fmt.Sprintf("trace: appending sample at %v before last sample at %v", at, s.samples[n-1].At))
+	}
+	s.samples = append(s.samples, Sample{At: at, Value: value})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) Sample { return s.samples[i] }
+
+// Samples returns a copy of the underlying samples.
+func (s *Series) Samples() []Sample {
+	return append([]Sample(nil), s.samples...)
+}
+
+// Values returns a copy of the sample values, discarding timestamps.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.samples))
+	for i, sm := range s.samples {
+		out[i] = sm.Value
+	}
+	return out
+}
+
+// Validate checks time ordering.
+func (s *Series) Validate() error {
+	for i := 1; i < len(s.samples); i++ {
+		if s.samples[i].At < s.samples[i-1].At {
+			return fmt.Errorf("%w: sample %d at %v before sample %d at %v",
+				ErrUnordered, i, s.samples[i].At, i-1, s.samples[i-1].At)
+		}
+	}
+	return nil
+}
+
+// Duration returns the time spanned by the series (last minus first sample
+// time), or 0 for series with fewer than two samples.
+func (s *Series) Duration() time.Duration {
+	if len(s.samples) < 2 {
+		return 0
+	}
+	return s.samples[len(s.samples)-1].At - s.samples[0].At
+}
+
+// Start returns the time of the first sample (0 for an empty series).
+func (s *Series) Start() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.samples[0].At
+}
+
+// End returns the time of the last sample (0 for an empty series).
+func (s *Series) End() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.samples[len(s.samples)-1].At
+}
+
+// Slice returns the sub-series with from <= At < to. The returned series
+// shares no storage with s.
+func (s *Series) Slice(from, to time.Duration) *Series {
+	out := &Series{}
+	for _, sm := range s.samples {
+		if sm.At >= from && sm.At < to {
+			out.samples = append(out.samples, sm)
+		}
+	}
+	return out
+}
+
+// Shift returns a copy of the series with all timestamps offset by d.
+func (s *Series) Shift(d time.Duration) *Series {
+	out := &Series{samples: make([]Sample, len(s.samples))}
+	for i, sm := range s.samples {
+		out.samples[i] = Sample{At: sm.At + d, Value: sm.Value}
+	}
+	return out
+}
+
+// Scale returns a copy of the series with all values multiplied by k.
+func (s *Series) Scale(k float64) *Series {
+	out := &Series{samples: make([]Sample, len(s.samples))}
+	for i, sm := range s.samples {
+		out.samples[i] = Sample{At: sm.At, Value: sm.Value * k}
+	}
+	return out
+}
+
+// AddConst returns a copy of the series with c added to all values.
+func (s *Series) AddConst(c float64) *Series {
+	out := &Series{samples: make([]Sample, len(s.samples))}
+	for i, sm := range s.samples {
+		out.samples[i] = Sample{At: sm.At, Value: sm.Value + c}
+	}
+	return out
+}
+
+// ValueAt returns the value of the series at time t using zero-order hold
+// (the value of the most recent sample at or before t). ok is false if t is
+// before the first sample or the series is empty.
+func (s *Series) ValueAt(t time.Duration) (v float64, ok bool) {
+	i := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].At > t })
+	if i == 0 {
+		return 0, false
+	}
+	return s.samples[i-1].Value, true
+}
+
+// Mean returns the arithmetic mean of the sample values.
+// It returns 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, sm := range s.samples {
+		sum += sm.Value
+	}
+	return sum / float64(len(s.samples))
+}
+
+// Min returns the minimum sample value (0 for an empty series).
+func (s *Series) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	m := s.samples[0].Value
+	for _, sm := range s.samples[1:] {
+		if sm.Value < m {
+			m = sm.Value
+		}
+	}
+	return m
+}
+
+// Max returns the maximum sample value (0 for an empty series).
+func (s *Series) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	m := s.samples[0].Value
+	for _, sm := range s.samples[1:] {
+		if sm.Value > m {
+			m = sm.Value
+		}
+	}
+	return m
+}
+
+// Stddev returns the population standard deviation of the sample values.
+func (s *Series) Stddev() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	ss := 0.0
+	for _, sm := range s.samples {
+		d := sm.Value - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Spread returns Max − Min, the width of the value band — the quantity the
+// paper reports as the "variation in power consumption under the same load"
+// (25 W on DAHU in Fig 1).
+func (s *Series) Spread() float64 { return s.Max() - s.Min() }
+
+// Energy integrates the series, interpreted as power in watts, into joules
+// using the left Riemann sum (zero-order hold between samples), which
+// matches how RAPL-based meters accumulate energy. The last sample is held
+// for `hold`; pass the sampling period, or 0 to drop the final interval.
+func (s *Series) Energy(hold time.Duration) units.Joules {
+	var e units.Joules
+	for i, sm := range s.samples {
+		var dt time.Duration
+		if i+1 < len(s.samples) {
+			dt = s.samples[i+1].At - sm.At
+		} else {
+			dt = hold
+		}
+		e += units.Watts(sm.Value).Energy(dt)
+	}
+	return e
+}
+
+// Resample returns the series resampled onto a regular grid of the given
+// period covering [Start, End], using zero-order hold. It returns an empty
+// series when s is empty or period is not positive.
+func (s *Series) Resample(period time.Duration) *Series {
+	out := &Series{}
+	if len(s.samples) == 0 || period <= 0 {
+		return out
+	}
+	for t := s.Start(); t <= s.End(); t += period {
+		v, _ := s.ValueAt(t)
+		out.samples = append(out.samples, Sample{At: t, Value: v})
+	}
+	return out
+}
+
+// BinOp applies op pointwise to a and b after aligning them onto a regular
+// grid of the given period spanning the overlap of the two series. The
+// result is empty if the series do not overlap.
+func BinOp(a, b *Series, period time.Duration, op func(x, y float64) float64) *Series {
+	out := &Series{}
+	if a.Len() == 0 || b.Len() == 0 || period <= 0 {
+		return out
+	}
+	from := a.Start()
+	if b.Start() > from {
+		from = b.Start()
+	}
+	to := a.End()
+	if b.End() < to {
+		to = b.End()
+	}
+	for t := from; t <= to; t += period {
+		x, okx := a.ValueAt(t)
+		y, oky := b.ValueAt(t)
+		if okx && oky {
+			out.samples = append(out.samples, Sample{At: t, Value: op(x, y)})
+		}
+	}
+	return out
+}
+
+// Add returns the pointwise sum of the two series on a regular grid.
+func Add(a, b *Series, period time.Duration) *Series {
+	return BinOp(a, b, period, func(x, y float64) float64 { return x + y })
+}
+
+// Sub returns the pointwise difference a−b on a regular grid.
+func Sub(a, b *Series, period time.Duration) *Series {
+	return BinOp(a, b, period, func(x, y float64) float64 { return x - y })
+}
+
+// Sum returns the pointwise sum of all series on a regular grid spanning
+// their common overlap. It returns an empty series if the list is empty.
+func Sum(period time.Duration, series ...*Series) *Series {
+	if len(series) == 0 {
+		return &Series{}
+	}
+	acc := series[0]
+	for _, s := range series[1:] {
+		acc = Add(acc, s, period)
+	}
+	return acc
+}
+
+// Correlation returns the Pearson correlation coefficient of the two
+// series over their overlap, resampled onto a regular grid of the given
+// period. It returns 0 when the overlap is empty or either series is
+// constant (correlation undefined).
+func Correlation(a, b *Series, period time.Duration) float64 {
+	xs := BinOp(a, b, period, func(x, _ float64) float64 { return x })
+	ys := BinOp(a, b, period, func(_, y float64) float64 { return y })
+	n := xs.Len()
+	if n == 0 || n != ys.Len() {
+		return 0
+	}
+	mx, my := xs.Mean(), ys.Mean()
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs.At(i).Value - mx
+		dy := ys.At(i).Value - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// StableWindow returns the contiguous window of the given length whose
+// values deviate least from their own mean (minimum sum of squared
+// deviations). This implements the paper's selection of "the 10 seconds with
+// the least extreme values" from each 30-second run, which removes start-up
+// and tear-down transients. It returns an error if the series is shorter
+// than the window.
+func (s *Series) StableWindow(window time.Duration) (*Series, error) {
+	if len(s.samples) == 0 {
+		return nil, ErrEmpty
+	}
+	if s.Duration() < window {
+		return nil, fmt.Errorf("trace: series spans %v, shorter than window %v", s.Duration(), window)
+	}
+	best := -1
+	bestScore := math.Inf(1)
+	for i := range s.samples {
+		j := i
+		for j < len(s.samples) && s.samples[j].At-s.samples[i].At <= window {
+			j++
+		}
+		// Window [i, j) spans at least `window` only if the last included
+		// sample reaches it; otherwise the tail is too short.
+		if s.samples[j-1].At-s.samples[i].At < window {
+			continue
+		}
+		score := windowScore(s.samples[i:j])
+		if score < bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("trace: no window of %v found", window)
+	}
+	i := best
+	j := i
+	for j < len(s.samples) && s.samples[j].At-s.samples[i].At <= window {
+		j++
+	}
+	return New(s.samples[i:j]...), nil
+}
+
+// windowScore is the per-sample variance of the window; lower is more stable.
+func windowScore(w []Sample) float64 {
+	if len(w) == 0 {
+		return math.Inf(1)
+	}
+	mean := 0.0
+	for _, sm := range w {
+		mean += sm.Value
+	}
+	mean /= float64(len(w))
+	ss := 0.0
+	for _, sm := range w {
+		d := sm.Value - mean
+		ss += d * d
+	}
+	return ss / float64(len(w))
+}
+
+// TrimEnds returns the series with the first and last trim durations of
+// samples removed. It protects scoring code from start/stop transients when
+// the full stable-window machinery is not wanted.
+func (s *Series) TrimEnds(trim time.Duration) *Series {
+	if len(s.samples) == 0 {
+		return &Series{}
+	}
+	return s.Slice(s.Start()+trim, s.End()-trim+1)
+}

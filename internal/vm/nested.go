@@ -1,0 +1,209 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+	"powerdiv/internal/units"
+)
+
+// MultiVM hosts several guest processes inside one virtual machine — the
+// paper's introduction scenario: the cloud provider divides machine power
+// among VMs, and each VM's owner divides their VM's share among the
+// applications inside it, without any visibility into the host ("context
+// of deployment ... is invisible within the virtual machines").
+type MultiVM struct {
+	Name   string
+	VCPUs  int
+	Guests []machine.Proc
+}
+
+// Validate checks the VM and its guests, including that the guests fit the
+// vCPU budget.
+func (m MultiVM) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("vm: empty name")
+	}
+	if strings.Contains(m.Name, "/") {
+		return fmt.Errorf("vm %s: name must not contain '/'", m.Name)
+	}
+	if m.VCPUs <= 0 {
+		return fmt.Errorf("vm %s: %d vCPUs", m.Name, m.VCPUs)
+	}
+	if len(m.Guests) == 0 {
+		return fmt.Errorf("vm %s: no guests", m.Name)
+	}
+	total := 0
+	seen := map[string]bool{}
+	for _, g := range m.Guests {
+		if g.ID == "" || strings.Contains(g.ID, "/") {
+			return fmt.Errorf("vm %s: invalid guest ID %q", m.Name, g.ID)
+		}
+		if seen[g.ID] {
+			return fmt.Errorf("vm %s: duplicate guest %q", m.Name, g.ID)
+		}
+		seen[g.ID] = true
+		total += g.Threads
+	}
+	if total > m.VCPUs {
+		return fmt.Errorf("vm %s: guests need %d threads, VM has %d vCPUs", m.Name, total, m.VCPUs)
+	}
+	return nil
+}
+
+// GuestID returns the host-level process ID of a guest.
+func GuestID(vmName, guest string) string { return vmName + "/" + guest }
+
+// SplitGuestID splits a host-level guest ID back into (vm, guest).
+func SplitGuestID(id string) (vmName, guest string, ok bool) {
+	i := strings.IndexByte(id, '/')
+	if i < 0 {
+		return "", "", false
+	}
+	return id[:i], id[i+1:], true
+}
+
+// HostMulti validates capacity and flattens the VMs' guests into
+// host-level processes with "vm/guest" IDs.
+func HostMulti(cfg machine.Config, vms []MultiVM) ([]machine.Proc, error) {
+	capacity := cfg.Spec.Topology.PhysicalCores()
+	if cfg.Hyperthreading {
+		capacity = cfg.Spec.Topology.LogicalCPUs()
+	}
+	total := 0
+	seen := map[string]bool{}
+	var procs []machine.Proc
+	for _, v := range vms {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[v.Name] {
+			return nil, fmt.Errorf("vm: duplicate name %q", v.Name)
+		}
+		seen[v.Name] = true
+		total += v.VCPUs
+		for _, g := range v.Guests {
+			hg := g
+			hg.ID = GuestID(v.Name, g.ID)
+			procs = append(procs, hg)
+		}
+	}
+	if total > capacity {
+		return nil, fmt.Errorf("vm: %d vCPUs exceed host capacity %d", total, capacity)
+	}
+	return procs, nil
+}
+
+// NestedTick is the composed attribution for one tick.
+type NestedTick struct {
+	At time.Duration
+	// PerVM is the host-level division among VMs (what the provider
+	// bills); nil when the host model produced no estimate.
+	PerVM map[string]units.Watts
+	// PerGuest is the second-level division, keyed by "vm/guest"; a VM's
+	// guests are absent while its guest model produces no estimate.
+	PerGuest map[string]units.Watts
+}
+
+// NestedDivision composes two levels of power division over a simulated
+// run of MultiVM guests:
+//
+//   - the host model sees one aggregate process per VM (summed CPU time
+//     and counters — what a hypervisor exposes) and divides the measured
+//     machine power among VMs;
+//   - each VM runs its own instance of the guest model, which sees only
+//     that VM's guests and treats the VM's attributed power as its
+//     "machine" power — exactly the visibility a tenant has.
+//
+// The returned slice is index-aligned with run.Ticks.
+func NestedDivision(run *machine.Run, host, guest models.Factory, seed int64) ([]NestedTick, error) {
+	vmNames := map[string]bool{}
+	for _, id := range run.ProcIDs() {
+		vmName, _, ok := SplitGuestID(id)
+		if !ok {
+			return nil, fmt.Errorf("vm: process %q is not a vm/guest ID", id)
+		}
+		vmNames[vmName] = true
+	}
+	hostModel := host.New(seed)
+	guestModels := map[string]models.Model{}
+	names := make([]string, 0, len(vmNames))
+	for n := range vmNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		guestModels[n] = guest.New(seed + int64(i) + 1)
+	}
+
+	logical := run.Config.Spec.Topology.LogicalCPUs()
+	out := make([]NestedTick, len(run.Ticks))
+	for i, rec := range run.Ticks {
+		nt := NestedTick{At: rec.At}
+		full := models.TickFromRecord(rec, run.Tick(), logical)
+
+		// Host view: one aggregate sample per VM.
+		hostTick := models.Tick{
+			At:           full.At,
+			Interval:     full.Interval,
+			MachinePower: full.MachinePower,
+			LogicalCPUs:  full.LogicalCPUs,
+			Procs:        map[string]models.ProcSample{},
+		}
+		perVMGuests := map[string]map[string]models.ProcSample{}
+		for _, id := range sortedTickIDs(full.Procs) {
+			ps := full.Procs[id]
+			vmName, guestName, _ := SplitGuestID(id)
+			agg := hostTick.Procs[vmName]
+			agg.CPUTime += ps.CPUTime
+			agg.Counters = agg.Counters.Add(ps.Counters)
+			agg.TrueActive += ps.TrueActive
+			hostTick.Procs[vmName] = agg
+			if perVMGuests[vmName] == nil {
+				perVMGuests[vmName] = map[string]models.ProcSample{}
+			}
+			perVMGuests[vmName][guestName] = ps
+		}
+		nt.PerVM = hostModel.Observe(hostTick)
+
+		if nt.PerVM != nil {
+			nt.PerGuest = map[string]units.Watts{}
+			for _, vmName := range names {
+				guests, running := perVMGuests[vmName]
+				vmPower, attributed := nt.PerVM[vmName]
+				if !running || !attributed {
+					continue
+				}
+				guestTick := models.Tick{
+					At:           full.At,
+					Interval:     full.Interval,
+					MachinePower: vmPower,
+					LogicalCPUs:  full.LogicalCPUs,
+					Procs:        guests,
+				}
+				est := guestModels[vmName].Observe(guestTick)
+				for g, w := range est {
+					nt.PerGuest[GuestID(vmName, g)] = w
+				}
+			}
+			if len(nt.PerGuest) == 0 {
+				nt.PerGuest = nil
+			}
+		}
+		out[i] = nt
+	}
+	return out, nil
+}
+
+func sortedTickIDs(procs map[string]models.ProcSample) []string {
+	ids := make([]string, 0, len(procs))
+	for id := range procs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,94 @@
+// Package vm models the virtual machine layer of the paper's Section V
+// experiments: applications run inside VMs with a fixed number of vCPUs
+// (6-vCPU VMs on SMALL INTEL, "at most two VMs active at a time" so the
+// host is never overloaded).
+//
+// For CPU power purposes a VM is a scheduling envelope: the guest's threads
+// cannot exceed its vCPU count, and the host sees the VM as one process
+// whose CPU time is the sum of its vCPUs' — which is exactly the
+// granularity at which power division models attribute consumption to VMs.
+package vm
+
+import (
+	"fmt"
+	"time"
+
+	"powerdiv/internal/machine"
+	"powerdiv/internal/workload"
+)
+
+// VM is one virtual machine hosting a single application workload.
+type VM struct {
+	// Name identifies the VM (and is the ID power models attribute to).
+	Name string
+	// VCPUs is the number of virtual CPUs exposed to the guest.
+	VCPUs int
+	// App is the application running inside the guest.
+	App workload.Workload
+	// Start is when the VM's workload begins.
+	Start time.Duration
+	// Stop optionally ends the VM early.
+	Stop time.Duration
+}
+
+// Validate checks the VM description.
+func (v VM) Validate() error {
+	if v.Name == "" {
+		return fmt.Errorf("vm: empty name")
+	}
+	if v.VCPUs <= 0 {
+		return fmt.Errorf("vm %s: %d vCPUs", v.Name, v.VCPUs)
+	}
+	if err := v.App.Validate(); err != nil {
+		return fmt.Errorf("vm %s: %w", v.Name, err)
+	}
+	return nil
+}
+
+// Proc converts the VM into a host-level process: the guest's threads are
+// capped at the vCPU count.
+func (v VM) Proc() machine.Proc {
+	return machine.Proc{
+		ID:       v.Name,
+		Workload: v.App,
+		Threads:  v.VCPUs,
+		Start:    v.Start,
+		Stop:     v.Stop,
+	}
+}
+
+// Host places VMs on a machine configuration, validating that the combined
+// vCPUs fit the host's schedulable CPUs (the paper's no-overload condition).
+func Host(cfg machine.Config, vms []VM) ([]machine.Proc, error) {
+	capacity := cfg.Spec.Topology.PhysicalCores()
+	if cfg.Hyperthreading {
+		capacity = cfg.Spec.Topology.LogicalCPUs()
+	}
+	total := 0
+	seen := map[string]bool{}
+	procs := make([]machine.Proc, 0, len(vms))
+	for _, v := range vms {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[v.Name] {
+			return nil, fmt.Errorf("vm: duplicate name %q", v.Name)
+		}
+		seen[v.Name] = true
+		total += v.VCPUs
+		procs = append(procs, v.Proc())
+	}
+	if total > capacity {
+		return nil, fmt.Errorf("vm: %d vCPUs exceed host capacity %d", total, capacity)
+	}
+	return procs, nil
+}
+
+// SimulateColocation runs the VMs together on the host for at most maxDur.
+func SimulateColocation(cfg machine.Config, vms []VM, maxDur time.Duration) (*machine.Run, error) {
+	procs, err := Host(cfg, vms)
+	if err != nil {
+		return nil, err
+	}
+	return machine.Simulate(cfg, procs, maxDur)
+}

@@ -1,0 +1,98 @@
+package vm
+
+import (
+	"testing"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/machine"
+	"powerdiv/internal/workload"
+)
+
+func prodSmall() machine.Config {
+	return machine.Config{
+		Spec:           cpumodel.SmallIntel(),
+		Hyperthreading: true,
+		Turbo:          true,
+	}
+}
+
+func app(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, ok := workload.PhoronixByName(name)
+	if !ok {
+		t.Fatalf("unknown app %s", name)
+	}
+	return w
+}
+
+func TestVMValidate(t *testing.T) {
+	good := VM{Name: "vm0", VCPUs: 6, App: app(t, "build2")}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid VM rejected: %v", err)
+	}
+	bad := []VM{
+		{Name: "", VCPUs: 6, App: app(t, "build2")},
+		{Name: "x", VCPUs: 0, App: app(t, "build2")},
+		{Name: "x", VCPUs: 6},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("bad VM %d accepted", i)
+		}
+	}
+}
+
+func TestHostCapacity(t *testing.T) {
+	cfg := prodSmall() // 12 logical CPUs
+	two := []VM{
+		{Name: "vm0", VCPUs: 6, App: app(t, "build2")},
+		{Name: "vm1", VCPUs: 6, App: app(t, "dacapo")},
+	}
+	if _, err := Host(cfg, two); err != nil {
+		t.Errorf("two 6-vCPU VMs rejected on 12-thread host: %v", err)
+	}
+	three := append(two, VM{Name: "vm2", VCPUs: 6, App: app(t, "cloverleaf")})
+	if _, err := Host(cfg, three); err == nil {
+		t.Error("18 vCPUs accepted on 12-thread host")
+	}
+	dup := []VM{
+		{Name: "vm0", VCPUs: 2, App: app(t, "build2")},
+		{Name: "vm0", VCPUs: 2, App: app(t, "dacapo")},
+	}
+	if _, err := Host(cfg, dup); err == nil {
+		t.Error("duplicate VM names accepted")
+	}
+	// Without hyperthreading capacity is physical cores only.
+	lab := machine.Config{Spec: cpumodel.SmallIntel()}
+	if _, err := Host(lab, two); err == nil {
+		t.Error("12 vCPUs accepted on 6-core lab host")
+	}
+}
+
+func TestProcConversion(t *testing.T) {
+	v := VM{Name: "vm0", VCPUs: 6, App: app(t, "dacapo"), Start: 10 * time.Second}
+	p := v.Proc()
+	if p.ID != "vm0" || p.Threads != 6 || p.Start != 10*time.Second {
+		t.Errorf("Proc = %+v", p)
+	}
+}
+
+func TestSimulateColocation(t *testing.T) {
+	cfg := prodSmall()
+	run, err := SimulateColocation(cfg, []VM{
+		{Name: "vm-build2", VCPUs: 6, App: app(t, "build2")},
+		{Name: "vm-dacapo", VCPUs: 6, App: app(t, "dacapo")},
+	}, 600*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := run.ProcIDs()
+	if len(ids) != 2 {
+		t.Fatalf("ProcIDs = %v", ids)
+	}
+	// The run ends when the longer app's script completes (build2: 384 s).
+	if run.Duration < 380*time.Second || run.Duration > 390*time.Second {
+		t.Errorf("colocation duration = %v, want ≈384s", run.Duration)
+	}
+}

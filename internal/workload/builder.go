@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"powerdiv/internal/units"
+)
+
+// Builder constructs custom workloads — user-defined applications beyond
+// the built-in Table III/IV sets, for protocol runs against in-house
+// application profiles. Build validates the result.
+//
+//	w, err := workload.NewBuilder("etl-job").
+//		Cost("SMALL INTEL", 5.8).
+//		Mix(1.4, 3.0, 120).
+//		Phase(30*time.Second, 4, 1.0, 1.0).
+//		Phase(10*time.Second, 1, 0.7, 0.6).
+//		Repeat(6).
+//		Build()
+type Builder struct {
+	w       Workload
+	pending []Phase
+	err     error
+}
+
+// NewBuilder starts a workload definition. Without phases the result is a
+// constant-load Stress workload; adding phases makes it an App.
+func NewBuilder(name string) *Builder {
+	return &Builder{w: Workload{
+		Name: name,
+		Kind: Stress,
+		Cost: map[string]units.Watts{},
+		Mix:  CounterMix{IPC: 1},
+	}}
+}
+
+// Description sets the human-readable description.
+func (b *Builder) Description(d string) *Builder {
+	b.w.Description = d
+	return b
+}
+
+// Cost sets the per-core base-frequency active power on a machine.
+func (b *Builder) Cost(machine string, watts float64) *Builder {
+	if watts <= 0 {
+		b.fail(fmt.Errorf("cost on %s must be positive, got %g", machine, watts))
+		return b
+	}
+	b.w.Cost[machine] = units.Watts(watts)
+	return b
+}
+
+// Mix sets the counter profile: instructions per cycle, LLC references and
+// branches per kilo-instruction.
+func (b *Builder) Mix(ipc, cacheRefsPerKI, branchesPerKI float64) *Builder {
+	b.w.Mix = CounterMix{
+		IPC:                   ipc,
+		CacheRefsPerKiloInstr: cacheRefsPerKI,
+		BranchesPerKiloInstr:  branchesPerKI,
+	}
+	return b
+}
+
+// Phase appends one load phase; the workload becomes an App.
+func (b *Builder) Phase(d time.Duration, threads int, intensity, util float64) *Builder {
+	b.w.Kind = App
+	b.pending = append(b.pending, Phase{
+		Duration:  d,
+		Threads:   threads,
+		Intensity: intensity,
+		Util:      util,
+	})
+	return b
+}
+
+// Repeat replicates all phases added so far n times (n ≥ 1 total copies;
+// Repeat(3) turns [a b] into [a b a b a b]).
+func (b *Builder) Repeat(n int) *Builder {
+	if n < 1 {
+		b.fail(fmt.Errorf("repeat count %d", n))
+		return b
+	}
+	if len(b.pending) == 0 {
+		b.fail(fmt.Errorf("repeat before any phase"))
+		return b
+	}
+	b.pending = Repeat(n, b.pending...)
+	return b
+}
+
+// Build validates and returns the workload.
+func (b *Builder) Build() (Workload, error) {
+	if b.err != nil {
+		return Workload{}, b.err
+	}
+	w := b.w
+	w.Script = b.pending
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}
+
+// fail records the first construction error.
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = fmt.Errorf("workload %s: %w", b.w.Name, err)
+	}
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBuilderStressWorkload(t *testing.T) {
+	w, err := NewBuilder("custom-stress").
+		Description("a custom stressor").
+		Cost("SMALL INTEL", 5.5).
+		Cost("DAHU", 1.4).
+		Mix(1.8, 2.0, 150).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Kind != Stress {
+		t.Errorf("kind = %v, want Stress", w.Kind)
+	}
+	if w.CostOn("SMALL INTEL") != 5.5 || w.CostOn("DAHU") != 1.4 {
+		t.Errorf("costs = %v", w.Cost)
+	}
+	if w.Mix.IPC != 1.8 {
+		t.Errorf("IPC = %v", w.Mix.IPC)
+	}
+	if w.Duration() != 0 {
+		t.Errorf("stress duration = %v, want 0", w.Duration())
+	}
+}
+
+func TestBuilderAppWithPhases(t *testing.T) {
+	w, err := NewBuilder("etl-job").
+		Cost("SMALL INTEL", 5.8).
+		Mix(1.4, 3.0, 120).
+		Phase(30*time.Second, 4, 1.0, 1.0).
+		Phase(10*time.Second, 1, 0.7, 0.6).
+		Repeat(6).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Kind != App {
+		t.Errorf("kind = %v, want App", w.Kind)
+	}
+	if got := w.Duration(); got != 4*time.Minute {
+		t.Errorf("duration = %v, want 4m", got)
+	}
+	if len(w.Script) != 12 {
+		t.Errorf("%d phases, want 12", len(w.Script))
+	}
+	p, done := w.PhaseAt(35*time.Second, 9)
+	if done || p.Threads != 1 || p.Intensity != 0.7 {
+		t.Errorf("phase at 35s = %+v done=%v", p, done)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+	}{
+		{"empty name", NewBuilder("")},
+		{"bad cost", NewBuilder("x").Cost("M", -1)},
+		{"bad ipc", NewBuilder("x").Mix(0, 0, 0)},
+		{"bad phase duration", NewBuilder("x").Phase(0, 1, 1, 1)},
+		{"bad util", NewBuilder("x").Phase(time.Second, 1, 1, 2)},
+		{"repeat without phases", NewBuilder("x").Repeat(2)},
+		{"bad repeat count", NewBuilder("x").Phase(time.Second, 1, 1, 1).Repeat(0)},
+	}
+	for _, tc := range cases {
+		if _, err := tc.b.Build(); err == nil {
+			t.Errorf("%s: built successfully", tc.name)
+		}
+	}
+	// The first error wins and later calls do not panic.
+	b := NewBuilder("x").Cost("M", -1).Repeat(3).Phase(time.Second, 1, 1, 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("chained errors lost")
+	}
+}
+
+func TestBuilderWorkloadRunsInSimulator(t *testing.T) {
+	// The built workload must be directly usable as a simulator app; the
+	// machine package cannot be imported here (import cycle), so validate
+	// the structural contract the simulator relies on.
+	w, err := NewBuilder("sim-check").
+		Cost("SMALL INTEL", 6).
+		Mix(1.2, 1, 100).
+		Phase(2*time.Second, 2, 1, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, done := w.PhaseAt(time.Second, 4)
+	if done || p.Threads != 2 {
+		t.Errorf("phase = %+v done=%v", p, done)
+	}
+	if _, done := w.PhaseAt(3*time.Second, 4); !done {
+		t.Error("script should be done at 3s")
+	}
+}

@@ -1,0 +1,98 @@
+package workload
+
+import "powerdiv/internal/units"
+
+// Machine spec names the built-in calibrations are keyed by. They must
+// match cpumodel.SmallIntel().Name and cpumodel.Dahu().Name (a unit test
+// enforces this without creating an import cycle).
+const (
+	MachineSmallIntel = "SMALL INTEL"
+	MachineDahu       = "DAHU"
+)
+
+// stressDef is the compact calibration record for one stress function.
+type stressDef struct {
+	name, desc  string
+	small, dahu units.Watts // per-core cost at base frequency
+	mix         CounterMix
+}
+
+// stressDefs lists the 12 stress-ng CPU functions of Table III.
+//
+// Costs are calibrated so that, as in the paper:
+//   - on SMALL INTEL the 12 functions span ≈4.4–7.1 W/core (Fig 1's band:
+//     ≈8 W at full six-core load), FIBONACCI is the least consuming and
+//     MATRIXPROD / INT64FLOAT / JMP the most, making the worst same-thread
+//     pair error |0.5 − 4.4/(4.4+7.1)| ≈ 11.7 % (§IV-A);
+//   - on DAHU the band is ≈0.91–1.88 W/core (≈31 W over 32 cores, the
+//     paper's "25 watt" band), QUEENS is the least consuming and FLOAT64
+//     the most, making the worst pair error ≈17.4 % (§IV-A) — a different
+//     worst pair than on SMALL INTEL because instruction costs differ
+//     across microarchitectures.
+//
+// Counter mixes give each function a distinct IPC and branch/cache profile;
+// the power costs are deliberately NOT proportional to instruction rates,
+// which is precisely why counter-share models misattribute power.
+var stressDefs = []stressDef{
+	{"ackermann", "Ackermann function evaluation", 5.25, 1.36,
+		CounterMix{IPC: 1.1, CacheRefsPerKiloInstr: 2.0, BranchesPerKiloInstr: 280}},
+	{"queens", "N-queens chessboard solver", 5.00, 0.91,
+		CounterMix{IPC: 1.4, CacheRefsPerKiloInstr: 1.2, BranchesPerKiloInstr: 240}},
+	{"fibonacci", "Recursive Fibonacci computation", 4.40, 1.34,
+		CounterMix{IPC: 0.9, CacheRefsPerKiloInstr: 0.8, BranchesPerKiloInstr: 300}},
+	{"float64", "64-bit floating point operations", 6.50, 1.88,
+		CounterMix{IPC: 2.3, CacheRefsPerKiloInstr: 0.5, BranchesPerKiloInstr: 40}},
+	{"int64", "64-bit integer operations", 6.15, 1.45,
+		CounterMix{IPC: 2.6, CacheRefsPerKiloInstr: 0.5, BranchesPerKiloInstr: 40}},
+	{"decimal64", "64-bit decimal operations", 5.75, 1.40,
+		CounterMix{IPC: 1.6, CacheRefsPerKiloInstr: 0.7, BranchesPerKiloInstr: 80}},
+	{"double", "Double-precision operations", 5.95, 1.42,
+		CounterMix{IPC: 2.2, CacheRefsPerKiloInstr: 0.5, BranchesPerKiloInstr: 45}},
+	{"int64float", "int64 → float conversions", 6.90, 1.52,
+		CounterMix{IPC: 2.0, CacheRefsPerKiloInstr: 0.6, BranchesPerKiloInstr: 50}},
+	{"int64double", "int64 → double conversions", 6.70, 1.48,
+		CounterMix{IPC: 2.0, CacheRefsPerKiloInstr: 0.6, BranchesPerKiloInstr: 50}},
+	{"matrixprod", "Matrix product computation", 7.10, 1.58,
+		CounterMix{IPC: 2.8, CacheRefsPerKiloInstr: 8.0, BranchesPerKiloInstr: 30}},
+	{"rand", "Pseudo-random number generation", 5.55, 1.38,
+		CounterMix{IPC: 1.8, CacheRefsPerKiloInstr: 1.0, BranchesPerKiloInstr: 120}},
+	{"jmp", "Conditional jump stressing", 7.00, 1.55,
+		CounterMix{IPC: 1.2, CacheRefsPerKiloInstr: 0.4, BranchesPerKiloInstr: 450}},
+}
+
+// StressSet returns the 12 stress workloads of Table III.
+func StressSet() []Workload {
+	out := make([]Workload, len(stressDefs))
+	for i, d := range stressDefs {
+		out[i] = Workload{
+			Name:        d.name,
+			Description: d.desc,
+			Kind:        Stress,
+			Cost: map[string]units.Watts{
+				MachineSmallIntel: d.small,
+				MachineDahu:       d.dahu,
+			},
+			Mix: d.mix,
+		}
+	}
+	return out
+}
+
+// StressByName returns the stress workload with the given name.
+func StressByName(name string) (Workload, bool) {
+	for _, w := range StressSet() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// StressNames returns the names of the 12 stress functions in table order.
+func StressNames() []string {
+	out := make([]string, len(stressDefs))
+	for i, d := range stressDefs {
+		out[i] = d.name
+	}
+	return out
+}

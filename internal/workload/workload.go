@@ -1,0 +1,170 @@
+// Package workload defines the workload descriptors consumed by the machine
+// simulator: what a process costs per fully busy core, what performance
+// counter mix it generates, and — for the phase-structured applications of
+// Section V — how its load evolves over time.
+//
+// Two sets are built in, mirroring the paper's selections:
+//
+//   - StressSet: the 12 stress-ng CPU functions of Table III, constant
+//     full-load workloads with stable, workload-specific power costs spread
+//     across each machine's power band (the spread is what produces Fig 1's
+//     min/max envelope and the ratio errors of §IV-A);
+//   - PhoronixSet: the 4 Phoronix applications of Table IV, with scripted
+//     phases reproducing the temporal power signatures of Fig 10 and the
+//     reference energies of Table V.
+//
+// Power costs are calibrated per machine (instruction costs differ across
+// microarchitectures, which is why the paper's QUEENS/FLOAT64 worst pair on
+// DAHU differs from the FIBONACCI/MATRIXPROD worst pair on SMALL INTEL).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"powerdiv/internal/units"
+)
+
+// Kind classifies a workload.
+type Kind int
+
+const (
+	// Stress is a constant-load synthetic stressor (Table III).
+	Stress Kind = iota
+	// App is a phase-structured application (Table IV).
+	App
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Stress:
+		return "stress"
+	case App:
+		return "app"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// CounterMix describes the performance-counter profile of a workload, used
+// by the simulated perf subsystem to synthesise per-process counters.
+type CounterMix struct {
+	// IPC is the workload's instructions retired per cycle.
+	IPC float64
+	// CacheRefsPerKiloInstr is LLC references per 1000 instructions.
+	CacheRefsPerKiloInstr float64
+	// BranchesPerKiloInstr is branch instructions per 1000 instructions.
+	BranchesPerKiloInstr float64
+}
+
+// Phase is one step of an application's load script.
+type Phase struct {
+	// Duration is how long the phase lasts.
+	Duration time.Duration
+	// Threads is the number of busy threads during the phase.
+	Threads int
+	// Intensity scales the workload's per-core cost during the phase,
+	// modelling compute-intensity variation (1.0 = nominal).
+	Intensity float64
+	// Util is the per-thread duty factor during the phase, in (0, 1].
+	Util float64
+}
+
+// Repeat returns the phase list repeated n times, for periodic applications
+// such as CLOVERLEAF's hydro iterations.
+func Repeat(n int, phases ...Phase) []Phase {
+	out := make([]Phase, 0, n*len(phases))
+	for i := 0; i < n; i++ {
+		out = append(out, phases...)
+	}
+	return out
+}
+
+// ScriptDuration returns the total duration of a phase script.
+func ScriptDuration(phases []Phase) time.Duration {
+	var d time.Duration
+	for _, p := range phases {
+		d += p.Duration
+	}
+	return d
+}
+
+// Workload describes one application that can run on the simulated machine.
+type Workload struct {
+	Name        string
+	Description string
+	Kind        Kind
+	// Cost maps a machine spec name (cpumodel.Spec.Name) to the active
+	// power of one fully busy core at base frequency.
+	Cost map[string]units.Watts
+	// Mix is the workload's counter profile.
+	Mix CounterMix
+	// Script is the phase script for App workloads; nil for Stress
+	// workloads, which run all threads at full load until stopped.
+	Script []Phase
+}
+
+// CostOn returns the per-core base-frequency cost on the named machine.
+// Unknown machines fall back to the mean of the calibrated costs, so that
+// user-defined machine specs still get plausible behaviour.
+func (w Workload) CostOn(machine string) units.Watts {
+	if c, ok := w.Cost[machine]; ok {
+		return c
+	}
+	if len(w.Cost) == 0 {
+		return 5 // arbitrary but harmless default
+	}
+	var sum units.Watts
+	for _, c := range w.Cost {
+		sum += c
+	}
+	return sum / units.Watts(len(w.Cost))
+}
+
+// PhaseAt returns the active phase at time t since the workload started.
+// For scriptless workloads or times beyond the script it returns a constant
+// full-load phase with the given default thread count, and done reports
+// whether a scripted workload has finished.
+func (w Workload) PhaseAt(t time.Duration, defaultThreads int) (p Phase, done bool) {
+	full := Phase{Threads: defaultThreads, Intensity: 1, Util: 1}
+	if len(w.Script) == 0 {
+		return full, false
+	}
+	var acc time.Duration
+	for _, ph := range w.Script {
+		acc += ph.Duration
+		if t < acc {
+			return ph, false
+		}
+	}
+	return Phase{Threads: 0, Intensity: 0, Util: 0}, true
+}
+
+// Duration returns the scripted duration of an App workload, or 0 for
+// Stress workloads (they run until stopped).
+func (w Workload) Duration() time.Duration { return ScriptDuration(w.Script) }
+
+// Validate checks internal consistency.
+func (w Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	for m, c := range w.Cost {
+		if c <= 0 {
+			return fmt.Errorf("workload %s: non-positive cost %v on %s", w.Name, c, m)
+		}
+	}
+	if w.Mix.IPC <= 0 {
+		return fmt.Errorf("workload %s: non-positive IPC", w.Name)
+	}
+	for i, p := range w.Script {
+		if p.Duration <= 0 {
+			return fmt.Errorf("workload %s: phase %d has non-positive duration", w.Name, i)
+		}
+		if p.Threads < 0 || p.Intensity < 0 || p.Util < 0 || p.Util > 1 {
+			return fmt.Errorf("workload %s: phase %d out of range: %+v", w.Name, i, p)
+		}
+	}
+	return nil
+}

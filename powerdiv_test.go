@@ -1,0 +1,96 @@
+package powerdiv_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"powerdiv"
+)
+
+// TestFacadeQuickstart exercises the documented public workflow verbatim.
+func TestFacadeQuickstart(t *testing.T) {
+	ctx := powerdiv.NewLabContext(powerdiv.SmallIntel(), 42)
+	fib, err := powerdiv.StressApp("fibonacci", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := powerdiv.StressApp("matrixprod", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := powerdiv.Scenario{Apps: []powerdiv.AppSpec{fib, mat}}
+	baselines, err := powerdiv.MeasureBaselines(ctx, s.Apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := powerdiv.EvaluatePair(ctx, s, powerdiv.Scaphandre(), baselines, powerdiv.ObjectiveActive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.AE < 0.10 || ev.AE > 0.13 {
+		t.Errorf("AE = %.4f, want ≈0.117", ev.AE)
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	for _, f := range []powerdiv.ModelFactory{
+		powerdiv.Scaphandre(),
+		powerdiv.PowerAPI(),
+		powerdiv.Kepler(),
+		powerdiv.RatioPreservingF2(map[string]powerdiv.Watts{"a": 6}),
+	} {
+		if f.Name == "" || f.New == nil {
+			t.Errorf("factory %+v incomplete", f)
+		}
+		if m := f.New(1); m.Name() != f.Name {
+			t.Errorf("model name %q != factory name %q", m.Name(), f.Name)
+		}
+	}
+}
+
+func TestFacadeCampaign(t *testing.T) {
+	ctx := powerdiv.NewLabContext(powerdiv.SmallIntel(), 1)
+	scenarios, err := powerdiv.StressPairs([]string{"fibonacci", "matrixprod", "int64"}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := powerdiv.EvaluateCampaign(ctx, scenarios, powerdiv.Scaphandre(), powerdiv.ObjectiveActive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("%d evaluations, want 3", len(evs))
+	}
+}
+
+func TestFacadeSimulateAndLedger(t *testing.T) {
+	ws := powerdiv.StressWorkloads()
+	if len(ws) != 12 {
+		t.Fatalf("%d stress workloads, want 12", len(ws))
+	}
+	if len(powerdiv.PhoronixWorkloads()) != 4 {
+		t.Fatal("phoronix set size")
+	}
+	cfg := powerdiv.MachineConfig{Spec: powerdiv.Dahu()}
+	run, err := powerdiv.Simulate(cfg, []powerdiv.Proc{
+		{ID: "p", Workload: ws[0], Threads: 4},
+	}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := powerdiv.NewLedger()
+	ledger.Record(run.Duration, powerdiv.Watts(run.PowerSeries().Mean()), map[string]powerdiv.Watts{
+		"p": powerdiv.Watts(run.PowerSeries().Mean()),
+	})
+	if math.Abs(float64(ledger.Energy("p")-run.Energy())) > 1e-6*float64(run.Energy()) {
+		t.Errorf("ledger %v != run energy %v", ledger.Energy("p"), run.Energy())
+	}
+}
+
+func TestFacadeProductionContext(t *testing.T) {
+	ctx := powerdiv.NewProductionContext(powerdiv.SmallIntel(), 1)
+	if !ctx.Machine.Hyperthreading || !ctx.Machine.Turbo {
+		t.Error("production context missing HT/turbo")
+	}
+}
