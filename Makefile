@@ -1,0 +1,25 @@
+# Verify path for powerdiv. `make verify` is the gate every change must
+# pass: build, vet, the full test suite, and the race detector (the live
+# meter and the parallel campaign runner are the concurrency-sensitive
+# paths it guards).
+
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+verify: build vet test race

@@ -7,6 +7,11 @@
 // simulator-backed tools instead). Both roots are injectable, so the tool
 // can also be pointed at recorded sysfs/proc trees.
 //
+// The meter survives degraded conditions: transient sysfs/procfs read
+// errors are retried, unreadable ticks are folded into the next sample
+// (reported as warnings, never lost), and vanished RAPL zones degrade the
+// meter to the survivors. Only the loss of every zone is fatal.
+//
 // Usage:
 //
 //	powerdiv-live [-interval 1s] [-count 10] [-pids 123,456] [-burn matrixprod]
@@ -84,17 +89,45 @@ func main() {
 		os.Exit(1)
 	}
 
+	drops := 0
 	for i := 0; *count == 0 || i <= *count; i++ {
 		attr, err := meter.Sample(time.Now(), pids)
-		if err != nil && !errors.Is(err, livemeter.ErrNotPrimed) {
+		switch {
+		case err == nil:
+			printAttribution(attr, fs)
+		case errors.Is(err, livemeter.ErrNotPrimed):
+			// First sample only: counters primed, nothing to print yet.
+		case errors.Is(err, livemeter.ErrDroppedTick):
+			// Degraded tick: the interval carries over, so keep running.
+			drops++
+			fmt.Fprintf(os.Stderr, "warning: %v (drop %d; interval carries over)\n", err, drops)
+		case errors.Is(err, livemeter.ErrZoneVanished):
+			fmt.Fprintln(os.Stderr, "fatal:", err)
+			printHealth(meter)
+			os.Exit(1)
+		default:
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		if err == nil {
-			printAttribution(attr, fs)
-		}
 		if *count == 0 || i < *count {
 			time.Sleep(*interval)
+		}
+	}
+	if drops > 0 {
+		fmt.Fprintf(os.Stderr, "degraded: %d of %d ticks dropped (all folded into later samples)\n", drops, *count+1)
+	}
+	printHealth(meter)
+}
+
+// printHealth reports zones that are gone or flapping; healthy meters stay
+// quiet.
+func printHealth(meter *livemeter.Meter) {
+	for _, zh := range meter.Health() {
+		switch {
+		case zh.Vanished:
+			fmt.Fprintf(os.Stderr, "zone %s: vanished (metering continued on the survivors)\n", zh.Name)
+		case zh.LastErr != nil:
+			fmt.Fprintf(os.Stderr, "zone %s: last read failed: %v\n", zh.Name, zh.LastErr)
 		}
 	}
 }
@@ -146,6 +179,16 @@ func resolvePIDs(list string, fs *procfs.FS) ([]int, error) {
 
 func printAttribution(attr livemeter.Attribution, fs *procfs.FS) {
 	fmt.Printf("[%8s] machine %s", attr.At.Truncate(time.Millisecond), attr.MachinePower)
+	if attr.Degraded {
+		fmt.Printf("  [degraded:")
+		if attr.CoalescedTicks > 0 {
+			fmt.Printf(" %d ticks coalesced over %s", attr.CoalescedTicks, attr.Interval.Truncate(time.Millisecond))
+		}
+		if attr.ZonesVanished > 0 {
+			fmt.Printf(" %d/%d zones vanished", attr.ZonesVanished, attr.ZonesVanished+attr.ZonesLive)
+		}
+		fmt.Printf("]")
+	}
 	if len(attr.PerPID) == 0 {
 		fmt.Println("  (no process activity)")
 		return

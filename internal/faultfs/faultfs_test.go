@@ -1,0 +1,206 @@
+package faultfs
+
+import (
+	"errors"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "energy_uj", "123\n")
+	pattern := func() []bool {
+		in := NewInjector(7, 0.5)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, err := in.ReadFile(path)
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at read %d", i)
+		}
+	}
+	errs := 0
+	for _, failed := range a {
+		if failed {
+			errs++
+		}
+	}
+	if errs == 0 || errs == len(a) {
+		t.Errorf("errs = %d of %d, want a mixture at rate 0.5", errs, len(a))
+	}
+}
+
+func TestInjectorErrorIsTyped(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "energy_uj", "1\n")
+	in := NewInjector(1, 1.0)
+	_, err := in.ReadFile(path)
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want ErrInjected", err)
+	}
+	if errors.Is(err, iofs.ErrNotExist) {
+		t.Error("transient error must not look like not-exist")
+	}
+}
+
+func TestInjectorBurst(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "energy_uj", "1\n")
+	in := NewInjector(3, 1.0)
+	in.SetBurstLen(3)
+	for i := 0; i < 3; i++ {
+		if _, err := in.ReadFile(path); !errors.Is(err, ErrInjected) {
+			t.Fatalf("read %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	in.SetErrorRate(0)
+	// The armed burst is exhausted; after it reads succeed again.
+	if _, err := in.ReadFile(path); err != nil {
+		t.Fatalf("post-burst read: %v", err)
+	}
+}
+
+func TestInjectorFailNext(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "energy_uj", "1\n")
+	in := NewInjector(1, 0)
+	in.FailNext("energy_uj", 2)
+	for i := 0; i < 2; i++ {
+		if _, err := in.ReadFile(path); !errors.Is(err, ErrInjected) {
+			t.Fatalf("read %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if _, err := in.ReadFile(path); err != nil {
+		t.Fatalf("read after FailNext exhausted: %v", err)
+	}
+	st := in.Stats()
+	if st.InjectedErrors != 2 || st.Reads != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInjectorVanishAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "energy_uj", "1\n")
+	in := NewInjector(1, 0)
+	in.Vanish(dir)
+	if _, err := in.ReadFile(path); !errors.Is(err, iofs.ErrNotExist) {
+		t.Fatalf("vanished read err = %v, want fs.ErrNotExist", err)
+	}
+	in.Restore(dir)
+	if _, err := in.ReadFile(path); err != nil {
+		t.Fatalf("restored read: %v", err)
+	}
+	if in.Stats().VanishedReads != 1 {
+		t.Errorf("VanishedReads = %d, want 1", in.Stats().VanishedReads)
+	}
+}
+
+func TestInjectorOnly(t *testing.T) {
+	dir := t.TempDir()
+	target := writeFile(t, dir, "energy_uj", "1\n")
+	other := writeFile(t, dir, "name", "package-0\n")
+	in := NewInjector(1, 1.0)
+	in.Only("energy_uj")
+	if _, err := in.ReadFile(other); err != nil {
+		t.Errorf("read outside Only scope failed: %v", err)
+	}
+	if _, err := in.ReadFile(target); !errors.Is(err, ErrInjected) {
+		t.Errorf("read inside Only scope err = %v, want ErrInjected", err)
+	}
+}
+
+func TestHostCountersWrap(t *testing.T) {
+	h, err := NewHost(t.TempDir(), t.TempDir(), []HostZoneSpec{
+		{MaxRangeUJ: 10_000_000, StartUJ: 9_000_000}, // 1 J before wrap
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readCounter := func() uint64 {
+		b, err := os.ReadFile(filepath.Join(h.ZoneDir(0), "energy_uj"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := strconv.ParseUint(string(b[:len(b)-1]), 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if got := readCounter(); got != 9_000_000 {
+		t.Fatalf("initial counter = %d", got)
+	}
+	if err := h.AddEnergy(0, 3); err != nil { // 3 J: wraps past 10 J range
+		t.Fatal(err)
+	}
+	if got := readCounter(); got != 2_000_000 {
+		t.Errorf("wrapped counter = %d, want 2000000", got)
+	}
+	if h.Wraps(0) != 1 {
+		t.Errorf("wraps = %d, want 1", h.Wraps(0))
+	}
+	if got := h.DeliveredJoules(0); got != 3 {
+		t.Errorf("ground truth = %v J, want 3 (wrap must not touch it)", got)
+	}
+}
+
+func TestHostRemovedZoneDrawsNothing(t *testing.T) {
+	h, err := NewHost(t.TempDir(), t.TempDir(), []HostZoneSpec{{MaxRangeUJ: 1_000_000_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddEnergy(0, 5)
+	if err := h.RemoveZone(0); err != nil {
+		t.Fatal(err)
+	}
+	h.AddEnergy(0, 5)
+	if got := h.DeliveredJoules(0); got != 5 {
+		t.Errorf("delivered = %v J, want 5 (removed zone draws nothing)", got)
+	}
+	if _, err := os.Stat(h.ZoneDir(0)); !errors.Is(err, iofs.ErrNotExist) {
+		t.Errorf("zone dir still present: %v", err)
+	}
+}
+
+func TestHostProcLifecycle(t *testing.T) {
+	h, err := NewHost(t.TempDir(), t.TempDir(), []HostZoneSpec{{MaxRangeUJ: 1_000_000_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetProcJiffies(10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddProcJiffies(10, 7); err != nil {
+		t.Fatal(err)
+	}
+	if h.ProcJiffies(10) != 12 {
+		t.Errorf("jiffies = %d, want 12", h.ProcJiffies(10))
+	}
+	statPath := filepath.Join(h.ProcRoot, "10", "stat")
+	if _, err := os.Stat(statPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RemoveProc(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(statPath); !errors.Is(err, iofs.ErrNotExist) {
+		t.Errorf("stat still present after RemoveProc: %v", err)
+	}
+	if h.ProcJiffies(10) != 0 {
+		t.Errorf("jiffies after removal = %d, want 0", h.ProcJiffies(10))
+	}
+}

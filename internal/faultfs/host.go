@@ -1,0 +1,164 @@
+package faultfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// HostZoneSpec configures one synthetic RAPL zone.
+type HostZoneSpec struct {
+	// MaxRangeUJ is the counter's wraparound range in µJ. Storm tests use
+	// small ranges so wraps occur every few seconds of simulated time.
+	MaxRangeUJ uint64
+	// StartUJ is the counter's initial value (real counters start at an
+	// arbitrary point in their range; start near MaxRangeUJ to force an
+	// early wrap).
+	StartUJ uint64
+}
+
+// Host is a synthetic Linux host: a powercap sysfs tree plus a proc tree
+// that the test driver advances. Energy counters wrap with real modulo
+// semantics, and the host keeps per-zone ground-truth delivered energy —
+// the reference a storm test holds the meter's attribution against.
+//
+// Host is not safe for concurrent use; drive it from one goroutine.
+type Host struct {
+	// CapRoot is the powercap root to hand to the meter.
+	CapRoot string
+	// ProcRoot is the proc root to hand to the meter.
+	ProcRoot string
+
+	zones []*hostZone
+	procs map[int]uint64
+}
+
+type hostZone struct {
+	dir         string
+	maxRange    uint64
+	startUJ     uint64
+	deliveredUJ float64
+	wraps       int
+	removed     bool
+}
+
+// NewHost builds the powercap and proc trees under the given (existing)
+// directories. Zone i is named package-<i> in directory intel-rapl:<i>.
+func NewHost(capRoot, procRoot string, zones []HostZoneSpec) (*Host, error) {
+	h := &Host{CapRoot: capRoot, ProcRoot: procRoot, procs: map[int]uint64{}}
+	for i, spec := range zones {
+		if spec.MaxRangeUJ == 0 {
+			return nil, fmt.Errorf("faultfs: zone %d: zero MaxRangeUJ", i)
+		}
+		dir := filepath.Join(capRoot, fmt.Sprintf("intel-rapl:%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("faultfs: %w", err)
+		}
+		z := &hostZone{dir: dir, maxRange: spec.MaxRangeUJ, startUJ: spec.StartUJ % spec.MaxRangeUJ}
+		files := map[string]string{
+			"name":                fmt.Sprintf("package-%d\n", i),
+			"max_energy_range_uj": strconv.FormatUint(z.maxRange, 10) + "\n",
+		}
+		for name, content := range files {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+				return nil, fmt.Errorf("faultfs: %w", err)
+			}
+		}
+		h.zones = append(h.zones, z)
+		if err := h.writeEnergy(z); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// writeEnergy materialises the zone's wrapped counter value.
+func (h *Host) writeEnergy(z *hostZone) error {
+	uj := (z.startUJ + uint64(z.deliveredUJ)) % z.maxRange
+	path := filepath.Join(z.dir, "energy_uj")
+	if err := os.WriteFile(path, []byte(strconv.FormatUint(uj, 10)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("faultfs: %w", err)
+	}
+	return nil
+}
+
+// AddEnergy delivers joules to the zone: the ground-truth tally grows and
+// the counter file advances (wrapping as real hardware does). Delivering to
+// a removed zone is a no-op — an unplugged package draws nothing.
+func (h *Host) AddEnergy(zone int, joules float64) error {
+	z := h.zones[zone]
+	if z.removed {
+		return nil
+	}
+	before := (z.startUJ + uint64(z.deliveredUJ)) % z.maxRange
+	z.deliveredUJ += joules * 1e6
+	after := (z.startUJ + uint64(z.deliveredUJ)) % z.maxRange
+	if after < before {
+		z.wraps++
+	}
+	return h.writeEnergy(z)
+}
+
+// CorruptEnergy rewrites the zone's counter to an arbitrary raw value
+// without touching the ground-truth tally — the "counter restarted from an
+// arbitrary point" anomaly a meter must not book as a huge wrap delta.
+func (h *Host) CorruptEnergy(zone int, uj uint64) error {
+	z := h.zones[zone]
+	z.startUJ = uj % z.maxRange
+	z.deliveredUJ = 0
+	return h.writeEnergy(z)
+}
+
+// RemoveZone deletes the zone's sysfs directory, as package hotplug or
+// permission loss would. Further AddEnergy calls for it are no-ops.
+func (h *Host) RemoveZone(zone int) error {
+	z := h.zones[zone]
+	z.removed = true
+	if err := os.RemoveAll(z.dir); err != nil {
+		return fmt.Errorf("faultfs: %w", err)
+	}
+	return nil
+}
+
+// DeliveredJoules returns the ground-truth energy delivered to the zone.
+func (h *Host) DeliveredJoules(zone int) float64 { return h.zones[zone].deliveredUJ * 1e-6 }
+
+// Wraps returns how many times the zone's counter has wrapped.
+func (h *Host) Wraps(zone int) int { return h.zones[zone].wraps }
+
+// ZoneDir returns the zone's sysfs directory (for targeting faults).
+func (h *Host) ZoneDir(zone int) string { return h.zones[zone].dir }
+
+// SetProcJiffies writes /<pid>/stat with the given cumulative utime.
+func (h *Host) SetProcJiffies(pid int, jiffies uint64) error {
+	h.procs[pid] = jiffies
+	dir := filepath.Join(h.ProcRoot, strconv.Itoa(pid))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("faultfs: %w", err)
+	}
+	line := strconv.Itoa(pid) + " (worker) R 1 1 1 0 -1 0 0 0 0 0 " +
+		strconv.FormatUint(jiffies, 10) + " 0 0 0 20 0 1 0 0 0 0\n"
+	if err := os.WriteFile(filepath.Join(dir, "stat"), []byte(line), 0o644); err != nil {
+		return fmt.Errorf("faultfs: %w", err)
+	}
+	return nil
+}
+
+// AddProcJiffies advances a process's cumulative CPU time.
+func (h *Host) AddProcJiffies(pid int, delta uint64) error {
+	return h.SetProcJiffies(pid, h.procs[pid]+delta)
+}
+
+// ProcJiffies returns the process's current cumulative utime.
+func (h *Host) ProcJiffies(pid int) uint64 { return h.procs[pid] }
+
+// RemoveProc deletes the process's proc directory (process exit). A later
+// SetProcJiffies with a fresh count models PID reuse.
+func (h *Host) RemoveProc(pid int) error {
+	delete(h.procs, pid)
+	if err := os.RemoveAll(filepath.Join(h.ProcRoot, strconv.Itoa(pid))); err != nil {
+		return fmt.Errorf("faultfs: %w", err)
+	}
+	return nil
+}

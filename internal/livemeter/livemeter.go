@@ -4,19 +4,43 @@
 // target. It degrades gracefully: on machines without RAPL (or without the
 // requested processes) Open reports a typed error the caller can surface.
 //
+// The meter is built to survive degraded ticks without losing attribution.
+// A long-running deployment sees transient sysfs/procfs read errors, RAPL
+// counter wraps, vanishing zones (package hotplug, permission loss), PID
+// churn and stalled clocks; the meter's contract under all of them is:
+//
+//   - transient zone read errors are retried with backoff; if a tick still
+//     cannot be measured it is *dropped, not lost*: process CPU-time deltas
+//     and zone energy keep accumulating, and the next successful sample
+//     attributes the whole coalesced interval (Attribution.CoalescedTicks);
+//   - a primed meter never reverts to ErrNotPrimed — degraded ticks return
+//     ErrDroppedTick, and only the disappearance of every zone returns
+//     ErrZoneVanished;
+//   - a zone that vanishes is dropped from the live set and the meter
+//     continues on the survivors, flagging Attribution.Degraded and
+//     reporting detail through Health;
+//   - counter wraparound is folded in by rapl.Counter, and a reading so
+//     implausible it must be a counter re-registration (not a wrap) is
+//     discarded and the zone re-based instead of booking a huge spike.
+//
 // The meter is fully testable offline: both the powercap tree and the proc
-// tree are injectable roots, and tests drive it with synthetic counters.
+// tree are injectable roots, every file read can be routed through
+// Config.ReadFile, and the internal/faultfs harness drives all of the
+// degraded paths deterministically.
 package livemeter
 
 import (
 	"errors"
 	"fmt"
+	iofs "io/fs"
 	"sort"
+	"strconv"
 	"time"
 
 	"powerdiv/internal/models"
 	"powerdiv/internal/procfs"
 	"powerdiv/internal/rapl"
+	"powerdiv/internal/retry"
 	"powerdiv/internal/units"
 )
 
@@ -34,30 +58,94 @@ type Config struct {
 	UserHz int
 	// Model divides the measured power; nil = Scaphandre.
 	Model models.Model
+	// ReadFile routes every sysfs/procfs file read (nil = os.ReadFile).
+	// The fault-injection harness (internal/faultfs) plugs in here.
+	ReadFile func(string) ([]byte, error)
+	// Retry is the policy for transient zone read errors; the zero value
+	// means retry.Default (3 attempts, 1 ms doubling backoff).
+	Retry retry.Policy
+	// MaxPlausiblePower is the per-zone sanity ceiling: a zone interval
+	// implying more average power than this is treated as a counter
+	// anomaly (re-registration), discarded and re-based rather than
+	// reported. 0 = 10 kW, far above any package zone.
+	MaxPlausiblePower units.Watts
+	// VanishAfter is how many consecutive not-exist read failures mark a
+	// zone as vanished (0 = 2).
+	VanishAfter int
 }
 
 // Meter is a live process-level power meter.
 type Meter struct {
-	zones    []*rapl.PowercapZone
-	counters []*rapl.Counter
-	fs       *procfs.FS
-	tracker  *procfs.Tracker
-	model    models.Model
-	freqRoot string
-	start    time.Time
-	lastAt   time.Duration
-	primed   bool
+	zones     []*rapl.PowercapZone
+	counters  []*rapl.Counter
+	zoneState []zoneState
+	fs        *procfs.FS
+	tracker   *procfs.Tracker
+	model     models.Model
+	freqRoot  string
+	readFile  func(string) ([]byte, error)
+	retry     retry.Policy
+	maxPower  units.Watts
+	vanishAt  int
+
+	start      time.Time
+	lastAt     time.Duration // last accepted sample timestamp (stall detection)
+	lastEmitAt time.Duration // last successful attribution timestamp
+	primed     bool
+	pending    map[int]pendingProc // proc activity carried across dropped ticks
+	dropped    int                 // ticks dropped since the last emit
+}
+
+// zoneState tracks one zone's availability.
+type zoneState struct {
+	misses   int // consecutive not-exist read failures
+	vanished bool
+	lastErr  error
+}
+
+// pendingProc accumulates one process's activity until the next emit.
+type pendingProc struct {
+	cpu     units.CPUTime
+	threads int
 }
 
 // Attribution is one sampling interval's output.
 type Attribution struct {
 	// At is the sample time relative to the meter's first sample.
 	At time.Duration
-	// MachinePower is the summed package power.
+	// Interval is the span this attribution covers: the time since the
+	// previous successful attribution (longer than the sampling period
+	// when dropped ticks were coalesced; 0 on dropped ticks).
+	Interval time.Duration
+	// MachinePower is the summed package power over Interval.
 	MachinePower units.Watts
 	// PerPID maps process ID to its estimated power; nil while the model
 	// warms up or when nothing ran.
 	PerPID map[int]units.Watts
+	// Degraded reports reduced fidelity: vanished zones, zones that failed
+	// this tick, a discarded anomalous reading, or dropped ticks folded
+	// into this interval.
+	Degraded bool
+	// CoalescedTicks is how many dropped sampling attempts since the
+	// previous successful attribution were folded into this interval
+	// (0 in steady state).
+	CoalescedTicks int
+	// ZonesLive and ZonesVanished count the meter's zone population.
+	ZonesLive     int
+	ZonesVanished int
+}
+
+// ZoneHealth is one zone's availability status, reported by Health.
+type ZoneHealth struct {
+	Name string
+	// Vanished means the zone's files disappeared and the meter has
+	// dropped it from the live set.
+	Vanished bool
+	// ConsecutiveMisses counts not-exist failures on a zone not yet
+	// declared vanished.
+	ConsecutiveMisses int
+	// LastErr is the most recent read error (nil after a clean read).
+	LastErr error
 }
 
 // Open discovers the RAPL zones and prepares the meter.
@@ -67,18 +155,41 @@ func Open(cfg Config) (*Meter, error) {
 	if root == "" {
 		root = rapl.DefaultPowercapRoot
 	}
-	zones, err := rapl.Discover(root)
+	var readFile rapl.ReadFileFunc
+	if cfg.ReadFile != nil {
+		readFile = cfg.ReadFile
+	}
+	zones, err := rapl.DiscoverReader(root, readFile)
 	if err != nil {
 		return nil, fmt.Errorf("livemeter: %w", err)
 	}
-	m := &Meter{zones: zones, model: cfg.Model}
+	m := &Meter{
+		zones:    zones,
+		model:    cfg.Model,
+		readFile: cfg.ReadFile,
+		retry:    cfg.Retry,
+		maxPower: cfg.MaxPlausiblePower,
+		vanishAt: cfg.VanishAfter,
+		pending:  map[int]pendingProc{},
+	}
+	if m.maxPower <= 0 {
+		m.maxPower = 10_000 // 10 kW: no package zone gets anywhere near this
+	}
+	if m.vanishAt <= 0 {
+		m.vanishAt = 2
+	}
+	m.zoneState = make([]zoneState, len(zones))
 	for _, z := range zones {
 		m.counters = append(m.counters, rapl.NewCounter(z.MaxEnergyRange()))
 	}
 	if m.model == nil {
 		m.model = models.NewScaphandre().New(0)
 	}
-	m.fs = procfs.New(cfg.ProcRoot, cfg.UserHz)
+	var procRead procfs.ReadFileFunc
+	if cfg.ReadFile != nil {
+		procRead = cfg.ReadFile
+	}
+	m.fs = procfs.NewReader(cfg.ProcRoot, cfg.UserHz, procRead)
 	m.tracker = procfs.NewTracker(m.fs)
 	m.freqRoot = cfg.CPUFreqRoot
 	if m.freqRoot == "" {
@@ -87,8 +198,22 @@ func Open(cfg Config) (*Meter, error) {
 	return m, nil
 }
 
-// ErrNotPrimed is returned by Sample before two readings exist.
+// ErrNotPrimed is returned by the first Sample only: it primes the
+// counters. A meter never reverts to it — later degradation is reported as
+// ErrDroppedTick or ErrZoneVanished so callers can tell warm-up from fault.
 var ErrNotPrimed = errors.New("livemeter: first sample primes the counters")
+
+// ErrDroppedTick is returned by Sample on a primed meter when the tick
+// could not be attributed (stalled clock, or no zone could be read). The
+// interval is not lost: process activity and zone energy carry over and the
+// next successful sample covers the whole gap.
+var ErrDroppedTick = errors.New("livemeter: tick dropped, interval folded into next sample")
+
+// ErrZoneVanished is returned by Sample when every RAPL zone has vanished
+// (package hotplug, permission loss): the meter has nothing left to read.
+// The disappearance of only some zones degrades the attribution instead
+// (Attribution.Degraded, Health).
+var ErrZoneVanished = errors.New("livemeter: all RAPL zones vanished")
 
 // Sample reads all sources once and attributes the interval's power to the
 // given PIDs. The first call primes the counters and returns ErrNotPrimed.
@@ -98,38 +223,128 @@ func (m *Meter) Sample(now time.Time, pids []int) (Attribution, error) {
 		m.start = now
 	}
 	at := now.Sub(m.start)
-	var total units.Watts
-	haveAll := true
+
+	// Phase 1: read every live zone, with retry for transient errors. No
+	// counter state is touched yet, so a failure cannot leave some zones
+	// advanced and others not (which would skew the next interval).
+	readings := make([]uint64, len(m.zones))
+	readOK := make([]bool, len(m.zones))
+	live, okReads := 0, 0
 	for i, z := range m.zones {
-		uj, err := z.ReadEnergy()
-		if err != nil {
-			return Attribution{}, fmt.Errorf("livemeter: zone %s: %w", z.Name(), err)
-		}
-		p, ok := m.counters[i].Power(rapl.Reading{At: at, EnergyUJ: uj})
-		if !ok {
-			haveAll = false
+		st := &m.zoneState[i]
+		if st.vanished {
 			continue
 		}
-		total += p
+		uj, err := m.readZone(z)
+		if err != nil {
+			st.lastErr = err
+			if errors.Is(err, iofs.ErrNotExist) {
+				st.misses++
+				if st.misses >= m.vanishAt {
+					st.vanished = true
+					m.counters[i].Reset()
+					continue
+				}
+			}
+			live++
+			continue
+		}
+		st.misses = 0
+		st.lastErr = nil
+		readings[i], readOK[i] = uj, true
+		live++
+		okReads++
 	}
-	deltas := m.tracker.SampleDetailed(pids)
-	interval := at - m.lastAt
-	m.lastAt = at
+	if live == 0 {
+		return Attribution{At: at, ZonesVanished: len(m.zones)},
+			fmt.Errorf("livemeter: %d zones gone: %w", len(m.zones), ErrZoneVanished)
+	}
+
+	// Phase 2: always consume the CPU tracker, so activity during degraded
+	// ticks accumulates toward the next successful attribution instead of
+	// being thrown away with the tick.
+	for pid, d := range m.tracker.SampleDetailed(pids) {
+		p := m.pending[pid]
+		p.cpu += d.CPUTime
+		if d.NumThreads > 0 {
+			p.threads = d.NumThreads
+		}
+		m.pending[pid] = p
+	}
+
 	if !m.primed {
+		for i := range m.zones {
+			if readOK[i] {
+				m.counters[i].Rebase(rapl.Reading{At: at, EnergyUJ: readings[i]})
+			}
+		}
 		m.primed = true
-		return Attribution{At: at}, ErrNotPrimed
+		m.lastAt = at
+		m.lastEmitAt = at
+		return Attribution{At: at, ZonesLive: live, ZonesVanished: m.vanishedCount()}, ErrNotPrimed
 	}
-	if !haveAll || interval <= 0 {
-		return Attribution{At: at}, ErrNotPrimed
+
+	degraded := okReads < live || m.vanishedCount() > 0
+	if at <= m.lastAt {
+		m.dropped++
+		return m.droppedAttribution(at, live), fmt.Errorf("livemeter: clock did not advance: %w", ErrDroppedTick)
 	}
-	attr := Attribution{At: at, MachinePower: total}
-	procs := make(map[string]models.ProcSample, len(deltas))
-	for pid, d := range deltas {
-		procs[fmt.Sprint(pid)] = models.ProcSample{CPUTime: d.CPUTime, Threads: d.NumThreads}
+	m.lastAt = at
+	if okReads == 0 {
+		m.dropped++
+		return m.droppedAttribution(at, live), fmt.Errorf("livemeter: no zone readable: %w", ErrDroppedTick)
+	}
+
+	// Phase 3: fold each readable zone's energy since its own last accepted
+	// reading — a zone that missed ticks contributes its whole backlog here,
+	// so energy is conserved across the gap.
+	interval := at - m.lastEmitAt
+	var energy units.Joules
+	measured := 0
+	for i := range m.zones {
+		if !readOK[i] {
+			continue
+		}
+		e, dt, ok := m.counters[i].EnergyDelta(rapl.Reading{At: at, EnergyUJ: readings[i]})
+		if !ok {
+			// First accepted reading for this zone (it failed during the
+			// priming tick): baseline set, energy flows from the next one.
+			degraded = true
+			continue
+		}
+		if e.Power(dt) > m.maxPower {
+			// Counter anomaly: a re-registered counter restarting from an
+			// arbitrary value is indistinguishable from a wrap and would
+			// book an absurd delta. EnergyDelta already re-based the zone
+			// on this reading; discard the interval's energy.
+			degraded = true
+			continue
+		}
+		energy += e
+		measured++
+	}
+	if measured == 0 {
+		m.dropped++
+		return m.droppedAttribution(at, live), fmt.Errorf("livemeter: no zone measurable yet: %w", ErrDroppedTick)
+	}
+	total := energy.Power(interval)
+
+	attr := Attribution{
+		At:             at,
+		Interval:       interval,
+		MachinePower:   total,
+		Degraded:       degraded || m.dropped > 0,
+		CoalescedTicks: m.dropped,
+		ZonesLive:      live,
+		ZonesVanished:  m.vanishedCount(),
+	}
+	procs := make(map[string]models.ProcSample, len(m.pending))
+	for pid, p := range m.pending {
+		procs[strconv.Itoa(pid)] = models.ProcSample{CPUTime: p.cpu, Threads: p.threads}
 	}
 	// Best-effort frequency: cpu0's current frequency, 0 when unreadable.
 	var freq units.Hertz
-	if khz, err := procfs.ReadCurFreqKHz(m.freqRoot, 0); err == nil {
+	if khz, err := procfs.ReadCurFreqKHzReader(m.freqRoot, 0, m.readFile); err == nil {
 		freq = units.Hertz(khz) * units.KHz
 	}
 	est := m.model.Observe(models.Tick{
@@ -137,17 +352,73 @@ func (m *Meter) Sample(now time.Time, pids []int) (Attribution, error) {
 		Interval:     interval,
 		MachinePower: total,
 		Freq:         freq,
+		Degraded:     attr.Degraded,
 		Procs:        procs,
 	})
 	if est != nil {
 		attr.PerPID = make(map[int]units.Watts, len(est))
 		for id, w := range est {
-			var pid int
-			fmt.Sscanf(id, "%d", &pid)
+			pid, err := strconv.Atoi(id)
+			if err != nil {
+				// A model returning IDs the meter never issued is a bug in
+				// the model; don't fabricate PID 0.
+				continue
+			}
 			attr.PerPID[pid] = w
 		}
 	}
+	m.lastEmitAt = at
+	m.dropped = 0
+	m.pending = make(map[int]pendingProc, len(m.pending))
 	return attr, nil
+}
+
+// droppedAttribution is the (non-nil-error) payload for a dropped tick.
+func (m *Meter) droppedAttribution(at time.Duration, live int) Attribution {
+	return Attribution{
+		At:             at,
+		Degraded:       true,
+		CoalescedTicks: m.dropped,
+		ZonesLive:      live,
+		ZonesVanished:  m.vanishedCount(),
+	}
+}
+
+// readZone reads one zone's energy counter under the retry policy.
+// Not-exist errors are permanent (the file is gone, not busy).
+func (m *Meter) readZone(z *rapl.PowercapZone) (uint64, error) {
+	var uj uint64
+	err := m.retry.Do(func() error {
+		var err error
+		uj, err = z.ReadEnergy()
+		return err
+	}, func(err error) bool { return errors.Is(err, iofs.ErrNotExist) })
+	return uj, err
+}
+
+func (m *Meter) vanishedCount() int {
+	n := 0
+	for i := range m.zoneState {
+		if m.zoneState[i].vanished {
+			n++
+		}
+	}
+	return n
+}
+
+// Health reports each zone's availability, in discovery order.
+func (m *Meter) Health() []ZoneHealth {
+	out := make([]ZoneHealth, len(m.zones))
+	for i, z := range m.zones {
+		st := m.zoneState[i]
+		out[i] = ZoneHealth{
+			Name:              z.Name(),
+			Vanished:          st.vanished,
+			ConsecutiveMisses: st.misses,
+			LastErr:           st.lastErr,
+		}
+	}
+	return out
 }
 
 // Zones returns the discovered zone names, sorted.

@@ -5,78 +5,43 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"strconv"
 	"testing"
 	"time"
 
+	"powerdiv/internal/faultfs"
 	"powerdiv/internal/models"
 	"powerdiv/internal/rapl"
+	"powerdiv/internal/retry"
 	"powerdiv/internal/units"
 )
 
-// fakeHost builds synthetic powercap and proc trees and lets tests advance
-// the machine: energy counters and per-process jiffies.
-type fakeHost struct {
-	t        *testing.T
-	capRoot  string
-	procRoot string
-	energyUJ uint64
-	jiffies  map[int]uint64
-}
+const bigRange = 262143328850 // a real package zone's µJ range
 
-func newFakeHost(t *testing.T) *fakeHost {
+// newHost builds a synthetic host with the given zones.
+func newHost(t *testing.T, zones ...faultfs.HostZoneSpec) *faultfs.Host {
 	t.Helper()
-	h := &fakeHost{
-		t:        t,
-		capRoot:  t.TempDir(),
-		procRoot: t.TempDir(),
-		jiffies:  map[int]uint64{},
+	if len(zones) == 0 {
+		zones = []faultfs.HostZoneSpec{{MaxRangeUJ: bigRange}}
 	}
-	dir := filepath.Join(h.capRoot, "intel-rapl:0")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	h, err := faultfs.NewHost(t.TempDir(), t.TempDir(), zones)
+	if err != nil {
 		t.Fatal(err)
 	}
-	write := func(name, content string) {
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	write("name", "package-0\n")
-	write("max_energy_range_uj", "262143328850\n")
-	h.setEnergy(0)
 	return h
 }
 
-func (h *fakeHost) setEnergy(uj uint64) {
-	h.t.Helper()
-	h.energyUJ = uj
-	path := filepath.Join(h.capRoot, "intel-rapl:0", "energy_uj")
-	if err := os.WriteFile(path, []byte(strconv.FormatUint(uj, 10)+"\n"), 0o644); err != nil {
-		h.t.Fatal(err)
-	}
+// noSleep is a retry policy that does not wait between attempts.
+func noSleep(attempts int) retry.Policy {
+	return retry.Policy{Attempts: attempts, Sleep: func(time.Duration) {}}
 }
 
-func (h *fakeHost) addEnergy(joules float64) {
-	h.setEnergy(h.energyUJ + uint64(joules*1e6))
-}
-
-func (h *fakeHost) setProc(pid int, jiffies uint64) {
-	h.t.Helper()
-	h.jiffies[pid] = jiffies
-	dir := filepath.Join(h.procRoot, strconv.Itoa(pid))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		h.t.Fatal(err)
-	}
-	line := strconv.Itoa(pid) + " (worker) R 1 1 1 0 -1 0 0 0 0 0 " +
-		strconv.FormatUint(jiffies, 10) + " 0 0 0 20 0 1 0 0 0 0\n"
-	if err := os.WriteFile(filepath.Join(dir, "stat"), []byte(line), 0o644); err != nil {
-		h.t.Fatal(err)
-	}
-}
-
-func openMeter(t *testing.T, h *fakeHost) *Meter {
+func openMeter(t *testing.T, h *faultfs.Host, inj *faultfs.Injector) *Meter {
 	t.Helper()
-	m, err := Open(Config{PowercapRoot: h.capRoot, ProcRoot: h.procRoot})
+	cfg := Config{PowercapRoot: h.CapRoot, ProcRoot: h.ProcRoot, Retry: noSleep(3)}
+	if inj != nil {
+		cfg.ReadFile = inj.ReadFile
+	}
+	m, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,10 +56,10 @@ func TestOpenNoRAPL(t *testing.T) {
 }
 
 func TestMeterAttribution(t *testing.T) {
-	h := newFakeHost(t)
-	h.setProc(10, 0)
-	h.setProc(11, 0)
-	m := openMeter(t, h)
+	h := newHost(t)
+	h.SetProcJiffies(10, 0)
+	h.SetProcJiffies(11, 0)
+	m := openMeter(t, h, nil)
 
 	base := time.Unix(1000, 0)
 	if _, err := m.Sample(base, []int{10, 11}); !errors.Is(err, ErrNotPrimed) {
@@ -102,15 +67,18 @@ func TestMeterAttribution(t *testing.T) {
 	}
 
 	// Over 1 s: 40 J consumed; pid 10 used 2× the CPU of pid 11.
-	h.addEnergy(40)
-	h.setProc(10, 100) // 1 s
-	h.setProc(11, 50)  // 0.5 s
+	h.AddEnergy(0, 40)
+	h.SetProcJiffies(10, 100) // 1 s
+	h.SetProcJiffies(11, 50)  // 0.5 s
 	attr, err := m.Sample(base.Add(time.Second), []int{10, 11})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(float64(attr.MachinePower)-40) > 1e-9 {
 		t.Errorf("machine power = %v, want 40", attr.MachinePower)
+	}
+	if attr.Degraded {
+		t.Error("clean interval flagged degraded")
 	}
 	if attr.PerPID == nil {
 		t.Fatal("no attribution")
@@ -124,14 +92,14 @@ func TestMeterAttribution(t *testing.T) {
 }
 
 func TestMeterIdleInterval(t *testing.T) {
-	h := newFakeHost(t)
-	h.setProc(10, 0)
-	m := openMeter(t, h)
+	h := newHost(t)
+	h.SetProcJiffies(10, 0)
+	m := openMeter(t, h, nil)
 	base := time.Unix(1000, 0)
 	m.Sample(base, []int{10})
 	// Energy flows but the process used no CPU: machine power is known,
 	// attribution is nil.
-	h.addEnergy(10)
+	h.AddEnergy(0, 10)
 	attr, err := m.Sample(base.Add(time.Second), []int{10})
 	if err != nil {
 		t.Fatal(err)
@@ -145,14 +113,17 @@ func TestMeterIdleInterval(t *testing.T) {
 }
 
 func TestMeterCounterWrap(t *testing.T) {
-	h := newFakeHost(t)
-	h.setEnergy(262143328850 - 5_000_000) // 5 J before wrap
-	h.setProc(10, 0)
-	m := openMeter(t, h)
+	// Start the counter 5 J before its wrap point and deliver 10 J.
+	h := newHost(t, faultfs.HostZoneSpec{MaxRangeUJ: bigRange, StartUJ: bigRange - 5_000_000})
+	h.SetProcJiffies(10, 0)
+	m := openMeter(t, h, nil)
 	base := time.Unix(1000, 0)
 	m.Sample(base, []int{10})
-	h.setEnergy(5_000_000) // wrapped: 10 J consumed
-	h.setProc(10, 100)
+	h.AddEnergy(0, 10)
+	h.SetProcJiffies(10, 100)
+	if h.Wraps(0) != 1 {
+		t.Fatalf("wraps = %d, want 1", h.Wraps(0))
+	}
 	attr, err := m.Sample(base.Add(time.Second), []int{10})
 	if err != nil {
 		t.Fatal(err)
@@ -162,20 +133,306 @@ func TestMeterCounterWrap(t *testing.T) {
 	}
 }
 
-func TestMeterNonAdvancingClock(t *testing.T) {
-	h := newFakeHost(t)
-	h.setProc(10, 0)
-	m := openMeter(t, h)
+// A stalled clock drops the tick with ErrDroppedTick — not ErrNotPrimed —
+// and the interval's energy and CPU time are attributed once time advances.
+func TestMeterStalledClock(t *testing.T) {
+	h := newHost(t)
+	h.SetProcJiffies(10, 0)
+	m := openMeter(t, h, nil)
 	base := time.Unix(1000, 0)
 	m.Sample(base, []int{10})
-	if _, err := m.Sample(base, []int{10}); !errors.Is(err, ErrNotPrimed) {
-		t.Errorf("same-instant sample err = %v, want ErrNotPrimed", err)
+
+	h.AddEnergy(0, 20)
+	h.SetProcJiffies(10, 100)
+	_, err := m.Sample(base, []int{10})
+	if !errors.Is(err, ErrDroppedTick) {
+		t.Fatalf("same-instant sample err = %v, want ErrDroppedTick", err)
+	}
+	if errors.Is(err, ErrNotPrimed) {
+		t.Fatal("stalled clock reported as ErrNotPrimed: callers cannot tell warm-up from degradation")
+	}
+
+	// Clock recovers after 2 s total; another 20 J and 100 jiffies flow.
+	h.AddEnergy(0, 20)
+	h.SetProcJiffies(10, 200)
+	attr, err := m.Sample(base.Add(2*time.Second), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(attr.MachinePower)-20) > 1e-9 {
+		t.Errorf("machine power = %v, want 20 (40 J over 2 s)", attr.MachinePower)
+	}
+	if attr.CoalescedTicks != 1 || !attr.Degraded {
+		t.Errorf("CoalescedTicks = %d, Degraded = %v; want 1, true", attr.CoalescedTicks, attr.Degraded)
+	}
+	if math.Abs(float64(attr.PerPID[10])-20) > 1e-9 {
+		t.Errorf("pid 10 = %v, want all 20 W", attr.PerPID[10])
+	}
+}
+
+// A whole-tick read failure must not lose the interval: process CPU-time
+// deltas and zone energy carry over to the next successful sample.
+func TestDroppedTickCarriesActivity(t *testing.T) {
+	h := newHost(t)
+	h.SetProcJiffies(10, 0)
+	h.SetProcJiffies(11, 0)
+	inj := faultfs.NewInjector(1, 0)
+	m := openMeter(t, h, inj)
+	base := time.Unix(1000, 0)
+	m.Sample(base, []int{10, 11})
+
+	// Tick 2: 30 J, pid 10 busy; every energy read fails (burst outlasts
+	// the 3-attempt retry budget).
+	h.AddEnergy(0, 30)
+	h.AddProcJiffies(10, 100)
+	inj.FailNext("energy_uj", 3)
+	_, err := m.Sample(base.Add(time.Second), []int{10, 11})
+	if !errors.Is(err, ErrDroppedTick) {
+		t.Fatalf("err = %v, want ErrDroppedTick", err)
+	}
+
+	// Tick 3: another 30 J, pid 11 busy. The attribution must cover both
+	// intervals: 60 J over 2 s, split evenly between the pids.
+	h.AddEnergy(0, 30)
+	h.AddProcJiffies(11, 100)
+	attr, err := m.Sample(base.Add(2*time.Second), []int{10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(attr.MachinePower)-30) > 1e-9 {
+		t.Errorf("machine power = %v, want 30 (60 J over 2 s)", attr.MachinePower)
+	}
+	if attr.CoalescedTicks != 1 {
+		t.Errorf("CoalescedTicks = %d, want 1", attr.CoalescedTicks)
+	}
+	for _, pid := range []int{10, 11} {
+		if math.Abs(float64(attr.PerPID[pid])-15) > 1e-9 {
+			t.Errorf("pid %d = %v, want 15 W (dropped tick's activity must not be lost)", pid, attr.PerPID[pid])
+		}
+	}
+}
+
+// One zone failing must not advance the sibling zones' counters into an
+// inconsistent state: the survivors are attributed now, the failed zone's
+// backlog arrives with its next successful read, and total energy balances.
+func TestZoneErrorKeepsSiblingsConsistent(t *testing.T) {
+	h := newHost(t,
+		faultfs.HostZoneSpec{MaxRangeUJ: bigRange},
+		faultfs.HostZoneSpec{MaxRangeUJ: bigRange},
+	)
+	h.SetProcJiffies(10, 0)
+	inj := faultfs.NewInjector(1, 0)
+	m := openMeter(t, h, inj)
+	base := time.Unix(1000, 0)
+	m.Sample(base, []int{10})
+
+	// Tick 2: both zones deliver 10 J; zone 1's reads all fail.
+	h.AddEnergy(0, 10)
+	h.AddEnergy(1, 10)
+	h.AddProcJiffies(10, 100)
+	inj.FailNext(h.ZoneDir(1), 3)
+	attr, err := m.Sample(base.Add(time.Second), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !attr.Degraded {
+		t.Error("zone-failure tick not flagged degraded")
+	}
+	if math.Abs(float64(attr.MachinePower)-10) > 1e-9 {
+		t.Errorf("degraded machine power = %v, want 10 (zone 0 only)", attr.MachinePower)
+	}
+
+	// Tick 3: both zones deliver another 10 J and zone 1 recovers: its
+	// 20 J backlog spans both intervals.
+	h.AddEnergy(0, 10)
+	h.AddEnergy(1, 10)
+	h.AddProcJiffies(10, 100)
+	attr2, err := m.Sample(base.Add(2*time.Second), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy balance: attributed power × interval over both ticks equals
+	// the 40 J delivered in total.
+	got := float64(attr.MachinePower)*1 + float64(attr2.MachinePower)*1
+	if math.Abs(got-40) > 1e-9 {
+		t.Errorf("total attributed energy = %v J, want 40 (none lost, none double-counted)", got)
+	}
+}
+
+// A vanished zone degrades the meter to the survivors; when every zone is
+// gone the meter reports ErrZoneVanished.
+func TestZoneVanishMidRun(t *testing.T) {
+	h := newHost(t,
+		faultfs.HostZoneSpec{MaxRangeUJ: bigRange},
+		faultfs.HostZoneSpec{MaxRangeUJ: bigRange},
+	)
+	h.SetProcJiffies(10, 0)
+	m := openMeter(t, h, nil)
+	base := time.Unix(1000, 0)
+	m.Sample(base, []int{10})
+
+	if err := h.RemoveZone(1); err != nil {
+		t.Fatal(err)
+	}
+	// Two consecutive not-exist failures mark the zone vanished; both
+	// ticks keep attributing from the survivor.
+	for i := 1; i <= 3; i++ {
+		h.AddEnergy(0, 10)
+		h.AddProcJiffies(10, 100)
+		attr, err := m.Sample(base.Add(time.Duration(i)*time.Second), []int{10})
+		if err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+		if !attr.Degraded {
+			t.Errorf("tick %d not degraded after zone removal", i)
+		}
+		if math.Abs(float64(attr.MachinePower)-10) > 1e-9 {
+			t.Errorf("tick %d machine power = %v, want 10", i, attr.MachinePower)
+		}
+	}
+	var vanished int
+	for _, zh := range m.Health() {
+		if zh.Vanished {
+			vanished++
+		}
+	}
+	if vanished != 1 {
+		t.Errorf("Health reports %d vanished zones, want 1", vanished)
+	}
+
+	// The last zone goes too: the meter has nothing left to read.
+	if err := h.RemoveZone(0); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	for i := 4; i <= 5; i++ {
+		_, err = m.Sample(base.Add(time.Duration(i)*time.Second), []int{10})
+	}
+	if !errors.Is(err, ErrZoneVanished) {
+		t.Errorf("err = %v, want ErrZoneVanished", err)
+	}
+	if errors.Is(err, ErrNotPrimed) {
+		t.Error("all-zones-gone reported as ErrNotPrimed")
+	}
+}
+
+// A counter that restarts from an arbitrary value (re-registration) must be
+// re-based, not booked as a near-full-range wrap delta.
+func TestCounterAnomalyGuard(t *testing.T) {
+	h := newHost(t)
+	h.SetProcJiffies(10, 0)
+	m := openMeter(t, h, nil)
+	base := time.Unix(1000, 0)
+	m.Sample(base, []int{10})
+	h.AddEnergy(0, 10)
+	m.Sample(base.Add(time.Second), []int{10})
+
+	// The counter jumps backwards by 100 J — as a wrap this would read as
+	// ≈262 kJ in one second.
+	if err := h.CorruptEnergy(0, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	h.AddProcJiffies(10, 100)
+	_, err := m.Sample(base.Add(2*time.Second), []int{10})
+	if !errors.Is(err, ErrDroppedTick) {
+		t.Fatalf("anomalous tick err = %v, want ErrDroppedTick", err)
+	}
+
+	// Metering resumes correctly from the new baseline.
+	h.AddEnergy(0, 10)
+	h.AddProcJiffies(10, 100)
+	attr, err := m.Sample(base.Add(3*time.Second), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 J measurable over the 2 s since the last emit (the anomalous
+	// interval's energy is unknowable and discarded).
+	if math.Abs(float64(attr.MachinePower)-5) > 1e-9 {
+		t.Errorf("post-anomaly machine power = %v, want 5", attr.MachinePower)
+	}
+}
+
+// Transient read errors within the retry budget are absorbed entirely: the
+// sample is clean, not degraded.
+func TestRetryAbsorbsTransientErrors(t *testing.T) {
+	h := newHost(t)
+	h.SetProcJiffies(10, 0)
+	inj := faultfs.NewInjector(1, 0)
+	m := openMeter(t, h, inj)
+	base := time.Unix(1000, 0)
+	m.Sample(base, []int{10})
+
+	h.AddEnergy(0, 10)
+	h.AddProcJiffies(10, 100)
+	inj.FailNext("energy_uj", 2) // 2 failures < 3 attempts
+	attr, err := m.Sample(base.Add(time.Second), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Degraded {
+		t.Error("retried-and-recovered tick flagged degraded")
+	}
+	if math.Abs(float64(attr.MachinePower)-10) > 1e-9 {
+		t.Errorf("machine power = %v, want 10", attr.MachinePower)
+	}
+	if inj.Stats().InjectedErrors != 2 {
+		t.Errorf("injected errors = %d, want 2", inj.Stats().InjectedErrors)
+	}
+}
+
+// PID churn: a process that exits during a dropped tick still gets its
+// accumulated activity attributed, and a reused PID does not inherit the
+// old process's counters.
+func TestPIDChurn(t *testing.T) {
+	h := newHost(t)
+	h.SetProcJiffies(10, 0)
+	h.SetProcJiffies(11, 0)
+	inj := faultfs.NewInjector(1, 0)
+	m := openMeter(t, h, inj)
+	base := time.Unix(1000, 0)
+	m.Sample(base, []int{10, 11})
+
+	// Tick 2 drops; pid 10 burns 1 s of CPU and then exits.
+	h.AddEnergy(0, 20)
+	h.AddProcJiffies(10, 100)
+	inj.FailNext("energy_uj", 3)
+	if _, err := m.Sample(base.Add(time.Second), []int{10, 11}); !errors.Is(err, ErrDroppedTick) {
+		t.Fatalf("err = %v, want ErrDroppedTick", err)
+	}
+	if err := h.RemoveProc(10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tick 3: pid 11 burns 1 s. Pid 10's pending second must still be
+	// attributed: the pids split evenly.
+	h.AddEnergy(0, 20)
+	h.AddProcJiffies(11, 100)
+	attr, err := m.Sample(base.Add(2*time.Second), []int{10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(attr.PerPID[10])-10) > 1e-9 || math.Abs(float64(attr.PerPID[11])-10) > 1e-9 {
+		t.Errorf("PerPID = %v, want 10 W each", attr.PerPID)
+	}
+
+	// PID 10 is reused by a fresh process with a lower jiffy count: the
+	// tracker must start it from scratch, not book a negative delta.
+	h.SetProcJiffies(10, 5)
+	h.AddEnergy(0, 20)
+	attr, err = m.Sample(base.Add(3*time.Second), []int{10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := attr.PerPID[10]; w != 0 {
+		if math.IsNaN(float64(w)) || w < 0 {
+			t.Errorf("reused pid 10 power = %v", w)
+		}
 	}
 }
 
 func TestMeterZones(t *testing.T) {
-	h := newFakeHost(t)
-	m := openMeter(t, h)
+	h := newHost(t)
+	m := openMeter(t, h, nil)
 	zones := m.Zones()
 	if len(zones) != 1 || zones[0] != "package-0" {
 		t.Errorf("zones = %v", zones)
@@ -185,8 +442,8 @@ func TestMeterZones(t *testing.T) {
 func TestMeterWithFrequencyAndModel(t *testing.T) {
 	// A residual-aware model receives the frequency read from a fake
 	// cpufreq tree and the per-process thread counts.
-	h := newFakeHost(t)
-	h.setProc(10, 0)
+	h := newHost(t)
+	h.SetProcJiffies(10, 0)
 	freqRoot := t.TempDir()
 	cpuDir := filepath.Join(freqRoot, "cpu0", "cpufreq")
 	if err := os.MkdirAll(cpuDir, 0o755); err != nil {
@@ -196,8 +453,8 @@ func TestMeterWithFrequencyAndModel(t *testing.T) {
 
 	probe := &tickProbe{}
 	m, err := Open(Config{
-		PowercapRoot: h.capRoot,
-		ProcRoot:     h.procRoot,
+		PowercapRoot: h.CapRoot,
+		ProcRoot:     h.ProcRoot,
 		CPUFreqRoot:  freqRoot,
 		Model:        probe,
 	})
@@ -206,13 +463,16 @@ func TestMeterWithFrequencyAndModel(t *testing.T) {
 	}
 	base := time.Unix(1000, 0)
 	m.Sample(base, []int{10})
-	h.addEnergy(40)
-	h.setProc(10, 100)
+	h.AddEnergy(0, 40)
+	h.SetProcJiffies(10, 100)
 	if _, err := m.Sample(base.Add(time.Second), []int{10}); err != nil {
 		t.Fatal(err)
 	}
 	if probe.last.Freq != 3.6*units.GHz {
 		t.Errorf("model saw freq %v, want 3.6 GHz", probe.last.Freq)
+	}
+	if probe.last.Degraded {
+		t.Error("model saw a clean tick flagged degraded")
 	}
 	ps := probe.last.Procs["10"]
 	if ps.Threads != 1 {

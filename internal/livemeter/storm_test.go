@@ -1,0 +1,199 @@
+package livemeter
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"powerdiv/internal/faultfs"
+	"powerdiv/internal/retry"
+)
+
+// TestMeterFaultStorm is the harness's headline proof: under a seeded storm
+// of transient read errors (in bursts that outlast the retry budget),
+// naturally wrapping counters, stalled clocks, PID churn and a zone that
+// vanishes mid-run, the meter
+//
+//   - keeps running (only ErrDroppedTick is ever returned after priming,
+//     never ErrNotPrimed, never a fatal error),
+//   - attributes ≥99 % of the ground-truth energy the host delivered,
+//   - keeps every per-PID split summing to the machine power.
+//
+// The storm is deterministic: one seed drives the injector and the script.
+func TestMeterFaultStorm(t *testing.T) {
+	const (
+		seed       = 42
+		ticks      = 400
+		vanishTick = 250
+		period     = 100 * time.Millisecond
+		// Small counter ranges: at ~60 W a 2 kJ range wraps every ~33 s of
+		// simulated time, so the storm crosses several wraps.
+		zoneRange = 2_000_000_000
+	)
+	h, err := faultfs.NewHost(t.TempDir(), t.TempDir(), []faultfs.HostZoneSpec{
+		{MaxRangeUJ: zoneRange, StartUJ: zoneRange - 50_000_000}, // wraps almost immediately
+		{MaxRangeUJ: zoneRange},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The injector is armed only after Open and priming succeed: the storm
+	// tests the long-running meter, not discovery.
+	inj := faultfs.NewInjector(seed, 0)
+	inj.SetBurstLen(4) // bursts outlast the 3-attempt retry budget
+	inj.Only("energy_uj", "stat")
+
+	m, err := Open(Config{
+		PowercapRoot: h.CapRoot,
+		ProcRoot:     h.ProcRoot,
+		ReadFile:     inj.ReadFile,
+		Retry:        retry.Policy{Attempts: 3, Sleep: func(time.Duration) {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	base := time.Unix(1000, 0)
+	now := base
+	pids := []int{10, 11, 12}
+	for _, pid := range pids {
+		h.SetProcJiffies(pid, 0)
+	}
+	if _, err := m.Sample(now, pids); !errors.Is(err, ErrNotPrimed) {
+		t.Fatalf("prime err = %v", err)
+	}
+	inj.SetErrorRate(0.20)
+
+	var (
+		attributedJ   float64 // Σ machine power × interval over successful samples
+		perPIDJ       = map[int]float64{}
+		emits, drops  int
+		coalescedMax  int
+		degradedSeen  bool
+		churnedPID    = 12
+		churnAlive    = true
+		clockStallRun = 0
+	)
+	for i := 1; i <= ticks; i++ {
+		// The host always advances: energy flows and processes burn CPU
+		// whether or not the meter manages to observe this tick.
+		h.AddEnergy(0, 6.0) // 60 W × 100 ms
+		if i < vanishTick {
+			h.AddEnergy(1, 3.0) // 30 W × 100 ms
+		}
+		h.AddProcJiffies(10, 8) // 80 ms/tick
+		h.AddProcJiffies(11, 4) // 40 ms/tick
+		if churnAlive {
+			h.AddProcJiffies(churnedPID, 2)
+		}
+		// PID churn: pid 12 dies and is reborn (reused) twice during the run.
+		if i == 120 || i == 320 {
+			h.RemoveProc(churnedPID)
+			churnAlive = false
+		}
+		if i == 160 || i == 360 {
+			h.SetProcJiffies(churnedPID, 1) // reused PID, fresh counters
+			churnAlive = true
+		}
+		if i == vanishTick {
+			if err := h.RemoveZone(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Stalled clock: ~5 % of ticks the timestamp source freezes (the
+		// energy above still flowed — a broken clock doesn't stop physics).
+		if clockStallRun == 0 && rng.Float64() < 0.05 {
+			clockStallRun = 1 + rng.Intn(2)
+		}
+		if clockStallRun > 0 {
+			clockStallRun--
+		} else {
+			now = now.Add(period)
+		}
+		// Drain phase: the last ticks are fault-free so the meter flushes
+		// every carried-over interval before the final accounting.
+		if i == ticks-5 {
+			inj.SetErrorRate(0)
+			clockStallRun = 0
+			now = now.Add(period) // make sure the clock is advancing again
+		}
+
+		attr, err := m.Sample(now, pids)
+		switch {
+		case err == nil:
+			emits++
+			dt := attr.Interval.Seconds()
+			attributedJ += float64(attr.MachinePower) * dt
+			if attr.Degraded {
+				degradedSeen = true
+			}
+			if attr.CoalescedTicks > coalescedMax {
+				coalescedMax = attr.CoalescedTicks
+			}
+			if attr.PerPID != nil {
+				var sum float64
+				for pid, w := range attr.PerPID {
+					if w < 0 || math.IsNaN(float64(w)) {
+						t.Fatalf("tick %d: pid %d power %v", i, pid, w)
+					}
+					sum += float64(w)
+					perPIDJ[pid] += float64(w) * dt
+				}
+				if math.Abs(sum-float64(attr.MachinePower)) > 1e-6*math.Max(1, float64(attr.MachinePower)) {
+					t.Fatalf("tick %d: per-PID sum %v != machine %v", i, sum, attr.MachinePower)
+				}
+			}
+		case errors.Is(err, ErrNotPrimed):
+			t.Fatalf("tick %d: primed meter returned ErrNotPrimed: %v", i, err)
+		case errors.Is(err, ErrDroppedTick):
+			drops++
+		default:
+			t.Fatalf("tick %d: fatal meter error: %v", i, err)
+		}
+	}
+
+	truth := h.DeliveredJoules(0) + h.DeliveredJoules(1)
+	ratio := attributedJ / truth
+	t.Logf("storm: %d emits, %d drops, max coalesced %d, wraps zone0=%d zone1=%d, injected=%d",
+		emits, drops, coalescedMax, h.Wraps(0), h.Wraps(1), inj.Stats().InjectedErrors)
+	t.Logf("storm: attributed %.1f J of %.1f J ground truth (%.2f%%)", attributedJ, truth, 100*ratio)
+
+	if ratio < 0.99 {
+		t.Errorf("attributed %.2f%% of ground-truth energy, want ≥99%%", 100*ratio)
+	}
+	if ratio > 1.01 {
+		t.Errorf("attributed %.2f%% of ground-truth energy: double counting", 100*ratio)
+	}
+	// The storm must actually have exercised the degraded paths, or the
+	// ≥99 % claim is vacuous.
+	if drops == 0 {
+		t.Error("storm produced no dropped ticks")
+	}
+	if !degradedSeen || coalescedMax == 0 {
+		t.Errorf("storm exercised no degraded attribution (degraded=%v, coalescedMax=%d)", degradedSeen, coalescedMax)
+	}
+	if h.Wraps(0) == 0 {
+		t.Error("zone 0 never wrapped")
+	}
+	if inj.Stats().InjectedErrors == 0 {
+		t.Error("injector never fired")
+	}
+	// Per-PID attribution reached every process, including the churned one.
+	for _, pid := range pids {
+		if perPIDJ[pid] <= 0 {
+			t.Errorf("pid %d attributed %.2f J, want > 0", pid, perPIDJ[pid])
+		}
+	}
+	var vanished int
+	for _, zh := range m.Health() {
+		if zh.Vanished {
+			vanished++
+		}
+	}
+	if vanished != 1 {
+		t.Errorf("Health reports %d vanished zones, want 1", vanished)
+	}
+}

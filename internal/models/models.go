@@ -53,8 +53,16 @@ type Tick struct {
 	// Freq is the frequency busy cores ran at during the interval
 	// (observable on real hardware via cpufreq's scaling_cur_freq; 0 when
 	// unknown). Residual-aware models consume it.
-	Freq  units.Hertz
-	Procs map[string]ProcSample
+	Freq units.Hertz
+	// Degraded marks an interval measured with reduced fidelity by a live
+	// meter: dropped ticks were coalesced into it (so Interval spans more
+	// than one nominal sampling period) or some sensor zones were missing.
+	// Division still works — the share weights cover the same span as the
+	// power — but self-calibrating models must not feed degraded intervals
+	// into their learning windows, where a mis-scaled row corrupts every
+	// later estimate. Simulator-driven ticks always leave it false.
+	Degraded bool
+	Procs    map[string]ProcSample
 }
 
 // Model is a streaming power division model. Observe returns the estimated

@@ -110,16 +110,21 @@ func (m *PowerAPI) Observe(t Tick) map[string]units.Watts {
 		m.favored = ""
 	}
 	if !m.fitted {
-		var agg [4]float64
-		for _, id := range sortedIDs(t.Procs) {
-			v := t.Procs[id].Counters.Rate(t.Interval).Vector()
-			for d := range agg {
-				agg[d] += v[d]
+		// Degraded intervals (coalesced dropped ticks, missing zones) are
+		// excluded from calibration: their rows are mis-scaled relative to
+		// clean ones and would corrupt the fit for every later estimate.
+		if !t.Degraded {
+			var agg [4]float64
+			for _, id := range sortedIDs(t.Procs) {
+				v := t.Procs[id].Counters.Rate(t.Interval).Vector()
+				for d := range agg {
+					agg[d] += v[d]
+				}
 			}
+			m.rows = append(m.rows, agg)
+			m.targets = append(m.targets, float64(t.MachinePower))
 		}
-		m.rows = append(m.rows, agg)
-		m.targets = append(m.targets, float64(t.MachinePower))
-		if t.At-m.learnStart < m.cfg.LearnWindow {
+		if t.At-m.learnStart < m.cfg.LearnWindow || len(m.rows) == 0 {
 			return nil
 		}
 		m.fit(t.LogicalCPUs)

@@ -101,8 +101,12 @@ func (m *SmartWatts) Observe(t Tick) map[string]units.Watts {
 			agg[d] += v[d]
 		}
 	}
-	b.rows = append(b.rows, agg)
-	b.targets = append(b.targets, float64(t.MachinePower))
+	// Degraded intervals are divided but never calibrated on: a coalesced
+	// or zone-incomplete row would poison the bin's fit (see Tick.Degraded).
+	if !t.Degraded {
+		b.rows = append(b.rows, agg)
+		b.targets = append(b.targets, float64(t.MachinePower))
+	}
 	if len(b.rows) < m.cfg.MinSamples {
 		return nil
 	}

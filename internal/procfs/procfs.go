@@ -5,7 +5,9 @@
 package procfs
 
 import (
+	"errors"
 	"fmt"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -22,22 +24,36 @@ const DefaultRoot = "/proc"
 // fields. Virtually every Linux build uses 100.
 const DefaultHz = 100
 
+// ReadFileFunc abstracts os.ReadFile so a fault-injection harness (see
+// internal/faultfs) can wrap the proc tree's reads.
+type ReadFileFunc func(string) ([]byte, error)
+
 // FS reads a procfs tree.
 type FS struct {
-	root string
-	hz   int
+	root     string
+	hz       int
+	readFile ReadFileFunc
 }
 
 // New returns an FS over the given root ("" = /proc) with the given
 // USER_HZ (0 = 100).
 func New(root string, hz int) *FS {
+	return NewReader(root, hz, nil)
+}
+
+// NewReader is New with every file read routed through read
+// (nil = os.ReadFile).
+func NewReader(root string, hz int, read ReadFileFunc) *FS {
 	if root == "" {
 		root = DefaultRoot
 	}
 	if hz <= 0 {
 		hz = DefaultHz
 	}
-	return &FS{root: root, hz: hz}
+	if read == nil {
+		read = os.ReadFile
+	}
+	return &FS{root: root, hz: hz, readFile: read}
 }
 
 // jiffies converts a jiffy count to CPU time.
@@ -57,7 +73,7 @@ func (c CPUTotals) Total() units.CPUTime { return c.Busy + c.Idle }
 
 // ReadCPUTotals parses the aggregate "cpu" line of /proc/stat.
 func (fs *FS) ReadCPUTotals() (CPUTotals, error) {
-	b, err := os.ReadFile(filepath.Join(fs.root, "stat"))
+	b, err := fs.readFile(filepath.Join(fs.root, "stat"))
 	if err != nil {
 		return CPUTotals{}, fmt.Errorf("procfs: %w", err)
 	}
@@ -105,7 +121,7 @@ func (p ProcCPU) Total() units.CPUTime { return p.User + p.System }
 // ReadProc parses /proc/<pid>/stat. It handles commands containing spaces
 // and parentheses per the procfs(5) rules (scan for the last ')').
 func (fs *FS) ReadProc(pid int) (ProcCPU, error) {
-	b, err := os.ReadFile(filepath.Join(fs.root, strconv.Itoa(pid), "stat"))
+	b, err := fs.readFile(filepath.Join(fs.root, strconv.Itoa(pid), "stat"))
 	if err != nil {
 		return ProcCPU{}, fmt.Errorf("procfs: pid %d: %w", pid, err)
 	}
@@ -148,8 +164,17 @@ func (fs *FS) ReadProc(pid int) (ProcCPU, error) {
 // ReadCurFreqKHz reads a CPU's current frequency in kHz from the cpufreq
 // sysfs tree rooted at root (pass DefaultCPUFreqRoot on a real machine).
 func ReadCurFreqKHz(root string, cpu int) (uint64, error) {
+	return ReadCurFreqKHzReader(root, cpu, nil)
+}
+
+// ReadCurFreqKHzReader is ReadCurFreqKHz with the file read routed through
+// read (nil = os.ReadFile).
+func ReadCurFreqKHzReader(root string, cpu int, read ReadFileFunc) (uint64, error) {
+	if read == nil {
+		read = os.ReadFile
+	}
 	path := filepath.Join(root, fmt.Sprintf("cpu%d", cpu), "cpufreq", "scaling_cur_freq")
-	b, err := os.ReadFile(path)
+	b, err := read(path)
 	if err != nil {
 		return 0, fmt.Errorf("procfs: %w", err)
 	}
@@ -203,7 +228,9 @@ type ProcDelta struct {
 
 // Sample reads the given processes and returns each one's CPU time consumed
 // since the previous Sample call (zero on first observation). Processes
-// that have exited are silently dropped from the result.
+// that have exited are silently dropped from the result. A transient read
+// error (anything but not-exist) keeps the process's baseline: the next
+// successful read's delta then spans the gap, so no CPU time is lost.
 func (t *Tracker) Sample(pids []int) map[int]units.CPUTime {
 	detailed := t.SampleDetailed(pids)
 	out := make(map[int]units.CPUTime, len(detailed))
@@ -220,6 +247,13 @@ func (t *Tracker) SampleDetailed(pids []int) map[int]ProcDelta {
 	for _, pid := range pids {
 		cur, err := t.fs.ReadProc(pid)
 		if err != nil {
+			if !errors.Is(err, iofs.ErrNotExist) {
+				// Transient failure, not an exit: keep the baseline so
+				// the next successful read's delta covers this gap.
+				if _, ok := t.last[pid]; ok {
+					seen[pid] = true
+				}
+			}
 			continue
 		}
 		seen[pid] = true

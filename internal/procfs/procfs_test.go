@@ -1,6 +1,7 @@
 package procfs
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -266,5 +267,104 @@ func TestReadCurFreqKHz(t *testing.T) {
 	os.WriteFile(filepath.Join(dir, "scaling_cur_freq"), []byte("garbage\n"), 0o644)
 	if _, err := ReadCurFreqKHz(root, 0); err == nil {
 		t.Error("garbage frequency accepted")
+	}
+}
+
+// NewReader routes every file read through the injected reader — the seam
+// the fault-injection harness attacks.
+func TestNewReaderRoutesReads(t *testing.T) {
+	f := newFakeProc(t)
+	f.writeStat("cpu  100 0 50 800 50 0 0 0 0 0\n")
+	f.writeProc(10, "worker", 100, 0)
+	reads := 0
+	fs := NewReader(f.root, 100, func(path string) ([]byte, error) {
+		reads++
+		return os.ReadFile(path)
+	})
+	if _, err := fs.ReadCPUTotals(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadProc(10); err != nil {
+		t.Fatal(err)
+	}
+	if reads != 2 {
+		t.Errorf("reads = %d, want 2", reads)
+	}
+}
+
+// A transient (non-ENOENT) read error must not be mistaken for process
+// exit: the baseline is kept and the next successful delta spans the gap.
+func TestTrackerTransientErrorKeepsBaseline(t *testing.T) {
+	f := newFakeProc(t)
+	f.writeProc(10, "worker", 0, 0)
+	fail := false
+	fs := NewReader(f.root, 100, func(path string) ([]byte, error) {
+		if fail {
+			return nil, errors.New("transient")
+		}
+		return os.ReadFile(path)
+	})
+	tr := NewTracker(fs)
+	tr.Sample([]int{10})
+
+	// The process burns 1 s but the read fails: no delta this tick.
+	f.writeProc(10, "worker", 100, 0)
+	fail = true
+	if out := tr.Sample([]int{10}); len(out) != 0 {
+		t.Fatalf("failed read produced a delta: %v", out)
+	}
+
+	// It burns another second and the read recovers: the delta covers
+	// both intervals.
+	fail = false
+	f.writeProc(10, "worker", 200, 0)
+	out := tr.Sample([]int{10})
+	if out[10] != units.CPUTime(2*time.Second) {
+		t.Errorf("delta = %v, want 2s (the gap's CPU time was lost)", out[10])
+	}
+}
+
+// A true exit (ENOENT) still drops the baseline, so a reused PID starts
+// from scratch.
+func TestTrackerExitStillDropsBaseline(t *testing.T) {
+	f := newFakeProc(t)
+	f.writeProc(10, "worker", 100, 0)
+	fs := New(f.root, 100)
+	tr := NewTracker(fs)
+	tr.Sample([]int{10})
+	if err := os.RemoveAll(filepath.Join(f.root, "10")); err != nil {
+		t.Fatal(err)
+	}
+	if out := tr.Sample([]int{10}); len(out) != 0 {
+		t.Fatalf("exited pid produced a delta: %v", out)
+	}
+	// Reused PID with fresh (lower) counters: first observation, zero delta.
+	f.writeProc(10, "worker", 5, 0)
+	out := tr.Sample([]int{10})
+	if out[10] != 0 {
+		t.Errorf("reused pid delta = %v, want 0", out[10])
+	}
+}
+
+func TestReadCurFreqKHzReader(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "cpu0", "cpufreq")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "scaling_cur_freq"), []byte("3600000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	khz, err := ReadCurFreqKHzReader(root, 0, func(path string) ([]byte, error) {
+		reads++
+		return os.ReadFile(path)
+	})
+	if err != nil || khz != 3600000 || reads != 1 {
+		t.Errorf("khz = %d, err = %v, reads = %d", khz, err, reads)
+	}
+	boom := errors.New("boom")
+	if _, err := ReadCurFreqKHzReader(root, 0, func(string) ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
 	}
 }

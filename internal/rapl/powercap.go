@@ -16,11 +16,16 @@ const DefaultPowercapRoot = "/sys/class/powercap"
 // intel-rapl zones (machine without RAPL, or an unsupported platform).
 var ErrNoRAPL = errors.New("rapl: no intel-rapl zones found")
 
+// ReadFileFunc abstracts os.ReadFile so a fault-injection harness (see
+// internal/faultfs) can wrap the powercap tree's reads.
+type ReadFileFunc func(string) ([]byte, error)
+
 // PowercapZone reads one intel-rapl zone directory.
 type PowercapZone struct {
 	dir      string
 	name     string
 	maxRange uint64
+	readFile ReadFileFunc
 }
 
 // Name implements Zone.
@@ -31,7 +36,7 @@ func (z *PowercapZone) MaxEnergyRange() uint64 { return z.maxRange }
 
 // ReadEnergy implements Zone by reading energy_uj.
 func (z *PowercapZone) ReadEnergy() (uint64, error) {
-	return readUint(filepath.Join(z.dir, "energy_uj"))
+	return readUint(z.readFile, filepath.Join(z.dir, "energy_uj"))
 }
 
 // Dir returns the zone's sysfs directory.
@@ -40,11 +45,20 @@ func (z *PowercapZone) Dir() string { return z.dir }
 // OpenZone opens a single powercap zone directory, validating that it has
 // the expected layout (name, energy_uj, max_energy_range_uj).
 func OpenZone(dir string) (*PowercapZone, error) {
-	nameBytes, err := os.ReadFile(filepath.Join(dir, "name"))
+	return OpenZoneReader(dir, nil)
+}
+
+// OpenZoneReader is OpenZone with every file read routed through read
+// (nil = os.ReadFile).
+func OpenZoneReader(dir string, read ReadFileFunc) (*PowercapZone, error) {
+	if read == nil {
+		read = os.ReadFile
+	}
+	nameBytes, err := read(filepath.Join(dir, "name"))
 	if err != nil {
 		return nil, fmt.Errorf("rapl: zone %s: %w", dir, err)
 	}
-	maxRange, err := readUint(filepath.Join(dir, "max_energy_range_uj"))
+	maxRange, err := readUint(read, filepath.Join(dir, "max_energy_range_uj"))
 	if err != nil {
 		return nil, fmt.Errorf("rapl: zone %s: %w", dir, err)
 	}
@@ -52,6 +66,7 @@ func OpenZone(dir string) (*PowercapZone, error) {
 		dir:      dir,
 		name:     strings.TrimSpace(string(nameBytes)),
 		maxRange: maxRange,
+		readFile: read,
 	}
 	if _, err := z.ReadEnergy(); err != nil {
 		return nil, fmt.Errorf("rapl: zone %s: %w", dir, err)
@@ -63,6 +78,14 @@ func OpenZone(dir string) (*PowercapZone, error) {
 // DefaultPowercapRoot on a real machine). Sub-zones (core, uncore, dram)
 // are skipped: the paper's models consume package power.
 func Discover(root string) ([]*PowercapZone, error) {
+	return DiscoverReader(root, nil)
+}
+
+// DiscoverReader is Discover with every zone file read routed through read
+// (nil = os.ReadFile). Directory listing still uses the OS: discovery runs
+// once at open time, while the injected reader covers the per-sample reads
+// a long-running meter must survive.
+func DiscoverReader(root string, read ReadFileFunc) ([]*PowercapZone, error) {
 	entries, err := os.ReadDir(root)
 	if os.IsNotExist(err) {
 		// No powercap tree at all: same meaning as an empty one.
@@ -79,7 +102,7 @@ func Discover(root string) ([]*PowercapZone, error) {
 		if !strings.HasPrefix(n, "intel-rapl:") || strings.Count(n, ":") != 1 {
 			continue
 		}
-		z, err := OpenZone(filepath.Join(root, n))
+		z, err := OpenZoneReader(filepath.Join(root, n), read)
 		if err != nil {
 			return nil, err
 		}
@@ -91,8 +114,11 @@ func Discover(root string) ([]*PowercapZone, error) {
 	return zones, nil
 }
 
-func readUint(path string) (uint64, error) {
-	b, err := os.ReadFile(path)
+func readUint(read ReadFileFunc, path string) (uint64, error) {
+	if read == nil {
+		read = os.ReadFile
+	}
+	b, err := read(path)
 	if err != nil {
 		return 0, err
 	}

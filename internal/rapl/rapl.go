@@ -64,14 +64,30 @@ func NewCounter(maxRange uint64) *Counter {
 // one. ok is false for the first reading (no interval yet) and for
 // non-advancing timestamps.
 func (c *Counter) Power(r Reading) (units.Watts, bool) {
+	j, dt, ok := c.EnergyDelta(r)
+	if !ok {
+		return 0, false
+	}
+	return j.Power(dt), true
+}
+
+// EnergyDelta ingests a reading and returns the energy accumulated and the
+// time elapsed since the previous accepted reading, handling counter
+// wraparound. ok is false for the first reading (which primes the counter)
+// and for non-advancing timestamps; a rejected reading leaves the stored
+// baseline intact, so the zone's energy keeps accumulating toward the next
+// accepted reading instead of being lost. This is what lets a meter skip
+// readings across degraded ticks (failed sibling zones, stalled clocks) and
+// still conserve energy: the delta spans every skipped interval.
+func (c *Counter) EnergyDelta(r Reading) (units.Joules, time.Duration, bool) {
 	if !c.primed {
 		c.last = r
 		c.primed = true
-		return 0, false
+		return 0, 0, false
 	}
 	dt := r.At - c.last.At
 	if dt <= 0 {
-		return 0, false
+		return 0, 0, false
 	}
 	var deltaUJ uint64
 	if r.EnergyUJ >= c.last.EnergyUJ {
@@ -81,8 +97,17 @@ func (c *Counter) Power(r Reading) (units.Watts, bool) {
 		deltaUJ = c.maxRange - c.last.EnergyUJ + r.EnergyUJ
 	}
 	c.last = r
-	joules := units.Joules(float64(deltaUJ) * 1e-6)
-	return joules.Power(dt), true
+	return units.Joules(float64(deltaUJ) * 1e-6), dt, true
+}
+
+// Rebase replaces the stored baseline with r without accumulating any
+// energy. Meters use it when a reading is implausible (a counter that was
+// re-registered and restarted from an arbitrary value is indistinguishable
+// from a wrap and would otherwise book a huge spurious delta): the interval
+// is discarded and metering resumes from r.
+func (c *Counter) Rebase(r Reading) {
+	c.last = r
+	c.primed = true
 }
 
 // Reset forgets the previous reading.

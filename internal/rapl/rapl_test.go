@@ -248,3 +248,92 @@ func TestPowercapZoneWithCounter(t *testing.T) {
 		t.Errorf("power = %v, want 30", p)
 	}
 }
+
+func TestCounterEnergyDelta(t *testing.T) {
+	c := NewCounter(0)
+	if _, _, ok := c.EnergyDelta(Reading{At: 0, EnergyUJ: 1_000_000}); ok {
+		t.Error("first reading produced a delta")
+	}
+	j, dt, ok := c.EnergyDelta(Reading{At: time.Second, EnergyUJ: 11_000_000})
+	if !ok || math.Abs(float64(j)-10) > 1e-9 || dt != time.Second {
+		t.Errorf("delta = (%v, %v, %v), want (10 J, 1s, true)", j, dt, ok)
+	}
+}
+
+// A rejected (non-advancing) reading must leave the baseline intact so the
+// zone's energy accumulates toward the next accepted reading — the property
+// the live meter's dropped-tick handling relies on.
+func TestCounterEnergyDeltaConservedAcrossRejection(t *testing.T) {
+	c := NewCounter(0)
+	c.EnergyDelta(Reading{At: 0, EnergyUJ: 0})
+	if _, _, ok := c.EnergyDelta(Reading{At: 0, EnergyUJ: 5_000_000}); ok {
+		t.Fatal("non-advancing reading accepted")
+	}
+	j, dt, ok := c.EnergyDelta(Reading{At: 2 * time.Second, EnergyUJ: 20_000_000})
+	if !ok {
+		t.Fatal("no delta")
+	}
+	if math.Abs(float64(j)-20) > 1e-9 || dt != 2*time.Second {
+		t.Errorf("delta = (%v, %v), want (20 J, 2s): rejected reading lost energy", j, dt)
+	}
+}
+
+func TestCounterEnergyDeltaWrap(t *testing.T) {
+	c := NewCounter(1_000_000) // 1 J range
+	c.EnergyDelta(Reading{At: 0, EnergyUJ: 900_000})
+	j, _, ok := c.EnergyDelta(Reading{At: time.Second, EnergyUJ: 100_000})
+	if !ok || math.Abs(float64(j)-0.2) > 1e-9 {
+		t.Errorf("wrapped delta = (%v, %v), want 0.2 J", j, ok)
+	}
+}
+
+// Rebase re-baselines without booking energy: the next delta starts from
+// the rebased reading.
+func TestCounterRebase(t *testing.T) {
+	c := NewCounter(0)
+	c.EnergyDelta(Reading{At: 0, EnergyUJ: 50_000_000})
+	c.Rebase(Reading{At: time.Second, EnergyUJ: 0})
+	j, dt, ok := c.EnergyDelta(Reading{At: 2 * time.Second, EnergyUJ: 3_000_000})
+	if !ok || math.Abs(float64(j)-3) > 1e-9 || dt != time.Second {
+		t.Errorf("post-rebase delta = (%v, %v, %v), want (3 J, 1s, true)", j, dt, ok)
+	}
+}
+
+// DiscoverReader routes every zone file read through the injected reader,
+// the seam the fault-injection harness attacks.
+func TestDiscoverReaderInjected(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "intel-rapl:0")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{"name": "package-0\n", "max_energy_range_uj": "1000\n", "energy_uj": "5\n"}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reads := 0
+	zones, err := DiscoverReader(root, func(path string) ([]byte, error) {
+		reads++
+		return os.ReadFile(path)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 1 || reads == 0 {
+		t.Fatalf("zones = %d, reads = %d", len(zones), reads)
+	}
+	before := reads
+	if uj, err := zones[0].ReadEnergy(); err != nil || uj != 5 {
+		t.Errorf("ReadEnergy = (%d, %v)", uj, err)
+	}
+	if reads != before+1 {
+		t.Errorf("ReadEnergy bypassed the injected reader (reads %d → %d)", before, reads)
+	}
+	boom := errors.New("boom")
+	_, err = OpenZoneReader(dir, func(string) ([]byte, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("OpenZoneReader err = %v, want boom", err)
+	}
+}

@@ -1,0 +1,74 @@
+// Package retry implements a small deterministic retry-with-backoff policy
+// for transient sysfs/procfs read errors. The live meter samples on a tight
+// period, so the defaults are deliberately short: a read that keeps failing
+// is better reported as a dropped tick (and folded into the next interval)
+// than waited out past the sampling deadline.
+//
+// Backoff is exponential and jitter-free: the whole metering pipeline is
+// reproducible under the fault-injection harness, and adding randomness here
+// would break bit-identical storm tests for no operational gain at these
+// timescales.
+package retry
+
+import "time"
+
+// Policy describes how to retry a fallible operation.
+type Policy struct {
+	// Attempts is the total number of tries (minimum 1). 0 means the
+	// default of 3.
+	Attempts int
+	// BaseDelay is the sleep after the first failure; it doubles after
+	// each subsequent failure. 0 means the default of 1 ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 means the default of 10 ms.
+	MaxDelay time.Duration
+	// Sleep is injectable for tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Default mirrors the zero-value policy with its defaults filled in.
+func Default() Policy {
+	return Policy{}.normalized()
+}
+
+func (p Policy) normalized() Policy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 10 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Do runs op until it succeeds, the attempts are exhausted, or permanent
+// reports that the error is not worth retrying (permanent may be nil).
+// It returns the last error observed.
+func (p Policy) Do(op func() error, permanent func(error) bool) error {
+	p = p.normalized()
+	delay := p.BaseDelay
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if permanent != nil && permanent(err) {
+			return err
+		}
+		if attempt == p.Attempts-1 {
+			break
+		}
+		p.Sleep(delay)
+		delay *= 2
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+	return err
+}

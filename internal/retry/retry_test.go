@@ -1,0 +1,86 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{Attempts: 4, BaseDelay: time.Millisecond, MaxDelay: 3 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	// Backoff doubles from BaseDelay and is capped at MaxDelay.
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept = %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("slept[%d] = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	p := Policy{Attempts: 3, Sleep: func(time.Duration) {}}
+	err := p.Do(func() error { calls++; return boom }, nil)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	gone := errors.New("gone")
+	calls := 0
+	p := Policy{Attempts: 5, Sleep: func(time.Duration) {}}
+	err := p.Do(func() error { calls++; return gone },
+		func(err error) bool { return errors.Is(err, gone) })
+	if !errors.Is(err, gone) {
+		t.Errorf("err = %v, want gone", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (permanent errors must not be retried)", calls)
+	}
+}
+
+func TestDoCapsBackoff(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{Attempts: 5, BaseDelay: 4 * time.Millisecond, MaxDelay: 6 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	p.Do(func() error { return errors.New("always") }, nil)
+	for _, d := range slept {
+		if d > 6*time.Millisecond {
+			t.Errorf("backoff %v exceeds cap", d)
+		}
+	}
+	if len(slept) != 4 {
+		t.Errorf("slept %d times, want 4", len(slept))
+	}
+}
+
+func TestZeroValueDefaults(t *testing.T) {
+	d := Default()
+	if d.Attempts != 3 || d.BaseDelay != time.Millisecond || d.MaxDelay != 10*time.Millisecond {
+		t.Errorf("defaults = %+v", d)
+	}
+}
