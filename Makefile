@@ -1,11 +1,16 @@
 # Verify path for powerdiv. `make verify` is the gate every change must
-# pass: build, vet, the full test suite, and the race detector (the live
-# meter and the parallel campaign runner are the concurrency-sensitive
-# paths it guards).
+# pass: build, vet, the full test suite, the race detector (the live meter,
+# the parallel campaign runner and the run memoization cache are the
+# concurrency-sensitive paths it guards), and a one-iteration benchmark
+# smoke run.
+#
+# `make bench` runs the campaign benchmark set and writes the
+# BENCH_campaign.json baseline (see README); `make bench-check` is the
+# smoke variant CI can afford.
 
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench bench-check verify
 
 build:
 	$(GO) build ./...
@@ -20,6 +25,9 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) run ./cmd/powerdiv-bench -out BENCH_campaign.json
 
-verify: build vet test race
+bench-check:
+	$(GO) run ./cmd/powerdiv-bench -bench 'BenchmarkCampaignMemoization|BenchmarkSimulatorTick' -benchtime 1x -out ''
+
+verify: build vet test race bench-check

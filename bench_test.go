@@ -284,11 +284,14 @@ func BenchmarkFig13CompressCloverleaf(b *testing.B) {
 }
 
 // BenchmarkLabErrorTable regenerates the §IV-A error summary on both
-// machines with all models (the paper's headline numbers).
+// machines with all models (the paper's headline numbers). The run cache is
+// warm after the first iteration, so steady-state numbers measure the
+// memoized campaign — the configuration campaigns actually run in.
 func BenchmarkLabErrorTable(b *testing.B) {
 	for _, spec := range cpumodel.Specs() {
 		b.Run(slug(spec.Name), func(b *testing.B) {
 			ctx := experiments.LabContext(spec, benchSeed)
+			nScenarios := labScenarioCount(b, ctx)
 			var results map[string]experiments.ScatterResult
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -297,7 +300,48 @@ func BenchmarkLabErrorTable(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportMetric(float64(nScenarios)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/sec")
 			writeResult(b, experiments.ErrorTable(spec.Name, results), "errors-"+slug(spec.Name))
+		})
+	}
+}
+
+// labScenarioCount returns the size of the all-pairs stress campaign the
+// lab evaluation runs, for the scenarios/sec metric.
+func labScenarioCount(b *testing.B, ctx protocol.Context) int {
+	b.Helper()
+	scenarios, err := protocol.StressPairs(workload.StressNames(), protocol.SizesFor(ctx.Machine))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return len(scenarios)
+}
+
+// BenchmarkCampaignMemoization isolates the solo/pair run cache's effect on
+// the all-pairs lab campaign. The cache is dropped before every iteration,
+// so "on" measures only intra-campaign sharing (each pair scenario
+// simulated once instead of once per model, solo baselines measured once)
+// and "off" the former behaviour of re-simulating per model. The ratio of
+// the two ns/op values is the memoization speedup; a campaign test asserts
+// the two configurations produce identical error tables.
+func BenchmarkCampaignMemoization(b *testing.B) {
+	ctx := experiments.LabContext(cpumodel.SmallIntel(), benchSeed)
+	nScenarios := labScenarioCount(b, ctx)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"on", true}, {"off", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			protocol.EnableMemoization(mode.on)
+			defer protocol.EnableMemoization(true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				protocol.ResetMemoization()
+				if _, err := experiments.LabEvaluation(ctx, models.NewKepler(), models.NewOracle()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nScenarios)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/sec")
 		})
 	}
 }

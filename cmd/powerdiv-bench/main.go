@@ -1,0 +1,195 @@
+// Command powerdiv-bench runs the campaign benchmarks and writes a
+// machine-readable baseline file, so perf regressions show up as a diff
+// instead of a feeling. It shells out to `go test -bench` (the benchmarks
+// live in the root package's bench_test.go), parses the standard benchmark
+// output, and emits JSON with ns/op, B/op, allocs/op and any custom metrics
+// (scenarios/sec) per benchmark, plus the memoization on/off speedup when
+// both sides of BenchmarkCampaignMemoization are present.
+//
+// Usage:
+//
+//	powerdiv-bench [-bench regex] [-benchtime 1x] [-count 1] [-out BENCH_campaign.json]
+//
+// `make bench` runs the campaign set and writes BENCH_campaign.json;
+// `make bench-check` is the smoke variant (one iteration, no file).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// defaultBench selects the campaign-speed benchmarks: the §IV-A error-table
+// regeneration, the memoization on/off comparison, and the raw simulator
+// stepping cost.
+const defaultBench = "BenchmarkLabErrorTable|BenchmarkCampaignMemoization|BenchmarkSimulatorTick"
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present with -benchmem (always passed).
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric units, e.g. "scenarios/sec".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file layout of BENCH_campaign.json.
+type Report struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Command   string `json:"command"`
+	// MemoSpeedupX is BenchmarkCampaignMemoization off/on ns ratio — how
+	// much the run cache accelerates the all-pairs lab campaign — when both
+	// sub-benchmarks ran.
+	MemoSpeedupX float64  `json:"memo_speedup_x,omitempty"`
+	Benchmarks   []Result `json:"benchmarks"`
+}
+
+// parseLine parses one `BenchmarkX-N  iters  v unit  v unit ...` line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, true
+}
+
+// memoSpeedup derives the off/on ratio from the memoization benchmark pair.
+func memoSpeedup(results []Result) float64 {
+	var on, off float64
+	for _, r := range results {
+		name := r.Name
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // drop the GOMAXPROCS suffix
+		}
+		switch name {
+		case "BenchmarkCampaignMemoization/on":
+			on = r.NsPerOp
+		case "BenchmarkCampaignMemoization/off":
+			off = r.NsPerOp
+		}
+	}
+	if on <= 0 || off <= 0 {
+		return 0
+	}
+	return off / on
+}
+
+func main() {
+	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (e.g. 1x, 2s); empty = go default")
+	count := flag.Int("count", 1, "go test -count value")
+	out := flag.String("out", "BENCH_campaign.json", `output file; "-" prints JSON to stdout, "" skips the file (smoke mode)`)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if err := cmd.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	var results []Result
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // stream the raw go test output through
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if err := cmd.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmarks failed:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "error: no benchmark lines matched", *bench)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		Command:      "go " + strings.Join(args, " "),
+		MemoSpeedupX: memoSpeedup(results),
+		Benchmarks:   results,
+	}
+	if rep.MemoSpeedupX > 0 {
+		fmt.Printf("\nmemoization speedup on the lab campaign: %.2fx\n", rep.MemoSpeedupX)
+	}
+	switch *out {
+	case "":
+		return
+	case "-":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	powerdiv-eval [-machine DAHU] [-context lab|prod] [-seed 1] [-points] [-csv-dir out/]
+//	powerdiv-eval [-machine DAHU] [-context lab|prod] [-seed 1] [-points] [-csv-dir out/] [-memo=false] [-memo-stats]
 package main
 
 import (
@@ -76,7 +76,10 @@ func main() {
 	points := flag.Bool("points", false, "also print the per-pair ratio points (Fig 4–7 series)")
 	csvDir := flag.String("csv-dir", "", "write per-model point CSVs into this directory")
 	asJSON := flag.Bool("json", false, "emit the results as JSON instead of tables")
+	memo := flag.Bool("memo", true, "memoize solo/pair simulation runs")
+	memoStats := flag.Bool("memo-stats", false, "print run cache statistics after the campaign")
 	flag.Parse()
+	protocol.EnableMemoization(*memo)
 
 	spec, ok := cpumodel.SpecByName(*machineName)
 	if !ok {
@@ -119,6 +122,10 @@ func main() {
 				fmt.Print(r.PointsTable().String())
 			}
 		}
+	}
+	if *memoStats {
+		st := protocol.MemoizationStats()
+		fmt.Printf("\nrun cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
 	}
 	if *csvDir != "" {
 		for name, r := range results {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	powerdiv-report [-seed 1] [-out out/] [-quick]
+//	powerdiv-report [-seed 1] [-out out/] [-quick] [-memo=false]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"powerdiv/internal/cpumodel"
 	"powerdiv/internal/experiments"
 	"powerdiv/internal/models"
+	"powerdiv/internal/protocol"
 	"powerdiv/internal/report"
 	"powerdiv/internal/workload"
 )
@@ -25,11 +26,13 @@ var (
 	outDir = flag.String("out", "", "write CSV artefacts into this directory")
 	quick  = flag.Bool("quick", false, "reduced scenario sets (fast smoke run)")
 	seed   = flag.Int64("seed", 1, "campaign seed")
+	memo   = flag.Bool("memo", true, "memoize solo/pair simulation runs across experiments")
 )
 
 func main() {
 	flag.Parse()
 	start := time.Now()
+	protocol.EnableMemoization(*memo)
 
 	section("Fig 1 & Fig 3 — machine power curves")
 	for _, spec := range cpumodel.Specs() {
@@ -151,7 +154,10 @@ func main() {
 	check(err)
 	emit(experiments.AblationTable(props), "ablation-families")
 
-	fmt.Printf("\nall experiments regenerated in %s\n", time.Since(start).Truncate(time.Millisecond))
+	if st := protocol.MemoizationStats(); st.Hits+st.Misses > 0 {
+		fmt.Printf("\nrun cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+	}
+	fmt.Printf("all experiments regenerated in %s\n", time.Since(start).Truncate(time.Millisecond))
 }
 
 func section(title string) {

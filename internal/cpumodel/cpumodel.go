@@ -206,7 +206,24 @@ func (b Breakdown) Total() units.Watts { return b.Idle + b.Residual + b.Active }
 // core is duty-cycled to 50 % only incurs half of it, because the package
 // drops back toward idle states for the other half of the time.
 func (m PowerModel) Power(loads []CoreLoad) Breakdown {
-	bd := Breakdown{Idle: m.Idle, PerCore: make([]units.Watts, len(loads))}
+	return m.PowerInto(loads, nil)
+}
+
+// PowerInto is Power with a caller-provided per-core scratch buffer: the
+// returned Breakdown's PerCore aliases perCore when it is large enough
+// (fresh storage is allocated otherwise). Simulation tick loops use it to
+// avoid one slice allocation per tick; the caller must copy PerCore before
+// the next PowerInto call if it needs the values to persist.
+func (m PowerModel) PowerInto(loads []CoreLoad, perCore []units.Watts) Breakdown {
+	if cap(perCore) < len(loads) {
+		perCore = make([]units.Watts, len(loads))
+	} else {
+		perCore = perCore[:len(loads)]
+		for i := range perCore {
+			perCore[i] = 0
+		}
+	}
+	bd := Breakdown{Idle: m.Idle, PerCore: perCore}
 	exp := m.FreqExponent
 	if exp == 0 {
 		exp = 2

@@ -203,9 +203,11 @@ func Simulate(cfg Config, procs []Proc, maxDur time.Duration) (*Run, error) {
 	run := &Run{Config: cfg, ProcEnd: map[string]time.Duration{}}
 	phys := cfg.Spec.Topology.PhysicalCores()
 	nCPU := cfg.schedulableCPUs()
+	run.Ticks = make([]TickRecord, 0, maxDur/tick+1)
+	var sc tickScratch
 
 	for t := time.Duration(0); t < maxDur; t += tick {
-		rec, active, err := stepTick(cfg, ordered, t, tick, phys, nCPU, run.ProcEnd)
+		rec, active, err := stepTick(cfg, ordered, t, tick, phys, nCPU, run.ProcEnd, &sc)
 		if err != nil {
 			return nil, fmt.Errorf("%w at t=%v", err, t)
 		}
@@ -244,13 +246,61 @@ type threadPlacement struct {
 	cost units.Watts
 }
 
-// pendingThread is a thread awaiting a CPU in a tick.
-type pendingThread struct {
+// procDemand is one running process's CPU demand for a tick. Every thread
+// of a process shares the same utilization and cost, and pinning is
+// all-or-nothing per process (Proc.Validate), so demand is a pin list plus
+// an unpinned-thread count rather than a per-thread record.
+type procDemand struct {
 	proc *Proc
 	util float64
 	cost units.Watts
-	// pin is the pinned logical CPU, or -1 for scheduler placement.
-	pin int
+	// pins are the pinned logical CPUs, one per thread (nil when the
+	// process is unpinned).
+	pins []int
+	// unpinned is the number of threads the scheduler places.
+	unpinned int
+}
+
+// tickScratch holds the per-tick working buffers that Simulate reuses
+// across ticks, so the hot loop only allocates what escapes into the
+// TickRecord. Each Simulate call owns its own scratch; nothing here is
+// shared between runs.
+type tickScratch struct {
+	demands    []procDemand
+	placements []threadPlacement
+	cpuBusy    []bool
+	activePhys []bool
+	loads      []cpumodel.CoreLoad
+	perCore    []units.Watts
+}
+
+// resetTick readies the buffers for one step on nCPU logical CPUs and phys
+// physical cores.
+func (sc *tickScratch) resetTick(nCPU, phys int) {
+	sc.demands = sc.demands[:0]
+	sc.placements = sc.placements[:0]
+	sc.cpuBusy = resetBools(sc.cpuBusy, nCPU)
+	sc.activePhys = resetBools(sc.activePhys, phys)
+	if cap(sc.loads) < nCPU {
+		sc.loads = make([]cpumodel.CoreLoad, nCPU)
+	}
+	sc.loads = sc.loads[:nCPU]
+	for i := range sc.loads {
+		sc.loads[i] = cpumodel.CoreLoad{}
+	}
+}
+
+// resetBools returns a length-n all-false slice, reusing b's storage when
+// it is large enough.
+func resetBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
 }
 
 // stepTick computes one simulation step. It returns the record, whether any
@@ -261,12 +311,10 @@ type pendingThread struct {
 // demand spills onto SMT siblings the discount is shared across processes
 // (as a load-balancing scheduler would) instead of falling entirely on the
 // last process in ID order.
-func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, procEnd map[string]time.Duration) (TickRecord, bool, error) {
-	var placements []threadPlacement
-	cpuBusy := make([]bool, nCPU)
+func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, procEnd map[string]time.Duration, sc *tickScratch) (TickRecord, bool, error) {
+	sc.resetTick(nCPU, phys)
 
 	// Gather each running process's demand for this tick.
-	perProc := make([][]pendingThread, 0, len(procs))
 	for i := range procs {
 		p := &procs[i]
 		if t < p.Start {
@@ -285,60 +333,43 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 		if threads > p.Threads {
 			threads = p.Threads
 		}
-		util := phase.Util * p.quota()
-		cost := units.Watts(float64(p.Workload.CostOn(cfg.Spec.Name)) * phase.Intensity)
-		demand := make([]pendingThread, threads)
-		for th := 0; th < threads; th++ {
-			pin := -1
-			if p.Pinned != nil {
-				pin = p.Pinned[th]
-			}
-			demand[th] = pendingThread{proc: p, util: util, cost: cost, pin: pin}
+		d := procDemand{
+			proc: p,
+			util: phase.Util * p.quota(),
+			cost: units.Watts(float64(p.Workload.CostOn(cfg.Spec.Name)) * phase.Intensity),
 		}
-		perProc = append(perProc, demand)
+		if p.Pinned != nil {
+			d.pins = p.Pinned[:threads]
+		} else {
+			d.unpinned = threads
+		}
+		sc.demands = append(sc.demands, d)
 	}
 
 	// Pinned threads claim their CPUs first.
-	for _, demand := range perProc {
-		for _, pt := range demand {
-			if pt.pin < 0 {
-				continue
-			}
-			if cpuBusy[pt.pin] {
+	for _, d := range sc.demands {
+		for _, pin := range d.pins {
+			if sc.cpuBusy[pin] {
 				return TickRecord{}, false, ErrContention
 			}
-			cpuBusy[pt.pin] = true
-			placements = append(placements, threadPlacement{proc: pt.proc, cpu: pt.pin, util: pt.util, cost: pt.cost})
+			sc.cpuBusy[pin] = true
+			sc.placements = append(sc.placements, threadPlacement{proc: d.proc, cpu: pin, util: d.util, cost: d.cost})
 		}
 	}
 	// Unpinned threads: round-robin across processes.
 	for round := 0; ; round++ {
 		progressed := false
-		for _, demand := range perProc {
-			// The round-th unpinned thread of this process.
-			idx := -1
-			count := 0
-			for i, pt := range demand {
-				if pt.pin >= 0 {
-					continue
-				}
-				if count == round {
-					idx = i
-					break
-				}
-				count++
-			}
-			if idx < 0 {
+		for _, d := range sc.demands {
+			if round >= d.unpinned {
 				continue
 			}
 			progressed = true
-			pt := demand[idx]
-			cpu, ok := pickCPU(cpuBusy, phys)
+			cpu, ok := pickCPU(sc.cpuBusy, phys)
 			if !ok {
 				return TickRecord{}, false, ErrContention
 			}
-			cpuBusy[cpu] = true
-			placements = append(placements, threadPlacement{proc: pt.proc, cpu: cpu, util: pt.util, cost: pt.cost})
+			sc.cpuBusy[cpu] = true
+			sc.placements = append(sc.placements, threadPlacement{proc: d.proc, cpu: cpu, util: d.util, cost: d.cost})
 		}
 		if !progressed {
 			break
@@ -346,28 +377,31 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 	}
 
 	// Governor: frequency from the number of active physical cores.
-	activePhys := map[int]bool{}
-	for _, pl := range placements {
-		activePhys[pl.cpu%phys] = true
+	nActive := 0
+	for _, pl := range sc.placements {
+		if c := pl.cpu % phys; !sc.activePhys[c] {
+			sc.activePhys[c] = true
+			nActive++
+		}
 	}
-	freq := cfg.Spec.Freq.ActiveFreq(len(activePhys), cfg.Turbo, cfg.MaxFreq)
+	freq := cfg.Spec.Freq.ActiveFreq(nActive, cfg.Turbo, cfg.MaxFreq)
 
 	// Build per-logical-CPU loads. A logical CPU is an SMT sibling when it
 	// is the higher-numbered thread of a core whose other thread is busy.
-	loads := make([]cpumodel.CoreLoad, nCPU)
-	for _, pl := range placements {
+	for _, pl := range sc.placements {
 		sibling := false
-		if pl.cpu >= phys && cpuBusy[pl.cpu-phys] {
+		if pl.cpu >= phys && sc.cpuBusy[pl.cpu-phys] {
 			sibling = true
 		}
-		loads[pl.cpu] = cpumodel.CoreLoad{
+		sc.loads[pl.cpu] = cpumodel.CoreLoad{
 			Util:       pl.util,
 			CostAtBase: pl.cost,
 			Freq:       freq,
 			SMTSibling: sibling,
 		}
 	}
-	bd := cfg.Spec.Power.Power(loads)
+	bd := cfg.Spec.Power.PowerInto(sc.loads, sc.perCore)
+	sc.perCore = bd.PerCore
 
 	rec := TickRecord{
 		At:        t,
@@ -376,10 +410,10 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 		Active:    bd.Active,
 		TruePower: bd.Total(),
 		Freq:      freq,
-		Procs:     map[string]ProcTick{},
+		Procs:     make(map[string]ProcTick, len(sc.demands)),
 	}
 	rec.Power = rec.TruePower
-	for _, pl := range placements {
+	for _, pl := range sc.placements {
 		pt := rec.Procs[pl.proc.ID]
 		cpuTime := units.CPUTime(float64(tick) * pl.util)
 		pt.CPUTime += cpuTime
@@ -388,7 +422,7 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 		pt.Counters = pt.Counters.Add(perfcnt.Synthesize(pl.proc.Workload.Mix, cpuTime, freq))
 		rec.Procs[pl.proc.ID] = pt
 	}
-	return rec, len(placements) > 0, nil
+	return rec, len(sc.placements) > 0, nil
 }
 
 // markEnd records the first time a process was observed finished.
@@ -421,7 +455,7 @@ func (r *Run) Tick() time.Duration { return r.Config.tick() }
 
 // PowerSeries returns the measured machine power trace (C_{S,t}).
 func (r *Run) PowerSeries() *trace.Series {
-	s := trace.New()
+	s := trace.NewWithCap(len(r.Ticks))
 	for _, rec := range r.Ticks {
 		s.Append(rec.At, float64(rec.Power))
 	}
@@ -430,7 +464,7 @@ func (r *Run) PowerSeries() *trace.Series {
 
 // TruePowerSeries returns the noise-free machine power trace.
 func (r *Run) TruePowerSeries() *trace.Series {
-	s := trace.New()
+	s := trace.NewWithCap(len(r.Ticks))
 	for _, rec := range r.Ticks {
 		s.Append(rec.At, float64(rec.TruePower))
 	}
@@ -439,7 +473,7 @@ func (r *Run) TruePowerSeries() *trace.Series {
 
 // ActiveSeries returns the machine's ground-truth active power (A_{S,t}).
 func (r *Run) ActiveSeries() *trace.Series {
-	s := trace.New()
+	s := trace.NewWithCap(len(r.Ticks))
 	for _, rec := range r.Ticks {
 		s.Append(rec.At, float64(rec.Active))
 	}
@@ -448,7 +482,7 @@ func (r *Run) ActiveSeries() *trace.Series {
 
 // ResidualSeries returns the ground-truth residual power over time.
 func (r *Run) ResidualSeries() *trace.Series {
-	s := trace.New()
+	s := trace.NewWithCap(len(r.Ticks))
 	for _, rec := range r.Ticks {
 		s.Append(rec.At, float64(rec.Residual))
 	}
@@ -457,7 +491,7 @@ func (r *Run) ResidualSeries() *trace.Series {
 
 // ProcActiveSeries returns a process's ground-truth active power trace.
 func (r *Run) ProcActiveSeries(id string) *trace.Series {
-	s := trace.New()
+	s := trace.NewWithCap(len(r.Ticks))
 	for _, rec := range r.Ticks {
 		if pt, ok := rec.Procs[id]; ok {
 			s.Append(rec.At, float64(pt.ActivePower))
@@ -468,7 +502,7 @@ func (r *Run) ProcActiveSeries(id string) *trace.Series {
 
 // ProcCPUSeries returns a process's CPU utilization trace (cores busy).
 func (r *Run) ProcCPUSeries(id string) *trace.Series {
-	s := trace.New()
+	s := trace.NewWithCap(len(r.Ticks))
 	tick := r.Tick()
 	for _, rec := range r.Ticks {
 		if pt, ok := rec.Procs[id]; ok {

@@ -25,6 +25,11 @@ type F2 struct {
 	// baseline maps process ID to its isolated active power per fully
 	// busy core (A_{P_i} / cores used when isolated).
 	baseline map[string]units.Watts
+	// mean is the mean baseline, the weight of processes measured without
+	// one. Computed once at construction: the baselines are fixed for the
+	// model's lifetime, and summing in sorted ID order keeps the value
+	// bit-reproducible.
+	mean float64
 }
 
 // NewF2 returns an F2-model factory with the given per-process isolated
@@ -34,9 +39,22 @@ func NewF2(baselinePerCore map[string]units.Watts) Factory {
 	for id, w := range baselinePerCore {
 		b[id] = w
 	}
+	mean := 1.0
+	if len(b) > 0 {
+		ids := make([]string, 0, len(b))
+		for id := range b {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		var sum units.Watts
+		for _, id := range ids {
+			sum += b[id]
+		}
+		mean = float64(sum) / float64(len(b))
+	}
 	return Factory{
 		Name: "f2",
-		New:  func(int64) Model { return &F2{baseline: b} },
+		New:  func(int64) Model { return &F2{baseline: b, mean: mean} },
 	}
 }
 
@@ -50,24 +68,9 @@ func (m *F2) Observe(t Tick) map[string]units.Watts {
 	if len(t.Procs) == 0 {
 		return nil
 	}
-	var mean float64
-	if len(m.baseline) > 0 {
-		ids := make([]string, 0, len(m.baseline))
-		for id := range m.baseline {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		var sum units.Watts
-		for _, id := range ids {
-			sum += m.baseline[id]
-		}
-		mean = float64(sum) / float64(len(m.baseline))
-	} else {
-		mean = 1
-	}
 	weights := make(map[string]float64, len(t.Procs))
 	for id, p := range t.Procs {
-		per := mean
+		per := m.mean
 		if w, ok := m.baseline[id]; ok {
 			per = float64(w)
 		}

@@ -104,16 +104,37 @@ func TickFromRecord(rec machine.TickRecord, interval time.Duration, logicalCPUs 
 	return t
 }
 
+// RunTicks converts every record of a simulator run into model inputs,
+// index-aligned with run.Ticks. Converting once and replaying several
+// models over the shared slice (ReplayTicks) avoids rebuilding the
+// per-tick ProcSample maps per model — all models treat Tick.Procs as
+// read-only.
+func RunTicks(run *machine.Run) []Tick {
+	ticks := make([]Tick, len(run.Ticks))
+	logical := run.Config.Spec.Topology.LogicalCPUs()
+	interval := run.Tick()
+	for i, rec := range run.Ticks {
+		ticks[i] = TickFromRecord(rec, interval, logical)
+	}
+	return ticks
+}
+
+// ReplayTicks feeds pre-converted ticks to the model and returns the
+// per-tick estimates, index-aligned. Ticks where the model produced no
+// estimate hold a nil map.
+func ReplayTicks(m Model, ticks []Tick) []map[string]units.Watts {
+	out := make([]map[string]units.Watts, len(ticks))
+	for i, t := range ticks {
+		out[i] = m.Observe(t)
+	}
+	return out
+}
+
 // Replay feeds every tick of a simulator run to the model and returns the
 // per-tick estimates, index-aligned with run.Ticks. Ticks where the model
 // produced no estimate hold a nil map.
 func Replay(m Model, run *machine.Run) []map[string]units.Watts {
-	out := make([]map[string]units.Watts, len(run.Ticks))
-	logical := run.Config.Spec.Topology.LogicalCPUs()
-	for i, rec := range run.Ticks {
-		out[i] = m.Observe(TickFromRecord(rec, run.Tick(), logical))
-	}
-	return out
+	return ReplayTicks(m, RunTicks(run))
 }
 
 // ShareOut distributes power among processes proportionally to weights.

@@ -1,0 +1,191 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"powerdiv/internal/machine"
+	"powerdiv/internal/workload"
+)
+
+// The campaign hot path re-simulates identical runs constantly: every model
+// in a multi-model campaign replays the same pair scenarios, every
+// ablation re-measures the same phase-1 solo baselines, and benchmark
+// iterations repeat whole campaigns. Simulation is deterministic — a run is
+// fully determined by the machine config (calibration included), the
+// process list and the duration — so those repeats are pure waste. The run
+// cache memoizes Simulate behind a key derived from exactly those inputs
+// and is shared safely across the parallel.go worker pool.
+//
+// Cached *machine.Run values are shared between callers and MUST be treated
+// as read-only; every consumer in this repository only reads them.
+
+// runCacheEntry is one memoized simulation. done is closed once run/err are
+// populated, giving concurrent requesters of the same key singleflight
+// semantics: the first computes, the rest wait.
+type runCacheEntry struct {
+	done chan struct{}
+	run  *machine.Run
+	err  error
+}
+
+// runCache is a bounded FIFO memoization table for simulator runs.
+type runCache struct {
+	mu      sync.Mutex
+	enabled bool
+	limit   int
+	entries map[string]*runCacheEntry
+	order   []string
+	hits    uint64
+	misses  uint64
+}
+
+// DefaultMemoLimit is the default number of memoized runs kept. A 30 s
+// stress run holds ~300 ticks (~a few hundred KB with per-tick process
+// maps), so the default bounds the cache to roughly a few hundred MB —
+// enough for the all-pairs lab campaigns on both machines plus every solo
+// baseline, without letting long-lived processes grow without bound.
+const DefaultMemoLimit = 2048
+
+var memo = &runCache{
+	enabled: true,
+	limit:   DefaultMemoLimit,
+	entries: map[string]*runCacheEntry{},
+}
+
+// EnableMemoization turns solo/pair run memoization on or off globally.
+// It is on by default; turning it off also drops all cached runs. Tests
+// use it to prove memoized and unmemoized campaigns agree byte for byte.
+func EnableMemoization(on bool) {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	memo.enabled = on
+	if !on {
+		memo.entries = map[string]*runCacheEntry{}
+		memo.order = nil
+	}
+}
+
+// ResetMemoization drops every cached run and zeroes the statistics,
+// leaving the enabled state unchanged.
+func ResetMemoization() {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	memo.entries = map[string]*runCacheEntry{}
+	memo.order = nil
+	memo.hits, memo.misses = 0, 0
+}
+
+// SetMemoizationLimit bounds the number of cached runs (FIFO eviction).
+// Non-positive limits restore the default.
+func SetMemoizationLimit(n int) {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	if n <= 0 {
+		n = DefaultMemoLimit
+	}
+	memo.limit = n
+	memo.evictLocked()
+}
+
+// MemoStats reports the cache's activity since the last reset.
+type MemoStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// MemoizationStats returns the current cache statistics.
+func MemoizationStats() MemoStats {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	return MemoStats{Hits: memo.hits, Misses: memo.misses, Entries: len(memo.entries)}
+}
+
+// evictLocked enforces the entry limit. Oldest entries go first; waiters
+// holding an evicted entry pointer still receive its result.
+func (c *runCache) evictLocked() {
+	for len(c.order) > c.limit {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// simulateCached is machine.Simulate behind the memoization cache. The
+// returned run is shared with other callers and must not be mutated.
+func simulateCached(cfg machine.Config, procs []machine.Proc, maxDur time.Duration) (*machine.Run, error) {
+	memo.mu.Lock()
+	enabled := memo.enabled
+	memo.mu.Unlock()
+	if !enabled {
+		return machine.Simulate(cfg, procs, maxDur)
+	}
+	key := runKey(cfg, procs, maxDur)
+	memo.mu.Lock()
+	if e, ok := memo.entries[key]; ok {
+		memo.hits++
+		memo.mu.Unlock()
+		<-e.done
+		return e.run, e.err
+	}
+	e := &runCacheEntry{done: make(chan struct{})}
+	memo.entries[key] = e
+	memo.order = append(memo.order, key)
+	memo.misses++
+	memo.evictLocked()
+	memo.mu.Unlock()
+
+	e.run, e.err = machine.Simulate(cfg, procs, maxDur)
+	close(e.done)
+	return e.run, e.err
+}
+
+// runKey fingerprints everything a simulation's outcome depends on: the
+// machine calibration and performance settings (seed included), the full
+// process list (workload definition included), and the duration. Process
+// order is normalised away — the simulator schedules in ID order, so
+// permutations produce identical runs.
+func runKey(cfg machine.Config, procs []machine.Proc, maxDur time.Duration) string {
+	var b strings.Builder
+	b.Grow(512)
+	spec := cfg.Spec
+	fmt.Fprintf(&b, "spec:%s|top:%d/%d/%d|freq:%v/%v/%v/%v|pw:%v/%v/%v/%v|rc:",
+		spec.Name,
+		spec.Topology.Sockets, spec.Topology.CoresPerSocket, spec.Topology.ThreadsPerCore,
+		spec.Freq.Min, spec.Freq.Base, spec.Freq.Turbo, spec.Freq.TurboDerate,
+		spec.Power.Idle, spec.Power.FreqExponent, spec.Power.SMTEfficiency, spec.Power.BaseFreq)
+	for _, pt := range spec.Power.Residual.Points() {
+		fmt.Fprintf(&b, "%v=%v;", pt.Freq, pt.R)
+	}
+	fmt.Fprintf(&b, "|ht:%t|turbo:%t|maxf:%v|tick:%v|noise:%v|seed:%d|dur:%v",
+		cfg.Hyperthreading, cfg.Turbo, cfg.MaxFreq, cfg.Tick, cfg.NoiseStddev, cfg.Seed, maxDur)
+
+	ordered := append([]machine.Proc(nil), procs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, p := range ordered {
+		fmt.Fprintf(&b, "|proc:%s|thr:%d|quota:%v|start:%v|stop:%v|pin:%v|", p.ID, p.Threads, p.CPUQuota, p.Start, p.Stop, p.Pinned)
+		workloadKey(&b, p.Workload)
+	}
+	return b.String()
+}
+
+// workloadKey fingerprints a workload definition. Two workloads sharing a
+// name but differing in calibration or script must not collide.
+func workloadKey(b *strings.Builder, w workload.Workload) {
+	fmt.Fprintf(b, "w:%s/%d|mix:%v/%v/%v|cost:", w.Name, int(w.Kind), w.Mix.IPC, w.Mix.CacheRefsPerKiloInstr, w.Mix.BranchesPerKiloInstr)
+	names := make([]string, 0, len(w.Cost))
+	for n := range w.Cost {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(b, "%s=%v;", n, w.Cost[n])
+	}
+	fmt.Fprintf(b, "|script:%d:", len(w.Script))
+	for _, ph := range w.Script {
+		fmt.Fprintf(b, "%v/%d/%v/%v;", ph.Duration, ph.Threads, ph.Intensity, ph.Util)
+	}
+}

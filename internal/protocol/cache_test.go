@@ -1,0 +1,255 @@
+package protocol
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/division"
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+	"powerdiv/internal/units"
+)
+
+// smallCampaign builds a short multi-model campaign: every stress pair at
+// sizes 1 and 2 on SMALL INTEL, 6 s runs, all paper model families.
+func smallCampaign(t *testing.T) (Context, []Scenario, func(map[string]division.Baseline) []models.Factory) {
+	t.Helper()
+	// 15 s runs: long enough for PowerAPI's 10 s learning window to leave
+	// scored ticks, short enough to keep the test fast.
+	ctx := labSmall()
+	ctx.RunFor = 15 * time.Second
+	ctx.StableWindow = 4 * time.Second
+	scenarios, err := StressPairs([]string{"fibonacci", "matrixprod", "int64"}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factories := func(map[string]division.Baseline) []models.Factory {
+		return []models.Factory{
+			models.NewScaphandre(),
+			models.NewPowerAPI(models.DefaultPowerAPIConfig()),
+			models.NewKepler(),
+		}
+	}
+	return ctx, scenarios, factories
+}
+
+// TestMemoizationIdenticalErrorTable proves the memoization cache is
+// invisible to results: the same campaign with the cache on and off yields
+// deeply equal evaluations for every model — same AEs, truth and estimated
+// shares, scatter points, scored tick counts.
+func TestMemoizationIdenticalErrorTable(t *testing.T) {
+	ctx, scenarios, factories := smallCampaign(t)
+
+	EnableMemoization(false)
+	cold, err := EvaluateModels(ctx, scenarios, factories, ObjectiveActive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	EnableMemoization(true)
+	defer EnableMemoization(true)
+	ResetMemoization()
+	warm, err := EvaluateModels(ctx, scenarios, factories, ObjectiveActive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if st := MemoizationStats(); st.Hits == 0 {
+		t.Errorf("memoized campaign recorded no cache hits: %+v", st)
+	}
+	if len(cold) != len(warm) {
+		t.Fatalf("model sets differ: %d vs %d", len(cold), len(warm))
+	}
+	for name, evs := range cold {
+		if !reflect.DeepEqual(evs, warm[name]) {
+			t.Errorf("model %s: memoized evaluations differ from unmemoized", name)
+		}
+	}
+	// Rendering the table from either result must give identical bytes.
+	sumCold := Summarize("kepler", cold["kepler"])
+	sumWarm := Summarize("kepler", warm["kepler"])
+	if sumCold.MeanAE != sumWarm.MeanAE || sumCold.MaxAE != sumWarm.MaxAE || sumCold.WorstScenario != sumWarm.WorstScenario {
+		t.Errorf("summaries differ: %+v vs %+v", sumCold, sumWarm)
+	}
+}
+
+// TestMemoizationIdenticalTimeline proves EvaluateTimeline is cache-blind
+// too: identical TimelineResult with memoization on and off.
+func TestMemoizationIdenticalTimeline(t *testing.T) {
+	ctx := labSmall()
+	ctx.RunFor = 6 * time.Second
+	ctx.StableWindow = 3 * time.Second
+	a0 := mustStressApp(t, "int64", 1)
+	a0.ID = "P0"
+	a1 := mustStressApp(t, "int64", 1)
+	a1.ID = "P1"
+	apps := []TimelineApp{
+		{App: a0},
+		{App: a1, Start: 3 * time.Second, Stop: 8 * time.Second},
+	}
+	baselines, err := MeasureBaselines(ctx, []AppSpec{a0, a1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	EnableMemoization(false)
+	cold, err := EvaluateTimeline(ctx, apps, models.NewScaphandre(), baselines, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	EnableMemoization(true)
+	defer EnableMemoization(true)
+	ResetMemoization()
+	warm1, err := EvaluateTimeline(ctx, apps, models.NewScaphandre(), baselines, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second memoized evaluation hits the cache and must agree as well.
+	warm2, err := EvaluateTimeline(ctx, apps, models.NewScaphandre(), baselines, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold != warm1 || warm1 != warm2 {
+		t.Errorf("timeline results differ: cold %+v, warm %+v, cached %+v", cold, warm1, warm2)
+	}
+	if st := MemoizationStats(); st.Hits == 0 {
+		t.Errorf("second evaluation did not hit the cache: %+v", st)
+	}
+}
+
+// TestRunKeyDiscriminates checks the fingerprint separates every input the
+// simulation depends on, and normalises process order away.
+func TestRunKeyDiscriminates(t *testing.T) {
+	base := machine.Config{Spec: cpumodel.SmallIntel(), NoiseStddev: 0.25, Seed: 1}
+	app := mustStressApp(t, "fibonacci", 2)
+	procs := []machine.Proc{app.proc()}
+	key := runKey(base, procs, 10*time.Second)
+
+	mutations := map[string]func() string{
+		"seed": func() string {
+			c := base
+			c.Seed = 2
+			return runKey(c, procs, 10*time.Second)
+		},
+		"turbo": func() string {
+			c := base
+			c.Turbo = true
+			return runKey(c, procs, 10*time.Second)
+		},
+		"maxfreq": func() string {
+			c := base
+			c.MaxFreq = 2e9
+			return runKey(c, procs, 10*time.Second)
+		},
+		"duration": func() string {
+			return runKey(base, procs, 11*time.Second)
+		},
+		"threads": func() string {
+			a := mustStressApp(t, "fibonacci", 3)
+			return runKey(base, []machine.Proc{a.proc()}, 10*time.Second)
+		},
+		"quota": func() string {
+			p := app.proc()
+			p.CPUQuota = 0.5
+			return runKey(base, []machine.Proc{p}, 10*time.Second)
+		},
+		"workload-cost": func() string {
+			a := app
+			cost := map[string]units.Watts{}
+			for k, v := range a.Workload.Cost {
+				cost[k] = v + 1
+			}
+			a.Workload.Cost = cost
+			return runKey(base, []machine.Proc{a.proc()}, 10*time.Second)
+		},
+	}
+	for name, mutate := range mutations {
+		if mutate() == key {
+			t.Errorf("mutation %q did not change the run key", name)
+		}
+	}
+
+	// Permuting the process list must NOT change the key: the simulator
+	// schedules in ID order.
+	a2 := mustStressApp(t, "matrixprod", 1)
+	ab := runKey(base, []machine.Proc{app.proc(), a2.proc()}, 10*time.Second)
+	ba := runKey(base, []machine.Proc{a2.proc(), app.proc()}, 10*time.Second)
+	if ab != ba {
+		t.Error("process order changed the run key")
+	}
+}
+
+// TestMemoizationSingleflight hammers one key from many goroutines: all
+// callers must receive the same *machine.Run and the simulation must have
+// run exactly once (one miss, the rest hits).
+func TestMemoizationSingleflight(t *testing.T) {
+	EnableMemoization(true)
+	ResetMemoization()
+	defer EnableMemoization(true)
+	cfg := machine.Config{Spec: cpumodel.SmallIntel(), Seed: 7}
+	app := mustStressApp(t, "int64", 1)
+
+	const n = 16
+	runs := make([]*machine.Run, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run, err := simulateCached(cfg, []machine.Proc{app.proc()}, 3*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			runs[i] = run
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if runs[i] != runs[0] {
+			t.Fatalf("caller %d received a different run pointer", i)
+		}
+	}
+	st := MemoizationStats()
+	if st.Misses != 1 || st.Hits != n-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits", st, n-1)
+	}
+}
+
+// TestMemoizationLimit checks FIFO eviction keeps the table bounded and
+// evicted keys recompute correctly.
+func TestMemoizationLimit(t *testing.T) {
+	EnableMemoization(true)
+	ResetMemoization()
+	SetMemoizationLimit(2)
+	defer func() {
+		SetMemoizationLimit(0) // restore the default
+		ResetMemoization()
+	}()
+	app := mustStressApp(t, "int64", 1)
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := machine.Config{Spec: cpumodel.SmallIntel(), Seed: seed}
+		if _, err := simulateCached(cfg, []machine.Proc{app.proc()}, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := MemoizationStats(); st.Entries > 2 {
+		t.Errorf("cache holds %d entries, limit is 2", st.Entries)
+	}
+	// Seed 1 was evicted; asking again recomputes and still agrees with a
+	// direct simulation.
+	cfg := machine.Config{Spec: cpumodel.SmallIntel(), Seed: 1}
+	got, err := simulateCached(cfg, []machine.Proc{app.proc()}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := machine.Simulate(cfg, []machine.Proc{app.proc()}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Ticks, want.Ticks) {
+		t.Error("recomputed run differs from direct simulation")
+	}
+}

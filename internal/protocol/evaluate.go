@@ -102,6 +102,20 @@ func EvaluatePair(ctx Context, s Scenario, factory models.Factory, baselines map
 // objectives; only the truth construction differs). The returned slice is
 // index-aligned with objectives.
 func EvaluatePairMulti(ctx Context, s Scenario, factory models.Factory, baselines map[string]division.Baseline, objectives []Objective, r0 units.Watts) ([]Evaluation, error) {
+	truths, err := scenarioTruths(s, baselines, objectives, r0)
+	if err != nil {
+		return nil, err
+	}
+	run, err := scenarioRun(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	return scoreRun(ctx, s, run, models.RunTicks(run), factory, truths)
+}
+
+// scenarioTruths resolves the objective shares a scenario is scored
+// against, index-aligned with objectives.
+func scenarioTruths(s Scenario, baselines map[string]division.Baseline, objectives []Objective, r0 units.Watts) ([]division.Shares, error) {
 	if len(s.Apps) < 2 {
 		return nil, fmt.Errorf("protocol: scenario %q needs ≥2 applications", s.Label())
 	}
@@ -134,26 +148,41 @@ func EvaluatePairMulti(ctx Context, s Scenario, factory models.Factory, baseline
 		}
 		truths[i] = truth
 	}
+	return truths, nil
+}
 
+// scenarioRun simulates the scenario's parallel phase (protocol phase 2)
+// through the memoization cache, so that every model evaluating the same
+// scenario shares one simulated run. The returned run is read-only.
+func scenarioRun(ctx Context, s Scenario) (*machine.Run, error) {
 	cfg := ctx.Machine
 	cfg.Seed = deriveSeed(ctx.Seed, "pair", s.Label())
 	procs := make([]machine.Proc, len(s.Apps))
 	for i, a := range s.Apps {
 		procs[i] = a.proc()
 	}
-	run, err := machine.Simulate(cfg, procs, ctx.RunFor)
+	run, err := simulateCached(cfg, procs, ctx.RunFor)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: scenario %q: %w", s.Label(), err)
 	}
+	return run, nil
+}
+
+// scoreRun is protocol phase 3 for one model on an already-simulated
+// scenario run: the model replays the run's observations (ticks, the run's
+// pre-converted model inputs — shared across models scoring the same run)
+// and Eq 5 scores its estimates against each objective's truth shares
+// (index-aligned with the returned evaluations).
+func scoreRun(ctx Context, s Scenario, run *machine.Run, ticks []models.Tick, factory models.Factory, truths []division.Shares) ([]Evaluation, error) {
 	model := factory.New(deriveSeed(ctx.Seed, "model", factory.Name, s.Label()))
-	ests := models.Replay(model, run)
+	ests := models.ReplayTicks(model, ticks)
 
 	from, to := stableScoringWindow(ctx, run, ests)
 	if to <= from {
 		return nil, fmt.Errorf("protocol: scenario %q: model %s produced no estimates", s.Label(), factory.Name)
 	}
-	var scoredEsts []map[string]units.Watts
-	var scoredPower []units.Watts
+	scoredEsts := make([]map[string]units.Watts, 0, len(run.Ticks))
+	scoredPower := make([]units.Watts, 0, len(run.Ticks))
 	meanEst := map[string]float64{}
 	for i, rec := range run.Ticks {
 		if rec.At < from || rec.At >= to || ests[i] == nil {
@@ -176,7 +205,7 @@ func EvaluatePairMulti(ctx Context, s Scenario, factory models.Factory, baseline
 		}
 	}
 
-	out := make([]Evaluation, len(objectives))
+	out := make([]Evaluation, len(truths))
 	for i, truth := range truths {
 		ev := Evaluation{Scenario: s, Model: factory.Name, Truth: truth, EstShare: estShare}
 		ae, err := division.AbsoluteError(scoredEsts, scoredPower, division.ConstShares(len(scoredEsts), truth))
@@ -370,20 +399,62 @@ func EvaluateCampaign(ctx Context, scenarios []Scenario, factory models.Factory,
 // scenario list, measuring the phase 1 baselines once. The factories
 // function receives the baselines so that models needing them (F2) can be
 // constructed; it returns the model factories to evaluate.
+//
+// With memoization enabled (the default) each scenario is simulated exactly
+// once and every model replays that shared cached run — the simulation is
+// the expensive part of the hot path and is identical across models (its
+// seed derives from the scenario label, never from the model). Scenarios
+// are evaluated concurrently across the worker pool; results are
+// deterministic regardless of scheduling or cache state.
 func EvaluateModels(ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, obj Objective, r0 units.Watts) (map[string][]Evaluation, error) {
-	baselines, err := MeasureBaselines(ctx, AppsOf(scenarios))
+	baselines, err := MeasureBaselinesParallel(ctx, AppsOf(scenarios))
+	if err != nil {
+		return nil, err
+	}
+	fs := factories(baselines)
+	objectives := []Objective{obj}
+	// perScenario[i][m] is model m's evaluation of scenario i; each worker
+	// writes only its own scenario row.
+	perScenario := make([][]Evaluation, len(scenarios))
+	err = forEachIndexed(len(scenarios), func(i int) error {
+		s := scenarios[i]
+		truths, err := scenarioTruths(s, baselines, objectives, r0)
+		if err != nil {
+			return err
+		}
+		row := make([]Evaluation, len(fs))
+		var ticks []models.Tick
+		for m, f := range fs {
+			// Every model asks for the scenario run through the cache:
+			// with memoization on the first model simulates and the rest
+			// share that run; with it off each model re-simulates (the
+			// results are identical either way — the run's seed derives
+			// from the scenario label, never from the model). The model
+			// inputs are converted once per scenario regardless.
+			run, err := scenarioRun(ctx, s)
+			if err != nil {
+				return err
+			}
+			if ticks == nil {
+				ticks = models.RunTicks(run)
+			}
+			evs, err := scoreRun(ctx, s, run, ticks, f, truths)
+			if err != nil {
+				return err
+			}
+			row[m] = evs[0]
+		}
+		perScenario[i] = row
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	out := map[string][]Evaluation{}
-	for _, f := range factories(baselines) {
-		evs := make([]Evaluation, 0, len(scenarios))
-		for _, s := range scenarios {
-			ev, err := EvaluatePair(ctx, s, f, baselines, obj, r0)
-			if err != nil {
-				return nil, err
-			}
-			evs = append(evs, ev)
+	for m, f := range fs {
+		evs := make([]Evaluation, len(scenarios))
+		for i := range scenarios {
+			evs[i] = perScenario[i][m]
 		}
 		out[f.Name] = evs
 	}

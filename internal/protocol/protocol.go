@@ -90,7 +90,7 @@ func StressApp(fn string, threads int) (AppSpec, error) {
 // MeasureIdle returns the machine's idle power (mean over a short empty
 // run).
 func MeasureIdle(ctx Context) (units.Watts, error) {
-	run, err := machine.Simulate(ctx.Machine, nil, 5*time.Second)
+	run, err := simulateCached(ctx.Machine, nil, 5*time.Second)
 	if err != nil {
 		return 0, err
 	}
@@ -100,10 +100,13 @@ func MeasureIdle(ctx Context) (units.Watts, error) {
 // MeasureBaseline is protocol phase 1 for one application: run it alone
 // and extract its baseline. Residual follows the paper's definition and
 // includes idle consumption.
+//
+// The returned run is shared with the memoization cache (see cache.go) and
+// must be treated as read-only.
 func MeasureBaseline(ctx Context, app AppSpec) (division.Baseline, *machine.Run, error) {
 	cfg := ctx.Machine
 	cfg.Seed = deriveSeed(ctx.Seed, "solo", app.ID)
-	run, err := machine.Simulate(cfg, []machine.Proc{app.proc()}, ctx.RunFor)
+	run, err := simulateCached(cfg, []machine.Proc{app.proc()}, ctx.RunFor)
 	if err != nil {
 		return division.Baseline{}, nil, fmt.Errorf("protocol: solo run of %s: %w", app.ID, err)
 	}
@@ -168,7 +171,7 @@ func EstimateResidual(ctx Context, probe workload.Workload) (units.Watts, error)
 	for n := 1; n <= phys; n++ {
 		cfg := ctx.Machine
 		cfg.Seed = deriveSeed(ctx.Seed, "residual-probe", fmt.Sprint(n))
-		run, err := machine.Simulate(cfg, []machine.Proc{{
+		run, err := simulateCached(cfg, []machine.Proc{{
 			ID: "probe", Workload: probe, Threads: n,
 		}}, 5*time.Second)
 		if err != nil {

@@ -40,11 +40,27 @@ var ErrUnordered = errors.New("trace: samples out of time order")
 // ErrEmpty is returned by operations that need at least one sample.
 var ErrEmpty = errors.New("trace: empty series")
 
+// ErrTooShort is returned by StableWindow when the series does not contain
+// a window of the requested length: either its total span is shorter than
+// the window, or sample gaps leave no contiguous run that covers it.
+// Callers can distinguish it from ErrEmpty with errors.Is.
+var ErrTooShort = errors.New("trace: series shorter than window")
+
 // New returns a Series built from the given samples, sorted by time.
 func New(samples ...Sample) *Series {
 	s := &Series{samples: append([]Sample(nil), samples...)}
 	sort.SliceStable(s.samples, func(i, j int) bool { return s.samples[i].At < s.samples[j].At })
 	return s
+}
+
+// NewWithCap returns an empty series whose backing store can hold n samples
+// before reallocating — for callers that know the sample count up front and
+// append tick by tick.
+func NewWithCap(n int) *Series {
+	if n < 0 {
+		n = 0
+	}
+	return &Series{samples: make([]Sample, 0, n)}
 }
 
 // FromValues builds a regularly sampled series: values[i] is the sample at
@@ -259,20 +275,26 @@ func (s *Series) Resample(period time.Duration) *Series {
 	if len(s.samples) == 0 || period <= 0 {
 		return out
 	}
+	out.samples = make([]Sample, 0, int(s.Duration()/period)+1)
+	i := 0
 	for t := s.Start(); t <= s.End(); t += period {
-		v, _ := s.ValueAt(t)
-		out.samples = append(out.samples, Sample{At: t, Value: v})
+		// The grid advances monotonically, so the hold cursor never moves
+		// backwards — one pass instead of a binary search per grid point.
+		for i+1 < len(s.samples) && s.samples[i+1].At <= t {
+			i++
+		}
+		out.samples = append(out.samples, Sample{At: t, Value: s.samples[i].Value})
 	}
 	return out
 }
 
-// BinOp applies op pointwise to a and b after aligning them onto a regular
-// grid of the given period spanning the overlap of the two series. The
-// result is empty if the series do not overlap.
-func BinOp(a, b *Series, period time.Duration, op func(x, y float64) float64) *Series {
-	out := &Series{}
+// eachAligned walks the regular grid of the given period across the overlap
+// of a and b and calls fn with both series' zero-order-hold values at every
+// grid point — the single-pass core shared by BinOp and Correlation. It does
+// nothing when either series is empty or period is not positive.
+func eachAligned(a, b *Series, period time.Duration, fn func(t time.Duration, x, y float64)) {
 	if a.Len() == 0 || b.Len() == 0 || period <= 0 {
-		return out
+		return
 	}
 	from := a.Start()
 	if b.Start() > from {
@@ -282,13 +304,54 @@ func BinOp(a, b *Series, period time.Duration, op func(x, y float64) float64) *S
 	if b.End() < to {
 		to = b.End()
 	}
+	ia, ib := 0, 0
 	for t := from; t <= to; t += period {
-		x, okx := a.ValueAt(t)
-		y, oky := b.ValueAt(t)
-		if okx && oky {
-			out.samples = append(out.samples, Sample{At: t, Value: op(x, y)})
+		for ia+1 < len(a.samples) && a.samples[ia+1].At <= t {
+			ia++
 		}
+		for ib+1 < len(b.samples) && b.samples[ib+1].At <= t {
+			ib++
+		}
+		// from is at or after both starts, so the hold value exists for
+		// every grid point of a non-empty overlap.
+		if a.samples[ia].At > t || b.samples[ib].At > t {
+			continue
+		}
+		fn(t, a.samples[ia].Value, b.samples[ib].Value)
 	}
+}
+
+// overlapGridLen returns the number of grid points eachAligned will visit,
+// for preallocation. It returns 0 when the series do not overlap.
+func overlapGridLen(a, b *Series, period time.Duration) int {
+	if a.Len() == 0 || b.Len() == 0 || period <= 0 {
+		return 0
+	}
+	from := a.Start()
+	if b.Start() > from {
+		from = b.Start()
+	}
+	to := a.End()
+	if b.End() < to {
+		to = b.End()
+	}
+	if to < from {
+		return 0
+	}
+	return int((to-from)/period) + 1
+}
+
+// BinOp applies op pointwise to a and b after aligning them onto a regular
+// grid of the given period spanning the overlap of the two series. The
+// result is empty if the series do not overlap.
+func BinOp(a, b *Series, period time.Duration, op func(x, y float64) float64) *Series {
+	out := &Series{}
+	if n := overlapGridLen(a, b, period); n > 0 {
+		out.samples = make([]Sample, 0, n)
+	}
+	eachAligned(a, b, period, func(t time.Duration, x, y float64) {
+		out.samples = append(out.samples, Sample{At: t, Value: op(x, y)})
+	})
 	return out
 }
 
@@ -304,9 +367,14 @@ func Sub(a, b *Series, period time.Duration) *Series {
 
 // Sum returns the pointwise sum of all series on a regular grid spanning
 // their common overlap. It returns an empty series if the list is empty.
+// A single series is returned as an independent copy resampled onto the
+// requested period grid, like every other arity.
 func Sum(period time.Duration, series ...*Series) *Series {
 	if len(series) == 0 {
 		return &Series{}
+	}
+	if len(series) == 1 {
+		return series[0].Resample(period)
 	}
 	acc := series[0]
 	for _, s := range series[1:] {
@@ -320,17 +388,28 @@ func Sum(period time.Duration, series ...*Series) *Series {
 // period. It returns 0 when the overlap is empty or either series is
 // constant (correlation undefined).
 func Correlation(a, b *Series, period time.Duration) float64 {
-	xs := BinOp(a, b, period, func(x, _ float64) float64 { return x })
-	ys := BinOp(a, b, period, func(_, y float64) float64 { return y })
-	n := xs.Len()
-	if n == 0 || n != ys.Len() {
+	grid := overlapGridLen(a, b, period)
+	xs := make([]float64, 0, grid)
+	ys := make([]float64, 0, grid)
+	eachAligned(a, b, period, func(_ time.Duration, x, y float64) {
+		xs = append(xs, x)
+		ys = append(ys, y)
+	})
+	n := len(xs)
+	if n == 0 {
 		return 0
 	}
-	mx, my := xs.Mean(), ys.Mean()
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
 	var sxy, sxx, syy float64
 	for i := 0; i < n; i++ {
-		dx := xs.At(i).Value - mx
-		dy := ys.At(i).Value - my
+		dx := xs[i] - mx
+		dy := ys[i] - my
 		sxy += dx * dy
 		sxx += dx * dx
 		syy += dy * dy
@@ -348,17 +427,31 @@ func Correlation(a, b *Series, period time.Duration) float64 {
 // and tear-down transients. It returns an error if the series is shorter
 // than the window.
 func (s *Series) StableWindow(window time.Duration) (*Series, error) {
-	if len(s.samples) == 0 {
+	n := len(s.samples)
+	if n == 0 {
 		return nil, ErrEmpty
 	}
 	if s.Duration() < window {
-		return nil, fmt.Errorf("trace: series spans %v, shorter than window %v", s.Duration(), window)
+		return nil, fmt.Errorf("%w: series spans %v, window is %v", ErrTooShort, s.Duration(), window)
 	}
-	best := -1
+	// Prefix sums of value and value² make every window's score O(1):
+	// for [i, j) with m samples, ss = Σv² − (Σv)²/m and score = ss/m.
+	// The end cursor j only moves forward as i advances, so the whole
+	// search is O(n) instead of O(n·w).
+	sum := make([]float64, n+1)
+	sum2 := make([]float64, n+1)
+	for i, sm := range s.samples {
+		sum[i+1] = sum[i] + sm.Value
+		sum2[i+1] = sum2[i] + sm.Value*sm.Value
+	}
+	best, bestEnd := -1, -1
 	bestScore := math.Inf(1)
-	for i := range s.samples {
-		j := i
-		for j < len(s.samples) && s.samples[j].At-s.samples[i].At <= window {
+	j := 0
+	for i := 0; i < n; i++ {
+		if j < i {
+			j = i
+		}
+		for j < n && s.samples[j].At-s.samples[i].At <= window {
 			j++
 		}
 		// Window [i, j) spans at least `window` only if the last included
@@ -366,47 +459,43 @@ func (s *Series) StableWindow(window time.Duration) (*Series, error) {
 		if s.samples[j-1].At-s.samples[i].At < window {
 			continue
 		}
-		score := windowScore(s.samples[i:j])
+		m := float64(j - i)
+		sv := sum[j] - sum[i]
+		score := ((sum2[j] - sum2[i]) - sv*sv/m) / m
 		if score < bestScore {
 			bestScore = score
-			best = i
+			best, bestEnd = i, j
 		}
 	}
 	if best < 0 {
-		return nil, fmt.Errorf("trace: no window of %v found", window)
+		return nil, fmt.Errorf("%w: no contiguous window of %v (sample gaps too large)", ErrTooShort, window)
 	}
-	i := best
-	j := i
-	for j < len(s.samples) && s.samples[j].At-s.samples[i].At <= window {
-		j++
-	}
-	return New(s.samples[i:j]...), nil
-}
-
-// windowScore is the per-sample variance of the window; lower is more stable.
-func windowScore(w []Sample) float64 {
-	if len(w) == 0 {
-		return math.Inf(1)
-	}
-	mean := 0.0
-	for _, sm := range w {
-		mean += sm.Value
-	}
-	mean /= float64(len(w))
-	ss := 0.0
-	for _, sm := range w {
-		d := sm.Value - mean
-		ss += d * d
-	}
-	return ss / float64(len(w))
+	return New(s.samples[best:bestEnd]...), nil
 }
 
 // TrimEnds returns the series with the first and last trim durations of
-// samples removed. It protects scoring code from start/stop transients when
-// the full stable-window machinery is not wanted.
+// samples removed; the bounds are inclusive, so samples exactly trim from
+// either end survive. It protects scoring code from start/stop transients
+// when the full stable-window machinery is not wanted. When 2·trim covers
+// the whole span there is nothing left between the transients and the
+// result is empty.
 func (s *Series) TrimEnds(trim time.Duration) *Series {
+	out := &Series{}
 	if len(s.samples) == 0 {
-		return &Series{}
+		return out
 	}
-	return s.Slice(s.Start()+trim, s.End()-trim+1)
+	if trim <= 0 {
+		out.samples = append([]Sample(nil), s.samples...)
+		return out
+	}
+	if 2*trim >= s.Duration() {
+		return out
+	}
+	from, to := s.Start()+trim, s.End()-trim
+	for _, sm := range s.samples {
+		if sm.At >= from && sm.At <= to {
+			out.samples = append(out.samples, sm)
+		}
+	}
+	return out
 }

@@ -392,3 +392,162 @@ func TestCorrelationProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// quadraticStableWindow is the pre-prefix-sum reference implementation of
+// StableWindow's search: per-sample variance recomputed from scratch for
+// every candidate window. It returns the chosen [best, bestEnd) extent and
+// the winning score, or best = -1 when no window fits.
+func quadraticStableWindow(s *Series, window time.Duration) (best, bestEnd int, bestScore float64) {
+	best, bestEnd = -1, -1
+	bestScore = math.Inf(1)
+	for i := range s.samples {
+		j := i
+		for j < len(s.samples) && s.samples[j].At-s.samples[i].At <= window {
+			j++
+		}
+		if s.samples[j-1].At-s.samples[i].At < window {
+			continue
+		}
+		score := quadraticScore(s.samples[i:j])
+		if score < bestScore {
+			bestScore = score
+			best, bestEnd = i, j
+		}
+	}
+	return best, bestEnd, bestScore
+}
+
+func quadraticScore(w []Sample) float64 {
+	mean := 0.0
+	for _, sm := range w {
+		mean += sm.Value
+	}
+	mean /= float64(len(w))
+	ss := 0.0
+	for _, sm := range w {
+		d := sm.Value - mean
+		ss += d * d
+	}
+	return ss / float64(len(w))
+}
+
+// Property: the O(n) prefix-sum StableWindow picks the same window as the
+// quadratic reference whenever the winner is unique, and never a window
+// more than a rounding tolerance worse than the optimum when windows tie.
+func TestStableWindowMatchesQuadraticReference(t *testing.T) {
+	const window = time.Second
+	f := func(raw []uint16, gaps []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		s := &Series{}
+		at := time.Duration(0)
+		for i, u := range raw {
+			if len(gaps) > 0 {
+				// Occasional multi-period gaps exercise the "tail too
+				// short" skips inside the search.
+				at += time.Duration(gaps[i%len(gaps)]%4) * 100 * time.Millisecond
+			}
+			s.Append(at, float64(u)/65535*500) // realistic watt range
+			at += 100 * time.Millisecond
+		}
+		best, bestEnd, bestScore := quadraticStableWindow(s, window)
+		got, err := s.StableWindow(window)
+		if best < 0 {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		want := New(s.samples[best:bestEnd]...)
+		if got.Len() == want.Len() && got.Start() == want.Start() {
+			return true
+		}
+		// The implementations disagreed: acceptable only if the quadratic
+		// scores tie within prefix-sum rounding tolerance.
+		const tol = 1e-3
+		for i := 0; i < s.Len(); i++ {
+			if s.At(i).At == got.Start() {
+				return quadraticScore(s.samples[i:i+got.Len()]) <= bestScore+tol
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Regression: Sum with a single series used to return the aliased input,
+// skipping the resample onto the requested grid that every other arity
+// performs.
+func TestSumSingleSeriesResampledCopy(t *testing.T) {
+	s := New(
+		Sample{At: 0, Value: 1},
+		Sample{At: 250 * time.Millisecond, Value: 2},
+		Sample{At: 600 * time.Millisecond, Value: 3},
+	)
+	got := Sum(100*time.Millisecond, s)
+	if got == s {
+		t.Fatal("Sum(period, s) returned the aliased input series")
+	}
+	if got.Len() != 7 {
+		t.Fatalf("Sum single series Len = %d, want 7 (100ms grid over 600ms)", got.Len())
+	}
+	wantVals := []float64{1, 1, 1, 2, 2, 2, 3}
+	for i, want := range wantVals {
+		if sm := got.At(i); sm.Value != want || sm.At != time.Duration(i)*100*time.Millisecond {
+			t.Errorf("sample %d = %+v, want value %v at %v", i, sm, want, time.Duration(i)*100*time.Millisecond)
+		}
+	}
+	// The copy is independent: growing it must not disturb the input.
+	got.Append(time.Hour, 99)
+	if s.Len() != 3 {
+		t.Errorf("input series grew to %d samples after mutating the sum", s.Len())
+	}
+}
+
+// Regression: TrimEnds with 2·trim >= Duration used to invert the Slice
+// bounds; it must return an empty series.
+func TestTrimEndsDegenerate(t *testing.T) {
+	s := FromValues(time.Second, 1, 2, 3) // spans 2s
+	for _, trim := range []time.Duration{time.Second, 2 * time.Second, time.Hour} {
+		if got := s.TrimEnds(trim); got.Len() != 0 {
+			t.Errorf("TrimEnds(%v) of a 2s series has %d samples, want 0", trim, got.Len())
+		}
+	}
+	// Zero trim returns the whole series as an independent copy.
+	full := s.TrimEnds(0)
+	if full.Len() != 3 {
+		t.Errorf("TrimEnds(0) Len = %d, want 3", full.Len())
+	}
+	full.Append(time.Hour, 9)
+	if s.Len() != 3 {
+		t.Error("TrimEnds(0) aliases the input series")
+	}
+	// Inclusive ends: samples exactly trim from either end survive.
+	in := s.TrimEnds(500 * time.Millisecond)
+	if in.Len() != 1 || in.At(0).At != time.Second {
+		t.Errorf("TrimEnds(500ms) = %d samples starting %v, want the middle sample", in.Len(), in.Start())
+	}
+}
+
+// StableWindow reports typed errors so callers can distinguish an empty
+// series from one that is merely too short.
+func TestStableWindowTypedErrors(t *testing.T) {
+	if _, err := New().StableWindow(time.Second); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty series error = %v, want ErrEmpty", err)
+	}
+	short := FromValues(time.Second, 1, 2)
+	if _, err := short.StableWindow(10 * time.Second); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short series error = %v, want ErrTooShort", err)
+	}
+	// Long enough span, but a sample gap leaves no contiguous window.
+	gappy := New(Sample{At: 0, Value: 1}, Sample{At: 3 * time.Second, Value: 2})
+	if _, err := gappy.StableWindow(time.Second); !errors.Is(err, ErrTooShort) {
+		t.Errorf("gappy series error = %v, want ErrTooShort", err)
+	}
+}
