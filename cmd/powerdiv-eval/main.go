@@ -21,6 +21,7 @@ import (
 	"powerdiv/internal/cpumodel"
 	"powerdiv/internal/experiments"
 	"powerdiv/internal/models"
+	"powerdiv/internal/obs"
 	"powerdiv/internal/protocol"
 )
 
@@ -78,8 +79,10 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the results as JSON instead of tables")
 	memo := flag.Bool("memo", true, "memoize solo/pair simulation runs")
 	memoStats := flag.Bool("memo-stats", false, "print run cache statistics after the campaign")
+	metrics := flag.Bool("metrics", false, "print the internal metrics summary after the campaign")
 	flag.Parse()
 	protocol.EnableMemoization(*memo)
+	obs.Enable(*metrics)
 
 	spec, ok := cpumodel.SpecByName(*machineName)
 	if !ok {
@@ -111,6 +114,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
+		printMetricsSummary(*metrics)
 		return
 	}
 	fmt.Print(experiments.ErrorTable(spec.Name, results).String())
@@ -137,5 +141,14 @@ func main() {
 			}
 			fmt.Println("wrote", path)
 		}
+	}
+	printMetricsSummary(*metrics)
+}
+
+// printMetricsSummary emits the internal metrics to stderr so it composes
+// with -json and -csv-dir without corrupting stdout.
+func printMetricsSummary(on bool) {
+	if on {
+		fmt.Fprint(os.Stderr, obs.Default().Summary())
 	}
 }

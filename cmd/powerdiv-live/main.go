@@ -22,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -31,6 +32,7 @@ import (
 	"powerdiv/internal/cpumodel"
 	"powerdiv/internal/livemeter"
 	"powerdiv/internal/models"
+	"powerdiv/internal/obs"
 	"powerdiv/internal/procfs"
 	"powerdiv/internal/rapl"
 	"powerdiv/internal/stressng"
@@ -46,7 +48,18 @@ func main() {
 	modelName := flag.String("model", "scaphandre", `division model: "scaphandre" or "residual-aware"`)
 	calib := flag.String("calib", "", "curve CSV for -model residual-aware (see powerdiv-fit)")
 	burn := flag.String("burn", "", "also run this stress kernel locally while metering (e.g. matrixprod)")
+	metricsAddr := flag.String("metrics-addr", "", `serve internal metrics on this address (e.g. ":9090"): Prometheus text at /metrics, JSON at /metrics.json`)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		obs.Enable(true)
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, obs.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics server:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics (+ /metrics.json)\n", *metricsAddr)
+	}
 
 	model, err := buildModel(*modelName, *calib)
 	if err != nil {

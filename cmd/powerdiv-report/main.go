@@ -17,22 +17,25 @@ import (
 	"powerdiv/internal/cpumodel"
 	"powerdiv/internal/experiments"
 	"powerdiv/internal/models"
+	"powerdiv/internal/obs"
 	"powerdiv/internal/protocol"
 	"powerdiv/internal/report"
 	"powerdiv/internal/workload"
 )
 
 var (
-	outDir = flag.String("out", "", "write CSV artefacts into this directory")
-	quick  = flag.Bool("quick", false, "reduced scenario sets (fast smoke run)")
-	seed   = flag.Int64("seed", 1, "campaign seed")
-	memo   = flag.Bool("memo", true, "memoize solo/pair simulation runs across experiments")
+	outDir  = flag.String("out", "", "write CSV artefacts into this directory")
+	quick   = flag.Bool("quick", false, "reduced scenario sets (fast smoke run)")
+	seed    = flag.Int64("seed", 1, "campaign seed")
+	memo    = flag.Bool("memo", true, "memoize solo/pair simulation runs across experiments")
+	metrics = flag.Bool("metrics", false, "print the internal metrics summary after the run")
 )
 
 func main() {
 	flag.Parse()
 	start := time.Now()
 	protocol.EnableMemoization(*memo)
+	obs.Enable(*metrics)
 
 	section("Fig 1 & Fig 3 — machine power curves")
 	for _, spec := range cpumodel.Specs() {
@@ -156,6 +159,9 @@ func main() {
 
 	if st := protocol.MemoizationStats(); st.Hits+st.Misses > 0 {
 		fmt.Printf("\nrun cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+	}
+	if *metrics {
+		fmt.Print("\n" + obs.Default().Summary())
 	}
 	fmt.Printf("all experiments regenerated in %s\n", time.Since(start).Truncate(time.Millisecond))
 }

@@ -1,0 +1,156 @@
+package division
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"powerdiv/internal/units"
+)
+
+// baselineSet generates a random scenario of 2–5 isolated baselines, each
+// with positive active power (the regime where Equation 3's shares are
+// defined) and a residual in a realistic band. The derived scenario values
+// used by the properties — C_S, A_S, R — follow from the set itself, so the
+// invariants are checked across the whole input space rather than at
+// hand-picked points.
+type baselineSet []Baseline
+
+func (baselineSet) Generate(r *rand.Rand, _ int) reflect.Value {
+	set := make(baselineSet, 2+r.Intn(4))
+	for i := range set {
+		residual := 5 + 40*r.Float64()
+		active := 0.5 + 120*r.Float64()
+		set[i] = Baseline{
+			ID:       fmt.Sprintf("app%d", i),
+			Total:    units.Watts(residual + active),
+			Residual: units.Watts(residual),
+			Cores:    0.1 + 7.9*r.Float64(),
+		}
+	}
+	return reflect.ValueOf(set)
+}
+
+// scenario derives the parallel-scenario quantities the family policies
+// divide: machine power C_S, residual R (smallest isolated residual, the
+// paper's uniform-residual assumption), and active power A_S = C_S − R.
+func (set baselineSet) scenario() (cS, aS, r units.Watts) {
+	r = set[0].Residual
+	for _, b := range set[1:] {
+		if b.Residual < r {
+			r = b.Residual
+		}
+	}
+	for _, b := range set {
+		cS += b.Active()
+	}
+	cS += r
+	return cS, cS - r, r
+}
+
+func relClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+}
+
+// TestQuickF1CoversMachinePower: under F1 the estimates Ce_i = C_S × s_i
+// partition the whole machine power — they are non-negative and sum to
+// C_{S,t} exactly, for every baseline set.
+func TestQuickF1CoversMachinePower(t *testing.T) {
+	prop := func(set baselineSet) bool {
+		shares, err := FamilyShares(F1, []Baseline(set))
+		if err != nil || shares == nil {
+			return false
+		}
+		cS, _, _ := set.scenario()
+		var sum float64
+		for _, b := range set {
+			ce := float64(cS) * shares[b.ID]
+			if ce < 0 {
+				return false
+			}
+			sum += ce
+		}
+		return relClose(sum, float64(cS))
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickF2PreservesSequentialRatio: under F2 the estimated consumptions
+// of any two applications stay in the same ratio in parallel as their
+// isolated totals — Ce_i/Ce_j = C_{P_i}/C_{P_j}, checked multiplicatively
+// to avoid dividing by small shares.
+func TestQuickF2PreservesSequentialRatio(t *testing.T) {
+	prop := func(set baselineSet) bool {
+		shares, err := FamilyShares(F2, []Baseline(set))
+		if err != nil || shares == nil {
+			return false
+		}
+		for i := range set {
+			for j := range set {
+				lhs := shares[set[i].ID] * float64(set[j].Total)
+				rhs := shares[set[j].ID] * float64(set[i].Total)
+				if !relClose(lhs, rhs) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickF3CoversActiveUndercoversTotal: F3 shares apply to the active
+// power only — Σ A_S × s_i = A_{S,t}, so the family under-covers the
+// machine power by exactly the residual R (the Fig 2 gap).
+func TestQuickF3CoversActiveUndercoversTotal(t *testing.T) {
+	prop := func(set baselineSet) bool {
+		shares, err := FamilyShares(F3, []Baseline(set))
+		if err != nil || shares == nil {
+			return false
+		}
+		cS, aS, r := set.scenario()
+		var sum float64
+		for _, b := range set {
+			sum += float64(aS) * shares[b.ID]
+		}
+		return relClose(sum, float64(aS)) && relClose(float64(cS)-sum, float64(r))
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEq4ExtractsActiveFromF1: Equation 4 applied to an F1 estimate
+// recovers the consistent active allocation of Equation 3:
+// ActiveFromEstimate(C_S×s_i, C_S, R) = A_S × s_i for every application.
+func TestQuickEq4ExtractsActiveFromF1(t *testing.T) {
+	prop := func(set baselineSet) bool {
+		shares := TruthShares([]Baseline(set))
+		if shares == nil {
+			return false
+		}
+		cS, aS, r := set.scenario()
+		for _, b := range set {
+			ce := units.Watts(float64(cS) * shares[b.ID])
+			got := ActiveFromEstimate(ce, cS, r)
+			if !relClose(float64(got), float64(aS)*shares[b.ID]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

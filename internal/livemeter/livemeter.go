@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"powerdiv/internal/models"
+	"powerdiv/internal/obs"
 	"powerdiv/internal/procfs"
 	"powerdiv/internal/rapl"
 	"powerdiv/internal/retry"
@@ -219,6 +220,7 @@ var ErrZoneVanished = errors.New("livemeter: all RAPL zones vanished")
 // given PIDs. The first call primes the counters and returns ErrNotPrimed.
 // now is injectable for tests; pass time.Now() in production.
 func (m *Meter) Sample(now time.Time, pids []int) (Attribution, error) {
+	obsTicksSampled.Inc()
 	if !m.primed {
 		m.start = now
 	}
@@ -243,6 +245,7 @@ func (m *Meter) Sample(now time.Time, pids []int) (Attribution, error) {
 				if st.misses >= m.vanishAt {
 					st.vanished = true
 					m.counters[i].Reset()
+					obsZonesVanished.Inc()
 					continue
 				}
 			}
@@ -287,11 +290,13 @@ func (m *Meter) Sample(now time.Time, pids []int) (Attribution, error) {
 	degraded := okReads < live || m.vanishedCount() > 0
 	if at <= m.lastAt {
 		m.dropped++
+		obsTicksDropped.Inc()
 		return m.droppedAttribution(at, live), fmt.Errorf("livemeter: clock did not advance: %w", ErrDroppedTick)
 	}
 	m.lastAt = at
 	if okReads == 0 {
 		m.dropped++
+		obsTicksDropped.Inc()
 		return m.droppedAttribution(at, live), fmt.Errorf("livemeter: no zone readable: %w", ErrDroppedTick)
 	}
 
@@ -318,6 +323,7 @@ func (m *Meter) Sample(now time.Time, pids []int) (Attribution, error) {
 			// book an absurd delta. EnergyDelta already re-based the zone
 			// on this reading; discard the interval's energy.
 			degraded = true
+			obsZonesRebased.Inc()
 			continue
 		}
 		energy += e
@@ -325,6 +331,7 @@ func (m *Meter) Sample(now time.Time, pids []int) (Attribution, error) {
 	}
 	if measured == 0 {
 		m.dropped++
+		obsTicksDropped.Inc()
 		return m.droppedAttribution(at, live), fmt.Errorf("livemeter: no zone measurable yet: %w", ErrDroppedTick)
 	}
 	total := energy.Power(interval)
@@ -370,6 +377,17 @@ func (m *Meter) Sample(now time.Time, pids []int) (Attribution, error) {
 	m.lastEmitAt = at
 	m.dropped = 0
 	m.pending = make(map[int]pendingProc, len(m.pending))
+	obsTicksAttributed.Inc()
+	if attr.Degraded {
+		obsTicksDegraded.Inc()
+	}
+	if obs.Enabled() && total > 0 {
+		var assigned units.Watts
+		for _, w := range attr.PerPID {
+			assigned += w
+		}
+		obsCoverage.Set(float64(assigned / total))
+	}
 	return attr, nil
 }
 
@@ -388,11 +406,16 @@ func (m *Meter) droppedAttribution(at time.Duration, live int) Attribution {
 // Not-exist errors are permanent (the file is gone, not busy).
 func (m *Meter) readZone(z *rapl.PowercapZone) (uint64, error) {
 	var uj uint64
+	attempts := 0
 	err := m.retry.Do(func() error {
+		attempts++
 		var err error
 		uj, err = z.ReadEnergy()
 		return err
 	}, func(err error) bool { return errors.Is(err, iofs.ErrNotExist) })
+	if attempts > 1 {
+		obsRetryAttempts.Add(uint64(attempts - 1))
+	}
 	return uj, err
 }
 

@@ -1,0 +1,191 @@
+package livemeter
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"powerdiv/internal/faultfs"
+	"powerdiv/internal/obs"
+	"powerdiv/internal/retry"
+)
+
+// scrapeSnapshots hits the given path on the obs HTTP handler and returns
+// the metrics by name, exactly as an external scraper would see them.
+func scrapeSnapshots(t *testing.T, path string) map[string]obs.Snapshot {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	obs.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET %s: status %d: %s", path, rec.Code, rec.Body.String())
+	}
+	var snaps []obs.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snaps); err != nil {
+		t.Fatalf("GET %s did not parse: %v", path, err)
+	}
+	out := make(map[string]obs.Snapshot, len(snaps))
+	for _, s := range snaps {
+		out[s.Name] = s
+	}
+	return out
+}
+
+// TestMeterMetricsMatchStorm drives a seeded fault storm (transient error
+// bursts, a vanishing zone, stalled clocks) through an obs-enabled meter and
+// asserts that what an external scrape of /metrics reports agrees exactly
+// with the meter's own accounting: the test-side tallies of drops, emits and
+// degraded emits, and the Health() vanished count. This pins the metric hook
+// points to the real control flow — an instrumentation site that drifts from
+// its branch breaks the equality.
+func TestMeterMetricsMatchStorm(t *testing.T) {
+	obs.Default().Reset()
+	obs.Enable(true)
+	t.Cleanup(func() {
+		obs.Enable(false)
+		obs.Default().Reset()
+	})
+
+	const (
+		seed       = 7
+		ticks      = 240
+		vanishTick = 150
+		period     = 100 * time.Millisecond
+		zoneRange  = 2_000_000_000
+	)
+	h, err := faultfs.NewHost(t.TempDir(), t.TempDir(), []faultfs.HostZoneSpec{
+		{MaxRangeUJ: zoneRange},
+		{MaxRangeUJ: zoneRange},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.NewInjector(seed, 0)
+	inj.SetBurstLen(4)
+	inj.Only("energy_uj", "stat")
+
+	m, err := Open(Config{
+		PowercapRoot: h.CapRoot,
+		ProcRoot:     h.ProcRoot,
+		ReadFile:     inj.ReadFile,
+		Retry:        retry.Policy{Attempts: 3, Sleep: func(time.Duration) {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	now := time.Unix(1000, 0)
+	pids := []int{10, 11}
+	for _, pid := range pids {
+		h.SetProcJiffies(pid, 0)
+	}
+	if _, err := m.Sample(now, pids); !errors.Is(err, ErrNotPrimed) {
+		t.Fatalf("prime err = %v", err)
+	}
+	inj.SetErrorRate(0.20)
+
+	var emits, drops, degradedEmits int
+	clockStallRun := 0
+	for i := 1; i <= ticks; i++ {
+		h.AddEnergy(0, 6.0)
+		if i < vanishTick {
+			h.AddEnergy(1, 3.0)
+		}
+		h.AddProcJiffies(10, 8)
+		h.AddProcJiffies(11, 4)
+		if i == vanishTick {
+			if err := h.RemoveZone(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if clockStallRun == 0 && rng.Float64() < 0.05 {
+			clockStallRun = 1 + rng.Intn(2)
+		}
+		if clockStallRun > 0 {
+			clockStallRun--
+		} else {
+			now = now.Add(period)
+		}
+		if i == ticks-5 {
+			inj.SetErrorRate(0)
+			clockStallRun = 0
+			now = now.Add(period)
+		}
+
+		attr, err := m.Sample(now, pids)
+		switch {
+		case err == nil:
+			emits++
+			if attr.Degraded {
+				degradedEmits++
+			}
+		case errors.Is(err, ErrDroppedTick):
+			drops++
+		default:
+			t.Fatalf("tick %d: unexpected meter error: %v", i, err)
+		}
+	}
+	if drops == 0 || degradedEmits == 0 {
+		t.Fatalf("storm too tame to prove anything: %d drops, %d degraded emits", drops, degradedEmits)
+	}
+
+	vanished := 0
+	for _, zh := range m.Health() {
+		if zh.Vanished {
+			vanished++
+		}
+	}
+	if vanished != 1 {
+		t.Fatalf("Health reports %d vanished zones, want 1", vanished)
+	}
+
+	snaps := scrapeSnapshots(t, "/metrics.json")
+	wantCounts := map[string]float64{
+		"powerdiv_livemeter_ticks_sampled_total":    float64(ticks + 1), // priming tick included
+		"powerdiv_livemeter_ticks_attributed_total": float64(emits),
+		"powerdiv_livemeter_ticks_dropped_total":    float64(drops),
+		"powerdiv_livemeter_ticks_degraded_total":   float64(degradedEmits),
+		"powerdiv_livemeter_zones_vanished_total":   float64(vanished),
+	}
+	for name, want := range wantCounts {
+		s, ok := snaps[name]
+		if !ok {
+			t.Errorf("metric %s missing from /metrics.json", name)
+			continue
+		}
+		if s.Value != want {
+			t.Errorf("%s = %v, want %v (meter-side accounting)", name, s.Value, want)
+		}
+	}
+	if s := snaps["powerdiv_livemeter_retry_attempts_total"]; s.Value == 0 {
+		t.Error("retry_attempts_total = 0: the storm's bursts never triggered a retry")
+	}
+	// The last emit happens after the fault-free drain, where per-PID power
+	// sums to machine power: the coverage gauge must read (about) 1.
+	if s := snaps["powerdiv_livemeter_attribution_coverage"]; math.Abs(s.Value-1) > 1e-6 {
+		t.Errorf("attribution_coverage = %v, want ~1 after a clean drain", s.Value)
+	}
+
+	// The Prometheus text endpoint must agree with the JSON one.
+	rec := httptest.NewRecorder()
+	obs.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	prom := rec.Body.String()
+	for name, want := range wantCounts {
+		line := fmt.Sprintf("%s %d", name, int(want))
+		if !strings.Contains(prom, line) {
+			t.Errorf("/metrics missing line %q", line)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package livemeter
+
+import "powerdiv/internal/obs"
+
+// Live-meter metrics. Writes are no-ops while the obs registry is disabled
+// (the default). Counters are process-global: a process running several
+// meters sums their activity, which matches how a scrape of the process is
+// read. The storm test in metrics_storm_test.go pins these to the meter's
+// own Health/error accounting.
+var (
+	obsTicksSampled = obs.NewCounter("powerdiv_livemeter_ticks_sampled_total",
+		"Sample calls made against the meter (priming tick included).")
+	obsTicksAttributed = obs.NewCounter("powerdiv_livemeter_ticks_attributed_total",
+		"Samples that produced an attribution.")
+	obsTicksDropped = obs.NewCounter("powerdiv_livemeter_ticks_dropped_total",
+		"Samples dropped (ErrDroppedTick); their interval folds into the next emit.")
+	obsTicksDegraded = obs.NewCounter("powerdiv_livemeter_ticks_degraded_total",
+		"Attributions emitted with reduced fidelity (Attribution.Degraded).")
+	obsZonesVanished = obs.NewCounter("powerdiv_livemeter_zones_vanished_total",
+		"RAPL zones declared vanished and dropped from the live set.")
+	obsZonesRebased = obs.NewCounter("powerdiv_livemeter_zones_rebased_total",
+		"Zone readings discarded as counter anomalies (zone re-based instead).")
+	obsRetryAttempts = obs.NewCounter("powerdiv_livemeter_retry_attempts_total",
+		"Zone read retries beyond each first attempt.")
+	obsCoverage = obs.NewGauge("powerdiv_livemeter_attribution_coverage",
+		"Fraction of the last attribution's machine power assigned to processes.")
+)

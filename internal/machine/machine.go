@@ -225,6 +225,12 @@ func Simulate(cfg Config, procs []Proc, maxDur time.Duration) (*Run, error) {
 			run.ProcEnd[p.ID] = run.Duration
 		}
 	}
+	obsRuns.Inc()
+	n := uint64(len(run.Ticks))
+	obsTicksSimulated.Add(n)
+	if n >= sc.grownTicks {
+		obsScratchReused.Add(n - sc.grownTicks)
+	}
 	return run, nil
 }
 
@@ -272,11 +278,18 @@ type tickScratch struct {
 	activePhys []bool
 	loads      []cpumodel.CoreLoad
 	perCore    []units.Watts
+	// grownTicks counts ticks where a fixed-size buffer had to allocate.
+	// Simulate flushes it to the obs counters once per run, keeping the
+	// tick loop free of atomics.
+	grownTicks uint64
 }
 
 // resetTick readies the buffers for one step on nCPU logical CPUs and phys
 // physical cores.
 func (sc *tickScratch) resetTick(nCPU, phys int) {
+	if cap(sc.cpuBusy) < nCPU || cap(sc.activePhys) < phys || cap(sc.loads) < nCPU {
+		sc.grownTicks++
+	}
 	sc.demands = sc.demands[:0]
 	sc.placements = sc.placements[:0]
 	sc.cpuBusy = resetBools(sc.cpuBusy, nCPU)

@@ -1,0 +1,86 @@
+package models
+
+import (
+	"math"
+	"testing"
+)
+
+// repeatRows returns n copies of one feature row.
+func repeatRows(row [4]float64, n int) [][4]float64 {
+	rows := make([][4]float64, n)
+	for i := range rows {
+		rows[i] = row
+	}
+	return rows
+}
+
+// TestRidgeFitZeroVarianceWithRidge: a window where the load never changes
+// gives identical rows — a rank-1 normal matrix. The ridge term must keep
+// the system solvable and the fit must still reproduce the (single) observed
+// operating point.
+func TestRidgeFitZeroVarianceWithRidge(t *testing.T) {
+	row := [4]float64{2e9, 1e9, 3e7, 2e8}
+	y := make([]float64, 50)
+	for i := range y {
+		y[i] = 50
+	}
+	weights, scales := RidgeFit4(repeatRows(row, 50), y, 1e-3)
+	var pred float64
+	for d := 0; d < 4; d++ {
+		if math.IsNaN(weights[d]) || math.IsInf(weights[d], 0) {
+			t.Fatalf("weight[%d] = %v", d, weights[d])
+		}
+		pred += weights[d] * row[d] / scales[d]
+	}
+	if math.Abs(pred-50) > 0.01*50 {
+		t.Errorf("zero-variance fit predicts %.3f W at the training point, want 50 (±1%%)", pred)
+	}
+}
+
+// TestRidgeFitZeroVarianceWithoutRidge: with λ=0 the same rank-1 system is
+// singular; the solver must detect it and return zero weights instead of
+// amplifying noise into garbage coefficients.
+func TestRidgeFitZeroVarianceWithoutRidge(t *testing.T) {
+	row := [4]float64{2e9, 1e9, 3e7, 2e8}
+	y := []float64{50, 50, 50}
+	weights, _ := RidgeFit4(repeatRows(row, 3), y, 0)
+	if weights != ([4]float64{}) {
+		t.Errorf("singular unregularised fit returned weights %v, want all zeros", weights)
+	}
+}
+
+// TestRidgeFitSingleSample: one observation is the extreme zero-variance
+// window. The regularised fit must stay finite and reproduce the sample.
+func TestRidgeFitSingleSample(t *testing.T) {
+	row := [4]float64{1e9, 0, 0, 0}
+	weights, scales := RidgeFit4([][4]float64{row}, []float64{35}, 1e-3)
+	pred := weights[0] * row[0] / scales[0]
+	if math.IsNaN(pred) || math.Abs(pred-35) > 0.01*35 {
+		t.Errorf("single-sample fit predicts %v W, want 35 (±1%%)", pred)
+	}
+	for d := 1; d < 4; d++ {
+		if weights[d] != 0 {
+			t.Errorf("weight[%d] = %v for an all-zero feature column, want 0", d, weights[d])
+		}
+	}
+}
+
+// TestRidgeFitMismatchedLengths: rows/targets of different lengths are a
+// caller bug; the fit must refuse (zero weights, unit scales) rather than
+// index out of range.
+func TestRidgeFitMismatchedLengths(t *testing.T) {
+	weights, scales := RidgeFit4(repeatRows([4]float64{1, 1, 1, 1}, 3), []float64{1, 2}, 1e-3)
+	if weights != ([4]float64{}) || scales != ([4]float64{1, 1, 1, 1}) {
+		t.Errorf("mismatched input: weights=%v scales=%v, want zeros and unit scales", weights, scales)
+	}
+}
+
+// TestSolve4ZeroPivotColumn: a system whose best pivot for some column is
+// (numerically) zero must report ok=false.
+func TestSolve4ZeroPivotColumn(t *testing.T) {
+	var a [4][4]float64
+	a[0][0], a[1][1], a[3][3] = 1, 1, 1 // column 2 is all zeros
+	if _, ok := solve4(a, [4]float64{1, 1, 1, 1}); ok {
+		t.Error("solve4 accepted a singular system with an all-zero column")
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE comment lines followed by samples,
+// histograms expanded into cumulative _bucket{le=...}, _sum and _count
+// series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshots() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case "histogram":
+			for _, b := range s.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, promFloat(b.UpperBound), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", s.Name, promFloat(s.Sum), s.Name, s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, promFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promFloat renders a float the way Prometheus text format expects:
+// integers without an exponent, +Inf spelled out.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON writes every metric as a JSON array of snapshots.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshots())
+}
+
+// Summary renders a compact human-readable block (the end-of-campaign
+// report behind powerdiv-eval/powerdiv-report's -metrics flag). Zero-valued
+// metrics are skipped: a campaign that never touched the live meter should
+// not print its counters.
+func (r *Registry) Summary() string {
+	var b strings.Builder
+	b.WriteString("== internal metrics ==\n")
+	for _, s := range r.Snapshots() {
+		switch s.Kind {
+		case "histogram":
+			if s.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-52s count=%d sum=%.4g mean=%.4g\n",
+				s.Name, s.Count, s.Sum, s.Sum/float64(s.Count))
+		default:
+			if s.Value == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-52s %s\n", s.Name, promFloat(s.Value))
+		}
+	}
+	return b.String()
+}
+
+// Handler serves the Default registry: /metrics in Prometheus text format
+// and /metrics.json as JSON.
+func Handler() http.Handler { return defaultRegistry.Handler() }
+
+// Handler returns an http.Handler exposing the registry's two formats.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	iofs "io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -56,8 +57,15 @@ func NewReader(root string, hz int, read ReadFileFunc) *FS {
 	return &FS{root: root, hz: hz, readFile: read}
 }
 
-// jiffies converts a jiffy count to CPU time.
+// jiffies converts a jiffy count to CPU time. Counts large enough to
+// overflow the Duration multiply (≈292 years of CPU time) only occur in
+// corrupt stat files; they are clamped so a hostile value cannot turn into
+// a negative CPU time downstream.
 func (fs *FS) jiffies(n uint64) units.CPUTime {
+	const maxJiffies = uint64(math.MaxInt64 / time.Second)
+	if n > maxJiffies {
+		n = maxJiffies
+	}
 	return units.CPUTime(time.Duration(n) * time.Second / time.Duration(fs.hz))
 }
 

@@ -111,6 +111,7 @@ func (c *runCache) evictLocked() {
 	for len(c.order) > c.limit {
 		delete(c.entries, c.order[0])
 		c.order = c.order[1:]
+		obsCacheEvictions.Inc()
 	}
 }
 
@@ -127,6 +128,7 @@ func simulateCached(cfg machine.Config, procs []machine.Proc, maxDur time.Durati
 	memo.mu.Lock()
 	if e, ok := memo.entries[key]; ok {
 		memo.hits++
+		obsCacheHits.Inc()
 		memo.mu.Unlock()
 		<-e.done
 		return e.run, e.err
@@ -135,6 +137,7 @@ func simulateCached(cfg machine.Config, procs []machine.Proc, maxDur time.Durati
 	memo.entries[key] = e
 	memo.order = append(memo.order, key)
 	memo.misses++
+	obsCacheMisses.Inc()
 	memo.evictLocked()
 	memo.mu.Unlock()
 

@@ -102,6 +102,7 @@ func EvaluatePair(ctx Context, s Scenario, factory models.Factory, baselines map
 // objectives; only the truth construction differs). The returned slice is
 // index-aligned with objectives.
 func EvaluatePairMulti(ctx Context, s Scenario, factory models.Factory, baselines map[string]division.Baseline, objectives []Objective, r0 units.Watts) ([]Evaluation, error) {
+	done := observeScenario()
 	truths, err := scenarioTruths(s, baselines, objectives, r0)
 	if err != nil {
 		return nil, err
@@ -110,7 +111,11 @@ func EvaluatePairMulti(ctx Context, s Scenario, factory models.Factory, baseline
 	if err != nil {
 		return nil, err
 	}
-	return scoreRun(ctx, s, run, models.RunTicks(run), factory, truths)
+	evs, err := scoreRun(ctx, s, run, models.RunTicks(run), factory, truths)
+	if err == nil {
+		done()
+	}
+	return evs, err
 }
 
 // scenarioTruths resolves the objective shares a scenario is scored
@@ -418,6 +423,7 @@ func EvaluateModels(ctx Context, scenarios []Scenario, factories func(map[string
 	perScenario := make([][]Evaluation, len(scenarios))
 	err = forEachIndexed(len(scenarios), func(i int) error {
 		s := scenarios[i]
+		done := observeScenario()
 		truths, err := scenarioTruths(s, baselines, objectives, r0)
 		if err != nil {
 			return err
@@ -445,6 +451,7 @@ func EvaluateModels(ctx Context, scenarios []Scenario, factories func(map[string
 			row[m] = evs[0]
 		}
 		perScenario[i] = row
+		done()
 		return nil
 	})
 	if err != nil {

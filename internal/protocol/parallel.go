@@ -51,7 +51,9 @@ func forEachIndexed(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
+				obsWorkersBusy.Add(1)
 				errs[i] = fn(i)
+				obsWorkersBusy.Add(-1)
 			}
 		}()
 	}
