@@ -6,7 +6,11 @@
 #
 # `make bench` runs the campaign benchmark set and writes the
 # BENCH_campaign.json baseline (see README); `make bench-check` is the
-# smoke variant CI can afford.
+# smoke variant CI can afford; `make bench-diff` reruns the set against the
+# committed baseline and fails past BENCH_THRESHOLD percent regression
+# (the verify wiring runs it at one iteration with a generous threshold, so
+# only order-of-magnitude regressions — a lost fast path, an alloc explosion
+# — trip it, not scheduler noise).
 #
 # `make cover` enforces a statement-coverage floor on the numeric core
 # (internal/division), the model implementations (internal/models) and the
@@ -21,7 +25,11 @@ GO ?= go
 COVER_FLOOR ?= 85
 COVER_PKGS  = ./internal/division ./internal/models ./internal/obs
 
-.PHONY: build test vet fmt-check race cover bench bench-check verify
+# Regression threshold (percent) for bench-diff. The default is generous
+# because one-iteration runs are noisy; nightly runs can tighten it.
+BENCH_THRESHOLD ?= 300
+
+.PHONY: build test vet fmt-check race cover bench bench-check bench-diff verify
 
 build:
 	$(GO) build ./...
@@ -52,4 +60,7 @@ bench:
 bench-check:
 	$(GO) run ./cmd/powerdiv-bench -bench 'BenchmarkCampaignMemoization|BenchmarkSimulatorTick' -benchtime 1x -out ''
 
-verify: build vet fmt-check test race bench-check
+bench-diff:
+	$(GO) run ./cmd/powerdiv-bench -diff BENCH_campaign.json -threshold $(BENCH_THRESHOLD) -alloc-only -benchtime 1x -out ''
+
+verify: build vet fmt-check test race bench-check bench-diff

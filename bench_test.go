@@ -23,6 +23,7 @@ import (
 	"powerdiv/internal/protocol"
 	"powerdiv/internal/report"
 	"powerdiv/internal/stressng"
+	"powerdiv/internal/units"
 	"powerdiv/internal/vm"
 	"powerdiv/internal/workload"
 )
@@ -444,6 +445,104 @@ func BenchmarkAblationSamplePeriod(b *testing.B) {
 	for _, p := range periods {
 		b.Logf("sample period %v: mean AE %.4f", p, res[p])
 	}
+}
+
+// BenchmarkRunTicks pins the cost of converting a simulated run into model
+// inputs: the dense roster-indexed columns against the map view they
+// replace. The dense conversion allocates one sample slab per run instead
+// of one map per tick.
+func BenchmarkRunTicks(b *testing.B) {
+	run := benchPairRun(b)
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ticks := models.RunTicksDense(run); len(ticks) != len(run.Ticks) {
+				b.Fatal("tick count mismatch")
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ticks := models.RunTicks(run); len(ticks) != len(run.Ticks) {
+				b.Fatal("tick count mismatch")
+			}
+		}
+	})
+}
+
+// BenchmarkReplayDense pins the per-model replay cost over pre-converted
+// dense ticks: the slab-writing ObserveInto path against the map-returning
+// Observe path on the same model.
+func BenchmarkReplayDense(b *testing.B) {
+	run := benchPairRun(b)
+	dense := models.RunTicksDense(run)
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			est := models.ReplayDense(models.NewScaphandre().New(benchSeed), dense)
+			if len(est.OK) != len(run.Ticks) {
+				b.Fatal("estimate count mismatch")
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ests := models.ReplayTicks(models.NewScaphandre().New(benchSeed), dense)
+			if len(ests) != len(run.Ticks) {
+				b.Fatal("estimate count mismatch")
+			}
+		}
+	})
+}
+
+// BenchmarkShareOut pins the division kernel itself: the in-place column
+// form against the map form (which allocates the result map and, in the
+// wrapper, sorts the keys every call).
+func BenchmarkShareOut(b *testing.B) {
+	ids := []string{"fibonacci-3", "matrixprod-3", "int64-2", "rand-1"}
+	weights := map[string]float64{}
+	col := make([]units.Watts, len(ids))
+	for i, id := range ids {
+		weights[id] = float64(i + 1)
+	}
+	b.Run("into", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for s := range col {
+				col[s] = units.Watts(s + 1)
+			}
+			if !models.ShareOutInto(40, col) {
+				b.Fatal("no positive weight")
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if est := models.ShareOut(40, weights); est == nil {
+				b.Fatal("no positive weight")
+			}
+		}
+	})
+}
+
+// benchPairRun simulates one lab pair scenario — the shape every campaign
+// replay consumes.
+func benchPairRun(b *testing.B) *machine.Run {
+	b.Helper()
+	fib, _ := workload.StressByName("fibonacci")
+	mat, _ := workload.StressByName("matrixprod")
+	cfg := experiments.LabConfig(cpumodel.SmallIntel(), benchSeed)
+	run, err := machine.Simulate(cfg, []machine.Proc{
+		{ID: "fibonacci-3", Workload: fib, Threads: 3},
+		{ID: "matrixprod-3", Workload: mat, Threads: 3},
+	}, 30*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
 }
 
 // BenchmarkSimulatorTick measures the raw simulator stepping cost on DAHU

@@ -9,9 +9,12 @@
 // Usage:
 //
 //	powerdiv-bench [-bench regex] [-benchtime 1x] [-count 1] [-out BENCH_campaign.json]
+//	powerdiv-bench -diff BENCH_campaign.json [-threshold 25]
 //
 // `make bench` runs the campaign set and writes BENCH_campaign.json;
-// `make bench-check` is the smoke variant (one iteration, no file).
+// `make bench-check` is the smoke variant (one iteration, no file);
+// `make bench-diff` reruns the set and compares it against the committed
+// baseline, failing when any benchmark regresses past the threshold.
 package main
 
 import (
@@ -27,9 +30,9 @@ import (
 )
 
 // defaultBench selects the campaign-speed benchmarks: the §IV-A error-table
-// regeneration, the memoization on/off comparison, and the raw simulator
-// stepping cost.
-const defaultBench = "BenchmarkLabErrorTable|BenchmarkCampaignMemoization|BenchmarkSimulatorTick"
+// regeneration, the memoization on/off comparison, the raw simulator
+// stepping cost, and the allocation-pinning columnar-pipeline benchmarks.
+const defaultBench = "BenchmarkLabErrorTable|BenchmarkCampaignMemoization|BenchmarkSimulatorTick|BenchmarkRunTicks|BenchmarkReplayDense|BenchmarkShareOut"
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -49,7 +52,10 @@ type Report struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
-	Command   string `json:"command"`
+	// GOMAXPROCS is the parallelism the benchmarks actually ran with (it is
+	// also the -N suffix on benchmark names); older baselines omit it.
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	Command    string `json:"command"`
 	// MemoSpeedupX is BenchmarkCampaignMemoization off/on ns ratio — how
 	// much the run cache accelerates the all-pairs lab campaign — when both
 	// sub-benchmarks ran.
@@ -111,12 +117,118 @@ func memoSpeedup(results []Result) float64 {
 	return off / on
 }
 
+// deltaPct is the relative change from old to new in percent; 0 when the
+// old value is zero (nothing to compare against).
+func deltaPct(old, cur float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (cur - old) / old * 100
+}
+
+// diffLine is one metric comparison of a benchmark against the baseline.
+type diffLine struct {
+	bench, metric string
+	old, cur      float64
+	pct           float64
+	// regressed marks a change past the threshold in the bad direction
+	// (up for costs, down for throughput metrics).
+	regressed bool
+}
+
+// diffReports compares the current run against a baseline, benchmark by
+// benchmark: ns/op, B/op and allocs/op regress upward, custom metrics
+// (scenarios/sec) regress downward. Benchmarks present on only one side
+// are reported but never fail the diff. allocOnly restricts the failure
+// gate to B/op and allocs/op — the metrics that stay deterministic at one
+// iteration — while still reporting every delta (the smoke wiring uses it;
+// timing at -benchtime 1x swings by orders of magnitude on sub-microsecond
+// benchmarks).
+func diffReports(baseline, current Report, thresholdPct float64, allocOnly bool) []diffLine {
+	base := map[string]Result{}
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	var out []diffLine
+	for _, r := range current.Benchmarks {
+		b, ok := base[r.Name]
+		if !ok {
+			out = append(out, diffLine{bench: r.Name, metric: "(not in baseline)"})
+			continue
+		}
+		costs := []struct {
+			metric   string
+			old, cur float64
+			gated    bool
+		}{
+			{"ns/op", b.NsPerOp, r.NsPerOp, !allocOnly},
+			{"B/op", b.BytesPerOp, r.BytesPerOp, true},
+			{"allocs/op", b.AllocsPerOp, r.AllocsPerOp, true},
+		}
+		for _, c := range costs {
+			pct := deltaPct(c.old, c.cur)
+			out = append(out, diffLine{
+				bench: r.Name, metric: c.metric, old: c.old, cur: c.cur,
+				pct: pct, regressed: c.gated && pct > thresholdPct,
+			})
+		}
+		for unit, old := range b.Metrics {
+			cur, ok := r.Metrics[unit]
+			if !ok {
+				continue
+			}
+			pct := deltaPct(old, cur)
+			out = append(out, diffLine{
+				bench: r.Name, metric: unit, old: old, cur: cur,
+				pct: pct, regressed: !allocOnly && pct < -thresholdPct,
+			})
+		}
+	}
+	return out
+}
+
+// printDiff renders the comparison and returns how many lines regressed.
+func printDiff(baseline string, lines []diffLine) int {
+	fmt.Printf("\ncomparison against %s:\n", baseline)
+	regressions := 0
+	for _, l := range lines {
+		if l.metric == "(not in baseline)" {
+			fmt.Printf("  %-60s %s\n", l.bench, l.metric)
+			continue
+		}
+		mark := ""
+		if l.regressed {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-60s %-14s %14.4g -> %14.4g  %+7.1f%%%s\n",
+			l.bench, l.metric, l.old, l.cur, l.pct, mark)
+	}
+	return regressions
+}
+
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (e.g. 1x, 2s); empty = go default")
 	count := flag.Int("count", 1, "go test -count value")
 	out := flag.String("out", "BENCH_campaign.json", `output file; "-" prints JSON to stdout, "" skips the file (smoke mode)`)
+	diff := flag.String("diff", "", "baseline JSON to compare against; exits non-zero on regressions past -threshold")
+	threshold := flag.Float64("threshold", 25, "regression threshold in percent for -diff")
+	allocOnly := flag.Bool("alloc-only", false, "gate -diff on B/op and allocs/op only (timing still reported); for one-iteration smoke runs")
 	flag.Parse()
+
+	var baseline Report
+	if *diff != "" {
+		buf, err := os.ReadFile(*diff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(buf, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "error: parsing %s: %v\n", *diff, err)
+			os.Exit(1)
+		}
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
 	if *benchtime != "" {
@@ -163,12 +275,20 @@ func main() {
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
 		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		Command:      "go " + strings.Join(args, " "),
 		MemoSpeedupX: memoSpeedup(results),
 		Benchmarks:   results,
 	}
 	if rep.MemoSpeedupX > 0 {
 		fmt.Printf("\nmemoization speedup on the lab campaign: %.2fx\n", rep.MemoSpeedupX)
+	}
+	if *diff != "" {
+		if n := printDiff(*diff, diffReports(baseline, rep, *threshold, *allocOnly)); n > 0 {
+			fmt.Fprintf(os.Stderr, "error: %d metric(s) regressed more than %.0f%%\n", n, *threshold)
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions past %.0f%%\n", *threshold)
 	}
 	switch *out {
 	case "":

@@ -121,9 +121,13 @@ func TestEndToEndBillingScenario(t *testing.T) {
 	// of its threads run as discounted SMT siblings): equal bills hide a
 	// real asymmetry in either direction.
 	var trueA, trueB float64
+	rosterIDs := run.Roster.IDs()
 	for _, rec := range run.Ticks {
-		for id, pt := range rec.Procs {
-			vmName, _, _ := vm.SplitGuestID(id)
+		for slot, pt := range rec.Procs {
+			if !pt.Present() {
+				continue
+			}
+			vmName, _, _ := vm.SplitGuestID(rosterIDs[slot])
 			if vmName == "tenant-a" {
 				trueA += float64(pt.ActivePower)
 			} else {

@@ -1,0 +1,72 @@
+package division
+
+import (
+	"fmt"
+
+	"powerdiv/internal/units"
+)
+
+// AbsentShare is the sentinel marking a roster slot outside a tick's
+// objective in a dense truth vector (Shares.Vector). It must be negative:
+// zero is a legitimate share that Equation 5 scores, absent is not scored
+// at all.
+const AbsentShare = -1.0
+
+// Vector projects the shares onto a roster ID order: out[i] is the share
+// of ids[i], or AbsentShare when the ID has no entry in the map. ids must
+// be sorted (roster order) and cover every key of s, so that scoring the
+// vector visits exactly the map's keys in exactly IDs() order — the
+// property that keeps AbsoluteErrorColumns bit-identical to AbsoluteError.
+func (s Shares) Vector(ids []string) []float64 {
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		v, ok := s[id]
+		if !ok {
+			v = AbsentShare
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// AbsoluteErrorColumns is Equation 5 over roster-indexed columns: ests[i]
+// is the model's estimate column at scored tick i (nil = no estimate,
+// skipped), power[i] the measured machine power, truths[i] the objective
+// share vector (nil = skipped; entries equal to AbsentShare mark slots
+// outside the tick's objective). It produces bit-identical results to
+// AbsoluteError on the equivalent map inputs: slots are visited in roster
+// order, which is the sorted-ID order the map form sums in.
+func AbsoluteErrorColumns(ests [][]units.Watts, power []units.Watts, truths [][]float64) (float64, error) {
+	if len(ests) != len(power) || len(ests) != len(truths) {
+		return 0, fmt.Errorf("division: mismatched lengths %d/%d/%d", len(ests), len(power), len(truths))
+	}
+	var sum float64
+	var n int
+	for i, est := range ests {
+		if est == nil || truths[i] == nil || power[i] <= 0 {
+			continue
+		}
+		for slot, share := range truths[i] {
+			if share < 0 {
+				continue
+			}
+			ce := est[slot] // a zero column entry counts as 0, an attribution error
+			sum += absf(float64(ce)/float64(power[i]) - share)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, ErrEmptyScoring
+	}
+	return sum / float64(n), nil
+}
+
+// ConstVectors replicates one truth vector across n ticks — the dense
+// counterpart of ConstShares.
+func ConstVectors(n int, v []float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package division
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"powerdiv/internal/units"
+)
+
+func TestSharesVector(t *testing.T) {
+	s := Shares{"a": 0.25, "c": 0, "d": 0.75}
+	v := s.Vector([]string{"a", "b", "c", "d"})
+	want := []float64{0.25, AbsentShare, 0, 0.75}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Errorf("v[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+}
+
+func TestConstVectors(t *testing.T) {
+	v := []float64{0.5, 0.5}
+	vs := ConstVectors(3, v)
+	if len(vs) != 3 {
+		t.Fatalf("len = %d", len(vs))
+	}
+	for i := range vs {
+		if &vs[i][0] != &v[0] {
+			t.Errorf("tick %d: vector copied instead of shared", i)
+		}
+	}
+}
+
+func TestAbsoluteErrorColumnsMismatch(t *testing.T) {
+	_, err := AbsoluteErrorColumns(make([][]units.Watts, 2), make([]units.Watts, 1), make([][]float64, 2))
+	if err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestAbsoluteErrorColumnsEmpty(t *testing.T) {
+	// All ticks skipped: nil estimate, nil truth, non-positive power, or a
+	// truth vector of only absent slots.
+	ests := [][]units.Watts{nil, {10, 10}, {10, 10}, {10, 10}}
+	power := []units.Watts{20, 20, 0, 20}
+	truths := [][]float64{{0.5, 0.5}, nil, {0.5, 0.5}, {AbsentShare, AbsentShare}}
+	if _, err := AbsoluteErrorColumns(ests, power, truths); !errors.Is(err, ErrEmptyScoring) {
+		t.Errorf("err = %v, want ErrEmptyScoring", err)
+	}
+}
+
+// TestAbsoluteErrorColumnsMatchesMapForm fuzzes random scored campaigns
+// through both Equation 5 implementations: the columnar form must be
+// bit-identical to the map form, with AbsentShare slots standing in for
+// IDs outside the truth map.
+func TestAbsoluteErrorColumnsMatchesMapForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ids := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(20)
+		mapEsts := make([]map[string]units.Watts, n)
+		colEsts := make([][]units.Watts, n)
+		power := make([]units.Watts, n)
+		mapTruths := make([]Shares, n)
+		colTruths := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			power[i] = units.Watts(rng.Float64() * 50)
+			if rng.Float64() < 0.2 {
+				continue // nil estimate and truth on both sides
+			}
+			truth := Shares{}
+			est := map[string]units.Watts{}
+			col := make([]units.Watts, len(ids))
+			for slot, id := range ids {
+				if rng.Float64() < 0.3 {
+					continue // id outside this tick's objective
+				}
+				truth[id] = rng.Float64()
+				w := units.Watts(rng.Float64() * 20)
+				est[id] = w
+				col[slot] = w
+			}
+			if len(truth) == 0 {
+				continue
+			}
+			mapEsts[i], colEsts[i] = est, col
+			mapTruths[i], colTruths[i] = truth, truth.Vector(ids)
+		}
+		want, wantErr := AbsoluteError(mapEsts, power, mapTruths)
+		got, gotErr := AbsoluteErrorColumns(colEsts, power, colTruths)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: map err %v, columns err %v", trial, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("trial %d: map AE %v != columnar AE %v", trial, want, got)
+		}
+	}
+}

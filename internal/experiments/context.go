@@ -94,18 +94,25 @@ func ContextIllustration(cfg machine.Config, factory models.Factory, fn string, 
 	}
 	res.MachinePower = run.PowerSeries()
 	res.Windows = []time.Duration{window, 2 * window}
-	ests := models.Replay(factory.New(seed), run)
+	est := models.ReplayDense(factory.New(seed), models.RunTicksDense(run))
+	rosterIDs := run.Roster.IDs()
 	for i, rec := range run.Ticks {
-		if ests[i] == nil {
+		if !est.OK[i] {
 			continue
 		}
-		for id, p := range ests[i] {
+		row := est.Row(i)
+		for slot, id := range rosterIDs {
+			// Absent processes hold a zero column entry; only processes in
+			// the tick's context belong on the attribution trace.
+			if !rec.Procs[slot].Present() {
+				continue
+			}
 			s, ok := res.Estimates[id]
 			if !ok {
 				s = trace.New()
 				res.Estimates[id] = s
 			}
-			s.Append(rec.At, float64(p))
+			s.Append(rec.At, float64(row[slot]))
 		}
 	}
 	return res, nil

@@ -122,18 +122,23 @@ func EnergyDivision(cfg machine.Config, factory models.Factory, app0, app1 strin
 	}
 	res.PairTotal = run.Energy()
 	res.PairMachine = run.PowerSeries()
-	ests := models.Replay(factory.New(seed), run)
+	est := models.ReplayDense(factory.New(seed), models.RunTicksDense(run))
 	res.Est0, res.Est1 = trace.New(), trace.New()
 	tick := run.Tick()
+	slot0, ok0 := run.Roster.Slot(app0)
+	slot1, ok1 := run.Roster.Slot(app1)
 	for i, rec := range run.Ticks {
-		if ests[i] == nil {
+		if !est.OK[i] {
 			continue
 		}
-		if p, ok := ests[i][app0]; ok {
+		row := est.Row(i)
+		if ok0 && rec.Procs[slot0].Present() {
+			p := row[slot0]
 			res.Est0.Append(rec.At, float64(p))
 			res.PairEnergy0 += p.Energy(tick)
 		}
-		if p, ok := ests[i][app1]; ok {
+		if ok1 && rec.Procs[slot1].Present() {
+			p := row[slot1]
 			res.Est1.Append(rec.At, float64(p))
 			res.PairEnergy1 += p.Energy(tick)
 		}
@@ -163,14 +168,16 @@ func ColocationSweep(cfg machine.Config, factory models.Factory, app string, vcp
 		if err != nil {
 			return nil, fmt.Errorf("colocation with %d neighbours: %w", n, err)
 		}
-		ests := models.Replay(factory.New(seed+int64(n)), run)
+		est := models.ReplayDense(factory.New(seed+int64(n)), models.RunTicksDense(run))
 		var e units.Joules
 		tick := run.Tick()
-		for _, est := range ests {
-			if est == nil {
-				continue
+		if slot, ok := run.Roster.Slot(app); ok {
+			for i := range run.Ticks {
+				if est.OK[i] {
+					// Absent slots hold zero, so no presence check is needed.
+					e += est.Row(i)[slot].Energy(tick)
+				}
 			}
-			e += est[app].Energy(tick)
 		}
 		out[n] = e
 	}

@@ -83,22 +83,23 @@ func Instability(cfg machine.Config, fn0, fn1 string, threads, repeats int, seed
 		if err != nil {
 			return res, err
 		}
-		ests := models.Replay(factory.New(seed+int64(rep)*7919), run)
-		sums := map[string]float64{}
+		est := models.ReplayDense(factory.New(seed+int64(rep)*7919), models.RunTicksDense(run))
+		rosterIDs := run.Roster.IDs()
+		sums := make([]float64, len(rosterIDs))
 		var total float64
-		for _, est := range ests {
-			if est == nil {
+		for i := range run.Ticks {
+			if !est.OK[i] {
 				continue
 			}
-			for id, w := range est {
-				sums[id] += float64(w)
+			for slot, w := range est.Row(i) {
+				sums[slot] += float64(w)
 				total += float64(w)
 			}
 		}
 		ir := InstabilityRun{Share: map[string]float64{}}
 		if total > 0 {
-			for id, s := range sums {
-				ir.Share[id] = s / total
+			for slot, s := range sums {
+				ir.Share[rosterIDs[slot]] = s / total
 			}
 		}
 		res.Runs = append(res.Runs, ir)

@@ -91,10 +91,13 @@ func CollectProfileTraining(ctx protocol.Context, fns []string, threads int) ([]
 		// are stationary, so rates equal the stable-window rates.
 		var counters perfcnt.Counters
 		var cpuSeconds float64
-		for _, rec := range run.Ticks {
-			if pt, ok := rec.Procs[app.ID]; ok {
-				counters = counters.Add(pt.Counters)
-				cpuSeconds += pt.CPUTime.Seconds()
+		slot, hasSlot := run.Roster.Slot(app.ID)
+		if hasSlot {
+			for _, rec := range run.Ticks {
+				if pt := rec.Procs[slot]; pt.Present() {
+					counters = counters.Add(pt.Counters)
+					cpuSeconds += pt.CPUTime.Seconds()
+				}
 			}
 		}
 		if cpuSeconds <= 0 {

@@ -143,6 +143,11 @@ type ProcTick struct {
 	Counters    perfcnt.Counters
 }
 
+// Present reports whether the process was running during the tick. Dense
+// tick columns hold a slot for every roster process; absent ones are zero
+// records, and a running process always has at least one placed thread.
+func (p ProcTick) Present() bool { return p.Threads > 0 }
+
 // TickRecord is one simulation step's full observation.
 type TickRecord struct {
 	At time.Duration
@@ -157,20 +162,47 @@ type TickRecord struct {
 	Active   units.Watts
 	// Freq is the frequency busy cores ran at during the tick.
 	Freq units.Hertz
-	// Procs maps process ID to its activity this tick; processes not yet
-	// started or already finished are absent.
-	Procs map[string]ProcTick
+	// Procs is the tick's dense activity column, indexed by the run's
+	// roster slot. Processes not yet started or already finished have a
+	// zero record (Present() == false). All columns of one run are slices
+	// of a single slab allocated up front by Simulate.
+	Procs []ProcTick
+}
+
+// Running returns the number of processes active during the tick.
+func (t *TickRecord) Running() int {
+	n := 0
+	for i := range t.Procs {
+		if t.Procs[i].Present() {
+			n++
+		}
+	}
+	return n
 }
 
 // Run is the result of simulating a scenario.
 type Run struct {
-	Config   Config
+	Config Config
+	// Roster indexes the scenario's processes; each tick's Procs column is
+	// indexed by roster slot.
+	Roster   *Roster
 	Ticks    []TickRecord
 	Duration time.Duration
 	// ProcEnd maps process ID to the time its workload finished (script
 	// completed or Stop reached); processes still running at scenario end
 	// map to the scenario duration. This is the paper's T_S^{P_i}.
 	ProcEnd map[string]time.Duration
+}
+
+// ProcAt returns the activity of process id at tick index i; ok is false
+// when the process was not running that tick (or is not in the roster).
+func (r *Run) ProcAt(i int, id string) (ProcTick, bool) {
+	slot, ok := r.Roster.Slot(id)
+	if !ok {
+		return ProcTick{}, false
+	}
+	pt := r.Ticks[i].Procs[slot]
+	return pt, pt.Present()
 }
 
 // Simulate runs the scenario for at most maxDur and returns the trace.
@@ -203,11 +235,24 @@ func Simulate(cfg Config, procs []Proc, maxDur time.Duration) (*Run, error) {
 	run := &Run{Config: cfg, ProcEnd: map[string]time.Duration{}}
 	phys := cfg.Spec.Topology.PhysicalCores()
 	nCPU := cfg.schedulableCPUs()
-	run.Ticks = make([]TickRecord, 0, maxDur/tick+1)
+	maxTicks := int(maxDur/tick) + 1
+	run.Ticks = make([]TickRecord, 0, maxTicks)
+	// The roster's slot order is the sorted scheduling order, so a
+	// process's slot is its index in ordered.
+	rosterIDs := make([]string, len(ordered))
+	for i, p := range ordered {
+		rosterIDs[i] = p.ID
+	}
+	run.Roster = NewRoster(rosterIDs)
+	// One slab holds every tick's Procs column; stepTick fills one
+	// len(ordered) slice of it per tick instead of allocating a map.
+	slab := make([]ProcTick, maxTicks*len(ordered))
 	var sc tickScratch
 
 	for t := time.Duration(0); t < maxDur; t += tick {
-		rec, active, err := stepTick(cfg, ordered, t, tick, phys, nCPU, run.ProcEnd, &sc)
+		col := slab[:len(ordered):len(ordered)]
+		slab = slab[len(ordered):]
+		rec, active, err := stepTick(cfg, ordered, t, tick, phys, nCPU, run.ProcEnd, &sc, col)
 		if err != nil {
 			return nil, fmt.Errorf("%w at t=%v", err, t)
 		}
@@ -247,6 +292,9 @@ func allStarted(procs []Proc, t time.Duration) bool {
 // threadPlacement is one busy thread's slot for a tick.
 type threadPlacement struct {
 	proc *Proc
+	// slot is the process's roster slot (its index in the sorted
+	// scheduling order), used to write the tick's dense Procs column.
+	slot int
 	cpu  int
 	util float64
 	cost units.Watts
@@ -258,6 +306,7 @@ type threadPlacement struct {
 // an unpinned-thread count rather than a per-thread record.
 type procDemand struct {
 	proc *Proc
+	slot int
 	util float64
 	cost units.Watts
 	// pins are the pinned logical CPUs, one per thread (nil when the
@@ -324,10 +373,11 @@ func resetBools(b []bool, n int) []bool {
 // demand spills onto SMT siblings the discount is shared across processes
 // (as a load-balancing scheduler would) instead of falling entirely on the
 // last process in ID order.
-func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, procEnd map[string]time.Duration, sc *tickScratch) (TickRecord, bool, error) {
+func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, procEnd map[string]time.Duration, sc *tickScratch, col []ProcTick) (TickRecord, bool, error) {
 	sc.resetTick(nCPU, phys)
 
-	// Gather each running process's demand for this tick.
+	// Gather each running process's demand for this tick. procs is in
+	// sorted ID order, so index i is the process's roster slot.
 	for i := range procs {
 		p := &procs[i]
 		if t < p.Start {
@@ -348,6 +398,7 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 		}
 		d := procDemand{
 			proc: p,
+			slot: i,
 			util: phase.Util * p.quota(),
 			cost: units.Watts(float64(p.Workload.CostOn(cfg.Spec.Name)) * phase.Intensity),
 		}
@@ -366,7 +417,7 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 				return TickRecord{}, false, ErrContention
 			}
 			sc.cpuBusy[pin] = true
-			sc.placements = append(sc.placements, threadPlacement{proc: d.proc, cpu: pin, util: d.util, cost: d.cost})
+			sc.placements = append(sc.placements, threadPlacement{proc: d.proc, slot: d.slot, cpu: pin, util: d.util, cost: d.cost})
 		}
 	}
 	// Unpinned threads: round-robin across processes.
@@ -382,7 +433,7 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 				return TickRecord{}, false, ErrContention
 			}
 			sc.cpuBusy[cpu] = true
-			sc.placements = append(sc.placements, threadPlacement{proc: d.proc, cpu: cpu, util: d.util, cost: d.cost})
+			sc.placements = append(sc.placements, threadPlacement{proc: d.proc, slot: d.slot, cpu: cpu, util: d.util, cost: d.cost})
 		}
 		if !progressed {
 			break
@@ -423,17 +474,16 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 		Active:    bd.Active,
 		TruePower: bd.Total(),
 		Freq:      freq,
-		Procs:     make(map[string]ProcTick, len(sc.demands)),
+		Procs:     col,
 	}
 	rec.Power = rec.TruePower
 	for _, pl := range sc.placements {
-		pt := rec.Procs[pl.proc.ID]
+		pt := &col[pl.slot]
 		cpuTime := units.CPUTime(float64(tick) * pl.util)
 		pt.CPUTime += cpuTime
 		pt.ActivePower += bd.PerCore[pl.cpu]
 		pt.Threads++
 		pt.Counters = pt.Counters.Add(perfcnt.Synthesize(pl.proc.Workload.Mix, cpuTime, freq))
-		rec.Procs[pl.proc.ID] = pt
 	}
 	return rec, len(sc.placements) > 0, nil
 }
@@ -505,8 +555,12 @@ func (r *Run) ResidualSeries() *trace.Series {
 // ProcActiveSeries returns a process's ground-truth active power trace.
 func (r *Run) ProcActiveSeries(id string) *trace.Series {
 	s := trace.NewWithCap(len(r.Ticks))
+	slot, ok := r.Roster.Slot(id)
+	if !ok {
+		return s
+	}
 	for _, rec := range r.Ticks {
-		if pt, ok := rec.Procs[id]; ok {
+		if pt := rec.Procs[slot]; pt.Present() {
 			s.Append(rec.At, float64(pt.ActivePower))
 		}
 	}
@@ -516,9 +570,13 @@ func (r *Run) ProcActiveSeries(id string) *trace.Series {
 // ProcCPUSeries returns a process's CPU utilization trace (cores busy).
 func (r *Run) ProcCPUSeries(id string) *trace.Series {
 	s := trace.NewWithCap(len(r.Ticks))
+	slot, ok := r.Roster.Slot(id)
+	if !ok {
+		return s
+	}
 	tick := r.Tick()
 	for _, rec := range r.Ticks {
-		if pt, ok := rec.Procs[id]; ok {
+		if pt := rec.Procs[slot]; pt.Present() {
 			s.Append(rec.At, pt.CPUTime.Utilization(tick))
 		}
 	}
@@ -531,18 +589,17 @@ func (r *Run) Energy() units.Joules {
 }
 
 // ProcIDs returns the IDs of all processes that were active at any tick,
-// sorted.
+// sorted. A roster process that never ran (e.g. its start lay beyond the
+// simulated horizon) is not included.
 func (r *Run) ProcIDs() []string {
-	seen := map[string]bool{}
-	for _, rec := range r.Ticks {
-		for id := range rec.Procs {
-			seen[id] = true
+	out := make([]string, 0, r.Roster.Len())
+	for slot, id := range r.Roster.IDs() {
+		for _, rec := range r.Ticks {
+			if rec.Procs[slot].Present() {
+				out = append(out, id)
+				break
+			}
 		}
 	}
-	out := make([]string, 0, len(seen))
-	for id := range seen {
-		out = append(out, id)
-	}
-	sort.Strings(out)
 	return out
 }

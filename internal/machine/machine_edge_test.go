@@ -33,8 +33,8 @@ func TestPhaseThreadsCappedByProcThreads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := run.Ticks[0].Procs["p"].Threads; got != 2 {
-		t.Errorf("busy threads = %d, want 2 (proc ceiling)", got)
+	if pt, _ := run.ProcAt(0, "p"); pt.Threads != 2 {
+		t.Errorf("busy threads = %d, want 2 (proc ceiling)", pt.Threads)
 	}
 }
 
@@ -212,11 +212,11 @@ func TestSchedulerConservationProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		for _, rec := range run.Ticks {
+		for ti, rec := range run.Ticks {
 			var cpuSum float64
 			var activeSum units.Watts
 			for i, p := range procs {
-				pt, ok := rec.Procs[p.ID]
+				pt, ok := run.ProcAt(ti, p.ID)
 				if !ok {
 					t.Fatalf("missing proc %s", p.ID)
 				}
@@ -259,9 +259,10 @@ func TestFairSMTPlacement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := run.Ticks[0]
-	pa := float64(rec.Procs["a"].ActivePower)
-	pb := float64(rec.Procs["b"].ActivePower)
+	pta, _ := run.ProcAt(0, "a")
+	ptb, _ := run.ProcAt(0, "b")
+	pa := float64(pta.ActivePower)
+	pb := float64(ptb.ActivePower)
 	if math.Abs(pa-pb) > 1e-9 {
 		t.Errorf("identical processes got unequal active power: %.3f vs %.3f", pa, pb)
 	}

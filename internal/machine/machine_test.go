@@ -272,8 +272,8 @@ func TestStartStopWindows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, rec := range run.Ticks {
-		_, present := rec.Procs["p0"]
+	for ti, rec := range run.Ticks {
+		_, present := run.ProcAt(ti, "p0")
 		want := rec.At >= time.Second && rec.At < 3*time.Second
 		if present != want {
 			t.Fatalf("t=%v: presence %v, want %v", rec.At, present, want)
@@ -353,9 +353,8 @@ func TestCountersScaleWithCPUTimeAndIPC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := run.Ticks[5]
-	fib := rec.Procs["fib"]
-	mat := rec.Procs["mat"]
+	fib, _ := run.ProcAt(5, "fib")
+	mat, _ := run.ProcAt(5, "mat")
 	// Same CPU time, same cycles.
 	if math.Abs(fib.Counters.Cycles-mat.Counters.Cycles) > 1e-6*fib.Counters.Cycles {
 		t.Errorf("cycles differ: %v vs %v", fib.Counters.Cycles, mat.Counters.Cycles)

@@ -1,0 +1,64 @@
+package machine
+
+import "sort"
+
+// Roster is the stable process index of one run: the scenario's process IDs
+// in sorted order, with an ID→slot lookup built once. Every dense per-tick
+// column in the run (TickRecord.Procs, the models package's sample and
+// estimate columns) is indexed by roster slot, so the hot loops index
+// slices instead of hashing strings into per-tick maps.
+//
+// A roster is immutable after construction and safe to share across
+// goroutines; the memoization cache shares one roster among every consumer
+// of a cached run.
+type Roster struct {
+	ids   []string
+	index map[string]int
+}
+
+// NewRoster builds a roster from a set of process IDs. The IDs are copied
+// and sorted; duplicates are collapsed.
+func NewRoster(ids []string) *Roster {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	out := sorted[:0]
+	for i, id := range sorted {
+		if i == 0 || sorted[i-1] != id {
+			out = append(out, id)
+		}
+	}
+	r := &Roster{ids: out, index: make(map[string]int, len(out))}
+	for i, id := range out {
+		r.index[id] = i
+	}
+	return r
+}
+
+// Len returns the number of roster slots.
+func (r *Roster) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ids)
+}
+
+// IDs returns the roster's process IDs in slot order (sorted). The slice is
+// shared — callers must not modify it.
+func (r *Roster) IDs() []string {
+	if r == nil {
+		return nil
+	}
+	return r.ids
+}
+
+// ID returns the process ID of a slot.
+func (r *Roster) ID(slot int) string { return r.ids[slot] }
+
+// Slot returns the slot of a process ID.
+func (r *Roster) Slot(id string) (int, bool) {
+	if r == nil {
+		return 0, false
+	}
+	i, ok := r.index[id]
+	return i, ok
+}

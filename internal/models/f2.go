@@ -3,6 +3,7 @@ package models
 import (
 	"sort"
 
+	"powerdiv/internal/machine"
 	"powerdiv/internal/units"
 )
 
@@ -30,6 +31,12 @@ type F2 struct {
 	// model's lifetime, and summing in sorted ID order keeps the value
 	// bit-reproducible.
 	mean float64
+
+	keys keyCache
+	// roster/perSlot cache the baseline lookup in roster-slot order for
+	// the dense path; rebuilt only when the roster changes.
+	roster  *machine.Roster
+	perSlot []float64
 }
 
 // NewF2 returns an F2-model factory with the given per-process isolated
@@ -58,6 +65,14 @@ func NewF2(baselinePerCore map[string]units.Watts) Factory {
 	}
 }
 
+// per returns a process's baseline weight (the mean when it has none).
+func (m *F2) per(id string) float64 {
+	if w, ok := m.baseline[id]; ok {
+		return float64(w)
+	}
+	return m.mean
+}
+
 // Name returns "f2".
 func (m *F2) Name() string { return "f2" }
 
@@ -65,39 +80,77 @@ func (m *F2) Name() string { return "f2" }
 // Processes without a baseline weigh in with the mean baseline, so the
 // model degrades to CPU-time shares rather than ignoring them.
 func (m *F2) Observe(t Tick) map[string]units.Watts {
-	if len(t.Procs) == 0 {
+	procs := t.ProcsView()
+	if len(procs) == 0 {
 		return nil
 	}
-	weights := make(map[string]float64, len(t.Procs))
-	for id, p := range t.Procs {
-		per := m.mean
-		if w, ok := m.baseline[id]; ok {
-			per = float64(w)
-		}
-		weights[id] = per * p.CPUTime.Seconds()
+	ids, _ := m.keys.sorted(procs)
+	weights := make(map[string]float64, len(procs))
+	for _, id := range ids {
+		weights[id] = m.per(id) * procs[id].CPUTime.Seconds()
 	}
-	return ShareOut(t.MachinePower, weights)
+	return ShareOutOrdered(t.MachinePower, ids, weights)
+}
+
+// ObserveInto divides a dense tick by isolated-baseline × CPU-usage shares.
+func (m *F2) ObserveInto(t Tick, out []units.Watts) bool {
+	if m.roster != t.Roster {
+		m.roster = t.Roster
+		ids := t.Roster.IDs()
+		if cap(m.perSlot) < len(ids) {
+			m.perSlot = make([]float64, len(ids))
+		}
+		m.perSlot = m.perSlot[:len(ids)]
+		for i, id := range ids {
+			m.perSlot[i] = m.per(id)
+		}
+	}
+	any := false
+	for i, p := range t.Samples {
+		out[i] = 0
+		if !p.Present() {
+			continue
+		}
+		any = true
+		out[i] = units.Watts(m.perSlot[i] * p.CPUTime.Seconds())
+	}
+	if !any {
+		return false
+	}
+	return ShareOutInto(t.MachinePower, out)
 }
 
 // Oracle divides power by the simulator's ground-truth per-process active
 // power. It is the perfect member of family (F1): active and residual
 // consumption split by the true active ratio. Only meaningful on simulated
 // input; on real sensor input (TrueActive == 0) it returns nil.
-type Oracle struct{}
+type Oracle struct {
+	keys keyCache
+}
 
 // NewOracle returns an Oracle-model factory.
 func NewOracle() Factory {
-	return Factory{Name: "oracle", New: func(int64) Model { return Oracle{} }}
+	return Factory{Name: "oracle", New: func(int64) Model { return &Oracle{} }}
 }
 
 // Name returns "oracle".
-func (Oracle) Name() string { return "oracle" }
+func (m *Oracle) Name() string { return "oracle" }
 
 // Observe divides the tick's power by true active power shares.
-func (Oracle) Observe(t Tick) map[string]units.Watts {
-	weights := make(map[string]float64, len(t.Procs))
-	for id, p := range t.Procs {
-		weights[id] = float64(p.TrueActive)
+func (m *Oracle) Observe(t Tick) map[string]units.Watts {
+	procs := t.ProcsView()
+	ids, _ := m.keys.sorted(procs)
+	weights := make(map[string]float64, len(procs))
+	for _, id := range ids {
+		weights[id] = float64(procs[id].TrueActive)
 	}
-	return ShareOut(t.MachinePower, weights)
+	return ShareOutOrdered(t.MachinePower, ids, weights)
+}
+
+// ObserveInto divides a dense tick by true active power shares.
+func (m *Oracle) ObserveInto(t Tick, out []units.Watts) bool {
+	for i, p := range t.Samples {
+		out[i] = p.TrueActive
+	}
+	return ShareOutInto(t.MachinePower, out)
 }

@@ -15,6 +15,15 @@
 // All of these are "F1-shaped" in their output contract: each tick they
 // split the measured machine power C_{S,t} among the running processes (the
 // estimates sum to C_{S,t} whenever they produce estimates at all).
+//
+// Ticks come in two representations. The map view (Tick.Procs) is what live
+// backends with a churning PID set produce. The dense view (Tick.Roster +
+// Tick.Samples) is a roster-indexed column shared with the simulator's
+// columnar storage; models implementing DenseModel divide it without any
+// per-tick map allocation or key sorting, writing estimates into a
+// caller-owned slab (ReplayDense). Both views produce bit-identical
+// estimates: every floating-point sum runs in sorted-ID order, which is
+// exactly roster-slot order.
 package models
 
 import (
@@ -41,6 +50,11 @@ type ProcSample struct {
 	TrueActive units.Watts
 }
 
+// Present reports whether the sample belongs to a process that ran during
+// the interval. Dense columns carry a zero sample for absent roster slots;
+// a running process always has at least one busy thread.
+func (p ProcSample) Present() bool { return p.Threads > 0 }
+
 // Tick is one sampling interval's model input.
 type Tick struct {
 	At       time.Duration
@@ -62,7 +76,31 @@ type Tick struct {
 	// into their learning windows, where a mis-scaled row corrupts every
 	// later estimate. Simulator-driven ticks always leave it false.
 	Degraded bool
-	Procs    map[string]ProcSample
+	// Procs is the map view of the interval's samples; nil on the dense
+	// path. Live backends whose PID set churns fill it directly.
+	Procs map[string]ProcSample
+	// Roster and Samples are the dense view: Samples is a column indexed
+	// by roster slot, with absent processes holding a zero sample
+	// (Present() == false). nil on the map path. All ticks of one replay
+	// share the same roster.
+	Roster  *machine.Roster
+	Samples []ProcSample
+}
+
+// ProcsView returns the tick's samples as a map, materialising one from
+// the dense column when the tick carries no map (only present processes
+// get an entry). Map-path models use it to accept both representations.
+func (t Tick) ProcsView() map[string]ProcSample {
+	if t.Procs != nil || t.Samples == nil {
+		return t.Procs
+	}
+	procs := make(map[string]ProcSample, len(t.Samples))
+	for slot, p := range t.Samples {
+		if p.Present() {
+			procs[t.Roster.ID(slot)] = p
+		}
+	}
+	return procs
 }
 
 // Model is a streaming power division model. Observe returns the estimated
@@ -75,6 +113,21 @@ type Model interface {
 	Observe(t Tick) map[string]units.Watts
 }
 
+// DenseModel is the columnar fast path of Model. ObserveInto divides a
+// dense tick (Tick.Samples != nil) into out, a caller-owned roster-indexed
+// column — typically one slice of a replay-owned slab. On true, out[slot]
+// holds every roster slot's estimate (absent processes 0); on false the
+// model has no estimate for the tick and out's contents are unspecified
+// (the caller re-zeroes the column).
+//
+// ObserveInto advances the same calibration state as Observe, so a model
+// instance must be driven through exactly one of the two entry points for
+// its whole lifetime, in tick order.
+type DenseModel interface {
+	Model
+	ObserveInto(t Tick, out []units.Watts) bool
+}
+
 // Factory constructs a fresh model instance for one scenario run. seed
 // feeds any internal randomness (PowerAPI's calibration instability);
 // deterministic models ignore it.
@@ -83,8 +136,10 @@ type Factory struct {
 	New  func(seed int64) Model
 }
 
-// TickFromRecord adapts a simulator tick record into a model input.
-func TickFromRecord(rec machine.TickRecord, interval time.Duration, logicalCPUs int) Tick {
+// TickFromRecord adapts a simulator tick record into a map-view model
+// input. roster must be the record's run roster (it names the slots of
+// rec.Procs).
+func TickFromRecord(rec machine.TickRecord, roster *machine.Roster, interval time.Duration, logicalCPUs int) Tick {
 	t := Tick{
 		At:           rec.At,
 		Interval:     interval,
@@ -93,7 +148,11 @@ func TickFromRecord(rec machine.TickRecord, interval time.Duration, logicalCPUs 
 		Freq:         rec.Freq,
 		Procs:        make(map[string]ProcSample, len(rec.Procs)),
 	}
-	for id, pt := range rec.Procs {
+	for slot, id := range roster.IDs() {
+		pt := rec.Procs[slot]
+		if !pt.Present() {
+			continue
+		}
 		t.Procs[id] = ProcSample{
 			CPUTime:    pt.CPUTime,
 			Counters:   pt.Counters,
@@ -104,17 +163,50 @@ func TickFromRecord(rec machine.TickRecord, interval time.Duration, logicalCPUs 
 	return t
 }
 
-// RunTicks converts every record of a simulator run into model inputs,
-// index-aligned with run.Ticks. Converting once and replaying several
-// models over the shared slice (ReplayTicks) avoids rebuilding the
-// per-tick ProcSample maps per model — all models treat Tick.Procs as
-// read-only.
+// RunTicks converts every record of a simulator run into map-view model
+// inputs, index-aligned with run.Ticks. Prefer RunTicksDense for replay
+// pipelines: the map view exists for callers that inspect samples by ID.
 func RunTicks(run *machine.Run) []Tick {
 	ticks := make([]Tick, len(run.Ticks))
 	logical := run.Config.Spec.Topology.LogicalCPUs()
 	interval := run.Tick()
 	for i, rec := range run.Ticks {
-		ticks[i] = TickFromRecord(rec, interval, logical)
+		ticks[i] = TickFromRecord(rec, run.Roster, interval, logical)
+	}
+	return ticks
+}
+
+// RunTicksDense converts a simulator run into dense model inputs sharing
+// the run's roster, index-aligned with run.Ticks. All sample columns are
+// slices of a single slab, so the conversion costs O(1) allocations
+// however long the run; all models treat the columns as read-only, so one
+// conversion serves every model scored against the run.
+func RunTicksDense(run *machine.Run) []Tick {
+	logical := run.Config.Spec.Topology.LogicalCPUs()
+	interval := run.Tick()
+	n := run.Roster.Len()
+	ticks := make([]Tick, len(run.Ticks))
+	slab := make([]ProcSample, len(run.Ticks)*n)
+	for i, rec := range run.Ticks {
+		col := slab[i*n : (i+1)*n : (i+1)*n]
+		for s := range col {
+			pt := rec.Procs[s]
+			col[s] = ProcSample{
+				CPUTime:    pt.CPUTime,
+				Counters:   pt.Counters,
+				Threads:    pt.Threads,
+				TrueActive: pt.ActivePower,
+			}
+		}
+		ticks[i] = Tick{
+			At:           rec.At,
+			Interval:     interval,
+			MachinePower: rec.Power,
+			LogicalCPUs:  logical,
+			Freq:         rec.Freq,
+			Roster:       run.Roster,
+			Samples:      col,
+		}
 	}
 	return ticks
 }
@@ -137,6 +229,69 @@ func Replay(m Model, run *machine.Run) []map[string]units.Watts {
 	return ReplayTicks(m, RunTicks(run))
 }
 
+// DenseEstimates is a replay's roster-indexed estimate matrix: one
+// units.Watts column per tick, all carved from a single slab owned by the
+// replay. A column is meaningful only when its OK flag is set; columns of
+// estimate-free ticks are zero.
+type DenseEstimates struct {
+	Roster *machine.Roster
+	// Slab holds every tick's column back to back; Row slices it.
+	Slab []units.Watts
+	// OK[i] reports whether the model produced an estimate at tick i
+	// (the dense equivalent of a non-nil Observe map).
+	OK []bool
+}
+
+// Ticks returns the number of replayed ticks.
+func (d *DenseEstimates) Ticks() int { return len(d.OK) }
+
+// Row returns tick i's estimate column, indexed by roster slot. The slice
+// aliases the slab; it is only meaningful when OK[i] is true.
+func (d *DenseEstimates) Row(i int) []units.Watts {
+	n := d.Roster.Len()
+	return d.Slab[i*n : (i+1)*n]
+}
+
+// ReplayDense feeds dense ticks (RunTicksDense) to the model and collects
+// the estimates into one slab-backed matrix. Models implementing
+// DenseModel run without any per-tick allocation; others fall back to
+// Observe on a materialised map view, with the result scattered into the
+// column.
+func ReplayDense(m Model, ticks []Tick) *DenseEstimates {
+	var roster *machine.Roster
+	if len(ticks) > 0 {
+		roster = ticks[0].Roster
+	}
+	n := roster.Len()
+	d := &DenseEstimates{
+		Roster: roster,
+		Slab:   make([]units.Watts, len(ticks)*n),
+		OK:     make([]bool, len(ticks)),
+	}
+	dm, dense := m.(DenseModel)
+	for i, t := range ticks {
+		out := d.Slab[i*n : (i+1)*n]
+		if dense && t.Samples != nil {
+			if dm.ObserveInto(t, out) {
+				d.OK[i] = true
+			} else {
+				clear(out)
+			}
+			continue
+		}
+		t.Procs = t.ProcsView()
+		est := m.Observe(t)
+		if est == nil {
+			continue
+		}
+		d.OK[i] = true
+		for slot, id := range roster.IDs() {
+			out[slot] = est[id]
+		}
+	}
+	return d
+}
+
 // ShareOut distributes power among processes proportionally to weights.
 // It returns nil when all weights are zero (nothing to attribute).
 // Summation runs in sorted key order so results are bit-reproducible
@@ -147,6 +302,13 @@ func ShareOut(power units.Watts, weights map[string]float64) map[string]units.Wa
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	return ShareOutOrdered(power, ids, weights)
+}
+
+// ShareOutOrdered is ShareOut with a caller-supplied sorted key order, so
+// streaming models that already hold a sorted ID slice (keyCache) divide
+// without re-sorting on every tick. ids must hold exactly weights' keys.
+func ShareOutOrdered(power units.Watts, ids []string, weights map[string]float64) map[string]units.Watts {
 	var total float64
 	for _, id := range ids {
 		if w := weights[id]; w > 0 {
@@ -165,4 +327,63 @@ func ShareOut(power units.Watts, weights map[string]float64) map[string]units.Wa
 		out[id] = units.Watts(float64(power) * w / total)
 	}
 	return out
+}
+
+// ShareOutInto is ShareOut's dense form. On entry out holds each roster
+// slot's weight (absent slots zero, negatives clamped like ShareOut); on
+// return it holds each slot's share of power. It returns false — leaving
+// out unspecified — when no weight is positive, mirroring ShareOut's nil.
+//
+// Slot order is sorted-ID order, so the weight total accumulates in
+// exactly the order ShareOut uses: the two forms are bit-identical.
+func ShareOutInto(power units.Watts, out []units.Watts) bool {
+	var total float64
+	for _, w := range out {
+		if w > 0 {
+			total += float64(w)
+		}
+	}
+	if total <= 0 {
+		return false
+	}
+	for i, w := range out {
+		if w < 0 {
+			w = 0
+		}
+		out[i] = units.Watts(float64(power) * float64(w) / total)
+	}
+	return true
+}
+
+// keyCache caches the sorted key slice of successive map-view ticks. The
+// process set of consecutive ticks rarely changes, and set equality is an
+// O(n) membership check, so steady-state map-path division neither
+// allocates nor sorts per tick.
+type keyCache struct {
+	ids []string
+}
+
+// sorted returns procs' keys in sorted order, reusing the previous call's
+// slice when the key set is unchanged. changed reports whether the set
+// differs from the previous call — streaming models use it as their
+// context-change signal.
+func (c *keyCache) sorted(procs map[string]ProcSample) (ids []string, changed bool) {
+	if len(c.ids) == len(procs) {
+		same := true
+		for _, id := range c.ids {
+			if _, ok := procs[id]; !ok {
+				same = false
+				break
+			}
+		}
+		if same {
+			return c.ids, false
+		}
+	}
+	c.ids = c.ids[:0]
+	for id := range procs {
+		c.ids = append(c.ids, id)
+	}
+	sort.Strings(c.ids)
+	return c.ids, true
 }

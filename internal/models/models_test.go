@@ -359,7 +359,7 @@ func TestTickFromRecordCarriesObservables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tk := TickFromRecord(run.Ticks[0], run.Tick(), 12)
+	tk := TickFromRecord(run.Ticks[0], run.Roster, run.Tick(), 12)
 	if tk.Freq != 3.6*units.GHz {
 		t.Errorf("Freq = %v, want 3.6 GHz", tk.Freq)
 	}

@@ -2,8 +2,6 @@ package models
 
 import (
 	"math/rand"
-	"sort"
-	"strings"
 	"time"
 
 	"powerdiv/internal/units"
@@ -58,7 +56,7 @@ type PowerAPI struct {
 	cfg PowerAPIConfig
 	rng *rand.Rand
 
-	sig        string
+	keys       keyCache
 	learnStart time.Duration
 	started    bool
 	rows       [][4]float64
@@ -69,6 +67,13 @@ type PowerAPI struct {
 	scales     [4]float64
 	degenerate bool
 	favored    string
+
+	// Dense-path state: the present set of the previous tick (the context
+	// signature), a scratch copy for the current tick, and the favored
+	// slot of a degenerate calibration.
+	prevPresent []bool
+	curPresent  []bool
+	favSlot     int
 }
 
 // NewPowerAPI returns a PowerAPI-model factory with the given config.
@@ -85,7 +90,7 @@ func NewPowerAPI(cfg PowerAPIConfig) Factory {
 	return Factory{
 		Name: "powerapi",
 		New: func(seed int64) Model {
-			return &PowerAPI{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+			return &PowerAPI{cfg: cfg, rng: rand.New(rand.NewSource(seed)), favSlot: -1}
 		},
 	}
 }
@@ -93,21 +98,27 @@ func NewPowerAPI(cfg PowerAPIConfig) Factory {
 // Name returns "powerapi".
 func (m *PowerAPI) Name() string { return "powerapi" }
 
+// reset restarts the learning window after a context change (§IV-A).
+func (m *PowerAPI) reset(at time.Duration) {
+	m.started = true
+	m.learnStart = at
+	m.rows = m.rows[:0]
+	m.targets = m.targets[:0]
+	m.fitted = false
+	m.degenerate = false
+	m.favored = ""
+	m.favSlot = -1
+}
+
 // Observe ingests one tick. During learning it returns nil.
 func (m *PowerAPI) Observe(t Tick) map[string]units.Watts {
+	t.Procs = t.ProcsView()
 	if len(t.Procs) == 0 {
 		return nil
 	}
-	if sig := procSignature(t.Procs); sig != m.sig {
-		// Context change: drop estimates and recalibrate (§IV-A).
-		m.sig = sig
-		m.started = true
-		m.learnStart = t.At
-		m.rows = m.rows[:0]
-		m.targets = m.targets[:0]
-		m.fitted = false
-		m.degenerate = false
-		m.favored = ""
+	ids, changed := m.keys.sorted(t.Procs)
+	if changed {
+		m.reset(t.At)
 	}
 	if !m.fitted {
 		// Degraded intervals (coalesced dropped ticks, missing zones) are
@@ -115,7 +126,7 @@ func (m *PowerAPI) Observe(t Tick) map[string]units.Watts {
 		// clean ones and would corrupt the fit for every later estimate.
 		if !t.Degraded {
 			var agg [4]float64
-			for _, id := range sortedIDs(t.Procs) {
+			for _, id := range ids {
 				v := t.Procs[id].Counters.Rate(t.Interval).Vector()
 				for d := range agg {
 					agg[d] += v[d]
@@ -129,7 +140,54 @@ func (m *PowerAPI) Observe(t Tick) map[string]units.Watts {
 		}
 		m.fit(t.LogicalCPUs)
 	}
-	return m.estimate(t)
+	return m.estimate(t, ids)
+}
+
+// ObserveInto is Observe on a dense tick: the present set replaces the ID
+// signature as the context-change signal, and estimates go to the
+// roster-indexed column.
+func (m *PowerAPI) ObserveInto(t Tick, out []units.Watts) bool {
+	n := len(t.Samples)
+	if cap(m.curPresent) < n {
+		m.curPresent = make([]bool, n)
+	}
+	m.curPresent = m.curPresent[:n]
+	running := 0
+	for i, p := range t.Samples {
+		pr := p.Present()
+		m.curPresent[i] = pr
+		if pr {
+			running++
+		}
+	}
+	if running == 0 {
+		return false
+	}
+	if !boolsEqual(m.prevPresent, m.curPresent) {
+		m.prevPresent = append(m.prevPresent[:0], m.curPresent...)
+		m.reset(t.At)
+	}
+	if !m.fitted {
+		if !t.Degraded {
+			var agg [4]float64
+			for i, p := range t.Samples {
+				if !m.curPresent[i] {
+					continue
+				}
+				v := p.Counters.Rate(t.Interval).Vector()
+				for d := range agg {
+					agg[d] += v[d]
+				}
+			}
+			m.rows = append(m.rows, agg)
+			m.targets = append(m.targets, float64(t.MachinePower))
+		}
+		if t.At-m.learnStart < m.cfg.LearnWindow || len(m.rows) == 0 {
+			return false
+		}
+		m.fit(t.LogicalCPUs)
+	}
+	return m.estimateInto(t, running, out)
 }
 
 // fit calibrates the counter weights from the collected window.
@@ -151,9 +209,9 @@ func (m *PowerAPI) fit(logicalCPUs int) {
 }
 
 // estimate divides the tick's power by fitted-weight shares.
-func (m *PowerAPI) estimate(t Tick) map[string]units.Watts {
+func (m *PowerAPI) estimate(t Tick, ids []string) map[string]units.Watts {
 	if m.degenerate {
-		return m.estimateDegenerate(t)
+		return m.estimateDegenerate(t, ids)
 	}
 	// Attribution follows the cycles-family counters: with aggregate
 	// features the calibration's predictive power collapses onto active
@@ -164,7 +222,7 @@ func (m *PowerAPI) estimate(t Tick) map[string]units.Watts {
 	// their instruction mix.
 	raw := make(map[string]float64, len(t.Procs))
 	var total float64
-	for _, id := range sortedIDs(t.Procs) {
+	for _, id := range ids {
 		v := t.Procs[id].Counters.Rate(t.Interval).Vector()
 		s := m.weights[0] * v[0] / m.scales[0]
 		if s < 0 {
@@ -177,12 +235,42 @@ func (m *PowerAPI) estimate(t Tick) map[string]units.Watts {
 		// The fit assigns nothing; fall back to CPU-time shares, as the
 		// real implementation's static component does.
 		weights := make(map[string]float64, len(t.Procs))
-		for id, p := range t.Procs {
-			weights[id] = p.CPUTime.Seconds()
+		for _, id := range ids {
+			weights[id] = t.Procs[id].CPUTime.Seconds()
 		}
-		return ShareOut(t.MachinePower, weights)
+		return ShareOutOrdered(t.MachinePower, ids, weights)
 	}
-	return ShareOut(t.MachinePower, raw)
+	return ShareOutOrdered(t.MachinePower, ids, raw)
+}
+
+// estimateInto is estimate for the dense path, writing shares by slot.
+func (m *PowerAPI) estimateInto(t Tick, running int, out []units.Watts) bool {
+	if m.degenerate {
+		return m.estimateDegenerateInto(t, running, out)
+	}
+	var total float64
+	for i, p := range t.Samples {
+		out[i] = 0
+		if !m.curPresent[i] {
+			continue
+		}
+		v := p.Counters.Rate(t.Interval).Vector()
+		s := m.weights[0] * v[0] / m.scales[0]
+		if s < 0 {
+			s = 0
+		}
+		out[i] = units.Watts(s)
+		total += s
+	}
+	if total <= 0 {
+		for i, p := range t.Samples {
+			out[i] = 0
+			if m.curPresent[i] {
+				out[i] = units.Watts(p.CPUTime.Seconds())
+			}
+		}
+	}
+	return ShareOutInto(t.MachinePower, out)
 }
 
 // estimateDegenerate models the miscalibrated attribution: the favored
@@ -191,8 +279,7 @@ func (m *PowerAPI) estimate(t Tick) map[string]units.Watts {
 // flip-flop), with the remainder divided among the others by CPU time. The
 // model's static component keeps losing processes above zero, which is why
 // the paper observes 90/10 rather than 100/0.
-func (m *PowerAPI) estimateDegenerate(t Tick) map[string]units.Watts {
-	ids := sortedIDs(t.Procs)
+func (m *PowerAPI) estimateDegenerate(t Tick, ids []string) map[string]units.Watts {
 	var totalCPU float64
 	for _, id := range ids {
 		totalCPU += t.Procs[id].CPUTime.Seconds()
@@ -213,15 +300,65 @@ func (m *PowerAPI) estimateDegenerate(t Tick) map[string]units.Watts {
 	restCPU := totalCPU - t.Procs[m.favored].CPUTime.Seconds()
 	shares := make(map[string]float64, len(t.Procs))
 	shares[m.favored] = favShare
-	for id, p := range t.Procs {
+	for _, id := range ids {
 		if id == m.favored {
 			continue
 		}
 		if restCPU > 0 {
-			shares[id] = (1 - favShare) * p.CPUTime.Seconds() / restCPU
+			shares[id] = (1 - favShare) * t.Procs[id].CPUTime.Seconds() / restCPU
 		}
 	}
 	return ShareOut(t.MachinePower, shares)
+}
+
+// estimateDegenerateInto is estimateDegenerate for the dense path. The
+// favored process is drawn with the same seeded RNG call over the sorted
+// present set, so dense and map replays favor the same process.
+func (m *PowerAPI) estimateDegenerateInto(t Tick, running int, out []units.Watts) bool {
+	var totalCPU float64
+	for i, p := range t.Samples {
+		if m.curPresent[i] {
+			totalCPU += p.CPUTime.Seconds()
+		}
+	}
+	if totalCPU <= 0 {
+		return false
+	}
+	if m.favSlot < 0 || !m.curPresent[m.favSlot] {
+		k := m.rng.Intn(running)
+		for i, pr := range m.curPresent {
+			if !pr {
+				continue
+			}
+			if k == 0 {
+				m.favSlot = i
+				break
+			}
+			k--
+		}
+	}
+	if running == 1 {
+		clear(out)
+		out[m.favSlot] = t.MachinePower
+		return true
+	}
+	favCPU := t.Samples[m.favSlot].CPUTime.Seconds()
+	favShare := favCPU/totalCPU + 0.4
+	if favShare > 0.9 {
+		favShare = 0.9
+	}
+	restCPU := totalCPU - favCPU
+	for i, p := range t.Samples {
+		out[i] = 0
+		if !m.curPresent[i] || i == m.favSlot {
+			continue
+		}
+		if restCPU > 0 {
+			out[i] = units.Watts((1 - favShare) * p.CPUTime.Seconds() / restCPU)
+		}
+	}
+	out[m.favSlot] = units.Watts(favShare)
+	return ShareOutInto(t.MachinePower, out)
 }
 
 func hasProc(procs map[string]ProcSample, id string) bool {
@@ -229,27 +366,19 @@ func hasProc(procs map[string]ProcSample, id string) bool {
 	return ok
 }
 
-// sortedIDs returns the process IDs in sorted order, so that aggregate
-// floating-point sums are bit-reproducible across runs.
-func sortedIDs(procs map[string]ProcSample) []string {
-	ids := make([]string, 0, len(procs))
-	for id := range procs {
-		ids = append(ids, id)
+// boolsEqual reports whether two bool slices are element-wise equal.
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	sort.Strings(ids)
-	return ids
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Degenerate reports whether the current calibration is degenerate; it is
 // exported for white-box assertions in experiments and tests.
 func (m *PowerAPI) Degenerate() bool { return m.degenerate }
-
-// procSignature canonically identifies the set of running processes.
-func procSignature(procs map[string]ProcSample) string {
-	ids := make([]string, 0, len(procs))
-	for id := range procs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return strings.Join(ids, "\x00")
-}

@@ -30,6 +30,11 @@ type ResidualAware struct {
 	idle     units.Watts
 	residual cpumodel.ResidualCurve
 	baseFreq units.Hertz
+
+	keys keyCache
+	// slotDuties is the dense path's per-slot duty scratch, reused across
+	// ticks.
+	slotDuties []float64
 }
 
 // NewResidualAware returns a residual-aware model factory for a machine
@@ -68,9 +73,26 @@ func duty(p ProcSample, interval units.CPUTime) float64 {
 	return util
 }
 
+// activeResidual decomposes a tick's measured power into the allocatable
+// active part and the residual rate R(f) at the tick's frequency.
+func (m *ResidualAware) activeResidual(t Tick, maxDuty float64) (active, r units.Watts) {
+	freq := t.Freq
+	if freq <= 0 {
+		freq = m.baseFreq
+	}
+	r = m.residual.At(freq)
+	drawnResidual := units.Watts(float64(r) * maxDuty)
+	active = t.MachinePower - m.idle - drawnResidual
+	if active < 0 {
+		active = 0
+	}
+	return active, r
+}
+
 // Observe decomposes and allocates the tick's power.
 func (m *ResidualAware) Observe(t Tick) map[string]units.Watts {
-	ids := sortedIDs(t.Procs)
+	t.Procs = t.ProcsView()
+	ids, _ := m.keys.sorted(t.Procs)
 	interval := units.CPUTime(t.Interval)
 
 	var totalCPU float64
@@ -89,16 +111,7 @@ func (m *ResidualAware) Observe(t Tick) map[string]units.Watts {
 		return nil
 	}
 
-	freq := t.Freq
-	if freq <= 0 {
-		freq = m.baseFreq
-	}
-	r := m.residual.At(freq)
-	drawnResidual := units.Watts(float64(r) * maxDuty)
-	active := t.MachinePower - m.idle - drawnResidual
-	if active < 0 {
-		active = 0
-	}
+	active, r := m.activeResidual(t, maxDuty)
 
 	minDuty := maxDuty
 	for _, d := range duties {
@@ -114,5 +127,50 @@ func (m *ResidualAware) Observe(t Tick) map[string]units.Watts {
 		// causes beyond the scenario's least-demanding one.
 		weights[id] = float64(active)*cpuShare + float64(r)*(duties[id]-minDuty)
 	}
-	return ShareOut(t.MachinePower, weights)
+	return ShareOutOrdered(t.MachinePower, ids, weights)
+}
+
+// ObserveInto decomposes and allocates a dense tick's power by roster slot.
+func (m *ResidualAware) ObserveInto(t Tick, out []units.Watts) bool {
+	interval := units.CPUTime(t.Interval)
+	if cap(m.slotDuties) < len(t.Samples) {
+		m.slotDuties = make([]float64, len(t.Samples))
+	}
+	duties := m.slotDuties[:len(t.Samples)]
+
+	var totalCPU float64
+	maxDuty := 0.0
+	for i, p := range t.Samples {
+		duties[i] = 0
+		if !p.Present() {
+			continue
+		}
+		totalCPU += p.CPUTime.Seconds()
+		d := duty(p, interval)
+		duties[i] = d
+		if d > maxDuty {
+			maxDuty = d
+		}
+	}
+	if totalCPU <= 0 {
+		return false
+	}
+
+	active, r := m.activeResidual(t, maxDuty)
+
+	minDuty := maxDuty
+	for i, p := range t.Samples {
+		if p.Present() && duties[i] < minDuty {
+			minDuty = duties[i]
+		}
+	}
+	for i, p := range t.Samples {
+		out[i] = 0
+		if !p.Present() {
+			continue
+		}
+		cpuShare := p.CPUTime.Seconds() / totalCPU
+		out[i] = units.Watts(float64(active)*cpuShare + float64(r)*(duties[i]-minDuty))
+	}
+	return ShareOutInto(t.MachinePower, out)
 }

@@ -9,23 +9,35 @@ import "powerdiv/internal/units"
 // This is the paper's family (F1): residual and idle consumption are split
 // with the same ratio as active consumption, because the division simply
 // does not distinguish them.
-type Scaphandre struct{}
+type Scaphandre struct {
+	keys keyCache
+}
 
 // NewScaphandre returns a Scaphandre-model factory.
 func NewScaphandre() Factory {
-	return Factory{Name: "scaphandre", New: func(int64) Model { return Scaphandre{} }}
+	return Factory{Name: "scaphandre", New: func(int64) Model { return &Scaphandre{} }}
 }
 
 // Name returns "scaphandre".
-func (Scaphandre) Name() string { return "scaphandre" }
+func (m *Scaphandre) Name() string { return "scaphandre" }
 
 // Observe divides the tick's machine power by CPU-time share.
-func (Scaphandre) Observe(t Tick) map[string]units.Watts {
-	weights := make(map[string]float64, len(t.Procs))
-	for id, p := range t.Procs {
-		weights[id] = p.CPUTime.Seconds()
+func (m *Scaphandre) Observe(t Tick) map[string]units.Watts {
+	procs := t.ProcsView()
+	ids, _ := m.keys.sorted(procs)
+	weights := make(map[string]float64, len(procs))
+	for _, id := range ids {
+		weights[id] = procs[id].CPUTime.Seconds()
 	}
-	return ShareOut(t.MachinePower, weights)
+	return ShareOutOrdered(t.MachinePower, ids, weights)
+}
+
+// ObserveInto divides a dense tick by CPU-time share.
+func (m *Scaphandre) ObserveInto(t Tick, out []units.Watts) bool {
+	for i, p := range t.Samples {
+		out[i] = units.Watts(p.CPUTime.Seconds())
+	}
+	return ShareOutInto(t.MachinePower, out)
 }
 
 // Kepler divides the measured machine power among processes by their share
@@ -34,21 +46,33 @@ func (Scaphandre) Observe(t Tick) map[string]units.Watts {
 // on a model that is relatively similar to the one utilized by Scaphandre"
 // and that its conclusions transfer; the instruction basis differs from the
 // CPU-time basis exactly by the workloads' IPC ratios.
-type Kepler struct{}
+type Kepler struct {
+	keys keyCache
+}
 
 // NewKepler returns a Kepler-model factory.
 func NewKepler() Factory {
-	return Factory{Name: "kepler", New: func(int64) Model { return Kepler{} }}
+	return Factory{Name: "kepler", New: func(int64) Model { return &Kepler{} }}
 }
 
 // Name returns "kepler".
-func (Kepler) Name() string { return "kepler" }
+func (m *Kepler) Name() string { return "kepler" }
 
 // Observe divides the tick's machine power by instruction share.
-func (Kepler) Observe(t Tick) map[string]units.Watts {
-	weights := make(map[string]float64, len(t.Procs))
-	for id, p := range t.Procs {
-		weights[id] = p.Counters.Instructions
+func (m *Kepler) Observe(t Tick) map[string]units.Watts {
+	procs := t.ProcsView()
+	ids, _ := m.keys.sorted(procs)
+	weights := make(map[string]float64, len(procs))
+	for _, id := range ids {
+		weights[id] = procs[id].Counters.Instructions
 	}
-	return ShareOut(t.MachinePower, weights)
+	return ShareOutOrdered(t.MachinePower, ids, weights)
+}
+
+// ObserveInto divides a dense tick by instruction share.
+func (m *Kepler) ObserveInto(t Tick, out []units.Watts) bool {
+	for i, p := range t.Samples {
+		out[i] = units.Watts(p.Counters.Instructions)
+	}
+	return ShareOutInto(t.MachinePower, out)
 }

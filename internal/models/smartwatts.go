@@ -42,6 +42,7 @@ func DefaultSmartWattsConfig() SmartWattsConfig {
 type SmartWatts struct {
 	cfg  SmartWattsConfig
 	bins map[int64]*swBin
+	keys keyCache
 }
 
 // swBin is one frequency bin's calibration state.
@@ -89,36 +90,27 @@ func (m *SmartWatts) bin(freq units.Hertz) *swBin {
 // Observe ingests one tick: it always feeds the current frequency bin's
 // calibration, and produces estimates as soon as that bin is warm.
 func (m *SmartWatts) Observe(t Tick) map[string]units.Watts {
+	t.Procs = t.ProcsView()
 	if len(t.Procs) == 0 {
 		return nil
 	}
+	ids, _ := m.keys.sorted(t.Procs)
 	b := m.bin(t.Freq)
 
 	var agg [4]float64
-	for _, id := range sortedIDs(t.Procs) {
+	for _, id := range ids {
 		v := t.Procs[id].Counters.Rate(t.Interval).Vector()
 		for d := range agg {
 			agg[d] += v[d]
 		}
 	}
-	// Degraded intervals are divided but never calibrated on: a coalesced
-	// or zone-incomplete row would poison the bin's fit (see Tick.Degraded).
-	if !t.Degraded {
-		b.rows = append(b.rows, agg)
-		b.targets = append(b.targets, float64(t.MachinePower))
-	}
-	if len(b.rows) < m.cfg.MinSamples {
+	if !m.calibrate(b, agg, t) {
 		return nil
-	}
-	// Refit periodically as the bin accumulates evidence.
-	if !b.fitted || len(b.rows)%m.cfg.MinSamples == 0 {
-		b.weights, b.scales = RidgeFit4(b.rows, b.targets, m.cfg.Ridge)
-		b.fitted = true
 	}
 
 	raw := make(map[string]float64, len(t.Procs))
 	var total float64
-	for _, id := range sortedIDs(t.Procs) {
+	for _, id := range ids {
 		v := t.Procs[id].Counters.Rate(t.Interval).Vector()
 		s := b.weights[0] * v[0] / b.scales[0]
 		if s < 0 {
@@ -129,12 +121,84 @@ func (m *SmartWatts) Observe(t Tick) map[string]units.Watts {
 	}
 	if total <= 0 {
 		weights := make(map[string]float64, len(t.Procs))
-		for id, p := range t.Procs {
-			weights[id] = p.CPUTime.Seconds()
+		for _, id := range ids {
+			weights[id] = t.Procs[id].CPUTime.Seconds()
 		}
-		return ShareOut(t.MachinePower, weights)
+		return ShareOutOrdered(t.MachinePower, ids, weights)
 	}
-	return ShareOut(t.MachinePower, raw)
+	return ShareOutOrdered(t.MachinePower, ids, raw)
+}
+
+// calibrate feeds one aggregate row into the bin and reports whether the
+// bin is warm enough to estimate.
+func (m *SmartWatts) calibrate(b *swBin, agg [4]float64, t Tick) bool {
+	// Degraded intervals are divided but never calibrated on: a coalesced
+	// or zone-incomplete row would poison the bin's fit (see Tick.Degraded).
+	if !t.Degraded {
+		b.rows = append(b.rows, agg)
+		b.targets = append(b.targets, float64(t.MachinePower))
+	}
+	if len(b.rows) < m.cfg.MinSamples {
+		return false
+	}
+	// Refit periodically as the bin accumulates evidence.
+	if !b.fitted || len(b.rows)%m.cfg.MinSamples == 0 {
+		b.weights, b.scales = RidgeFit4(b.rows, b.targets, m.cfg.Ridge)
+		b.fitted = true
+	}
+	return true
+}
+
+// ObserveInto is Observe on a dense tick, writing shares by roster slot.
+func (m *SmartWatts) ObserveInto(t Tick, out []units.Watts) bool {
+	running := 0
+	for i := range t.Samples {
+		if t.Samples[i].Present() {
+			running++
+		}
+	}
+	if running == 0 {
+		return false
+	}
+	b := m.bin(t.Freq)
+
+	var agg [4]float64
+	for i := range t.Samples {
+		if !t.Samples[i].Present() {
+			continue
+		}
+		v := t.Samples[i].Counters.Rate(t.Interval).Vector()
+		for d := range agg {
+			agg[d] += v[d]
+		}
+	}
+	if !m.calibrate(b, agg, t) {
+		return false
+	}
+
+	var total float64
+	for i, p := range t.Samples {
+		out[i] = 0
+		if !p.Present() {
+			continue
+		}
+		v := p.Counters.Rate(t.Interval).Vector()
+		s := b.weights[0] * v[0] / b.scales[0]
+		if s < 0 {
+			s = 0
+		}
+		out[i] = units.Watts(s)
+		total += s
+	}
+	if total <= 0 {
+		for i, p := range t.Samples {
+			out[i] = 0
+			if p.Present() {
+				out[i] = units.Watts(p.CPUTime.Seconds())
+			}
+		}
+	}
+	return ShareOutInto(t.MachinePower, out)
 }
 
 // WarmBins reports how many frequency bins have usable calibrations —

@@ -111,7 +111,7 @@ func EvaluatePairMulti(ctx Context, s Scenario, factory models.Factory, baseline
 	if err != nil {
 		return nil, err
 	}
-	evs, err := scoreRun(ctx, s, run, models.RunTicks(run), factory, truths)
+	evs, err := scoreRun(ctx, s, run, models.RunTicksDense(run), factory, truths)
 	if err == nil {
 		done()
 	}
@@ -175,28 +175,36 @@ func scenarioRun(ctx Context, s Scenario) (*machine.Run, error) {
 
 // scoreRun is protocol phase 3 for one model on an already-simulated
 // scenario run: the model replays the run's observations (ticks, the run's
-// pre-converted model inputs — shared across models scoring the same run)
-// and Eq 5 scores its estimates against each objective's truth shares
+// pre-converted dense model inputs — shared across models scoring the same
+// run) and Eq 5 scores its estimates against each objective's truth shares
 // (index-aligned with the returned evaluations).
+//
+// The whole phase is columnar: the replay writes into one estimate slab,
+// the scored ticks are column views of it, and the truths are projected
+// onto the run's roster once per objective. Slot order is sorted-ID order,
+// so every floating-point accumulation matches the map pipeline bit for
+// bit (the golden equivalence test pins this).
 func scoreRun(ctx Context, s Scenario, run *machine.Run, ticks []models.Tick, factory models.Factory, truths []division.Shares) ([]Evaluation, error) {
 	model := factory.New(deriveSeed(ctx.Seed, "model", factory.Name, s.Label()))
-	ests := models.ReplayTicks(model, ticks)
+	est := models.ReplayDense(model, ticks)
 
-	from, to := stableScoringWindow(ctx, run, ests)
+	from, to := stableScoringWindow(ctx, run, est.OK)
 	if to <= from {
 		return nil, fmt.Errorf("protocol: scenario %q: model %s produced no estimates", s.Label(), factory.Name)
 	}
-	scoredEsts := make([]map[string]units.Watts, 0, len(run.Ticks))
+	rosterIDs := run.Roster.IDs()
+	scoredEsts := make([][]units.Watts, 0, len(run.Ticks))
 	scoredPower := make([]units.Watts, 0, len(run.Ticks))
-	meanEst := map[string]float64{}
+	meanEst := make([]float64, len(rosterIDs))
 	for i, rec := range run.Ticks {
-		if rec.At < from || rec.At >= to || ests[i] == nil {
+		if rec.At < from || rec.At >= to || !est.OK[i] {
 			continue
 		}
-		scoredEsts = append(scoredEsts, ests[i])
+		row := est.Row(i)
+		scoredEsts = append(scoredEsts, row)
 		scoredPower = append(scoredPower, rec.Power)
-		for id, w := range ests[i] {
-			meanEst[id] += float64(w)
+		for slot, w := range row {
+			meanEst[slot] += float64(w)
 		}
 	}
 	var meanPower float64
@@ -204,16 +212,17 @@ func scoreRun(ctx Context, s Scenario, run *machine.Run, ticks []models.Tick, fa
 		meanPower += float64(p)
 	}
 	estShare := division.Shares{}
-	for id, sum := range meanEst {
-		if meanPower > 0 {
-			estShare[id] = sum / meanPower
+	if meanPower > 0 {
+		for slot, sum := range meanEst {
+			estShare[rosterIDs[slot]] = sum / meanPower
 		}
 	}
 
 	out := make([]Evaluation, len(truths))
 	for i, truth := range truths {
 		ev := Evaluation{Scenario: s, Model: factory.Name, Truth: truth, EstShare: estShare}
-		ae, err := division.AbsoluteError(scoredEsts, scoredPower, division.ConstShares(len(scoredEsts), truth))
+		tv := truth.Vector(rosterIDs)
+		ae, err := division.AbsoluteErrorColumns(scoredEsts, scoredPower, division.ConstVectors(len(scoredEsts), tv))
 		if err != nil {
 			return nil, fmt.Errorf("protocol: scenario %q: %w", s.Label(), err)
 		}
@@ -442,7 +451,7 @@ func EvaluateModels(ctx Context, scenarios []Scenario, factories func(map[string
 				return err
 			}
 			if ticks == nil {
-				ticks = models.RunTicks(run)
+				ticks = models.RunTicksDense(run)
 			}
 			evs, err := scoreRun(ctx, s, run, ticks, f, truths)
 			if err != nil {

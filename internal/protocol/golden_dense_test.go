@@ -1,0 +1,193 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/division"
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+	"powerdiv/internal/units"
+)
+
+// scoreRunMapReference is the pre-columnar phase 3 pipeline, kept verbatim
+// as the golden reference: map-view replay, nil-map coverage, map-keyed
+// mean estimates and division.AbsoluteError over map shares. The dense
+// scoreRun must reproduce it bit for bit.
+func scoreRunMapReference(ctx Context, s Scenario, run *machine.Run, factory models.Factory, truths []division.Shares) ([]Evaluation, error) {
+	model := factory.New(deriveSeed(ctx.Seed, "model", factory.Name, s.Label()))
+	ests := models.ReplayTicks(model, models.RunTicks(run))
+
+	ok := make([]bool, len(ests))
+	for i, est := range ests {
+		ok[i] = est != nil
+	}
+	from, to := stableScoringWindow(ctx, run, ok)
+	if to <= from {
+		return nil, fmt.Errorf("protocol: scenario %q: model %s produced no estimates", s.Label(), factory.Name)
+	}
+	scoredEsts := make([]map[string]units.Watts, 0, len(run.Ticks))
+	scoredPower := make([]units.Watts, 0, len(run.Ticks))
+	meanEst := map[string]float64{}
+	for i, rec := range run.Ticks {
+		if rec.At < from || rec.At >= to || ests[i] == nil {
+			continue
+		}
+		scoredEsts = append(scoredEsts, ests[i])
+		scoredPower = append(scoredPower, rec.Power)
+		for id, w := range ests[i] {
+			meanEst[id] += float64(w)
+		}
+	}
+	var meanPower float64
+	for _, p := range scoredPower {
+		meanPower += float64(p)
+	}
+	estShare := division.Shares{}
+	for id, sum := range meanEst {
+		if meanPower > 0 {
+			estShare[id] = sum / meanPower
+		}
+	}
+
+	out := make([]Evaluation, len(truths))
+	for i, truth := range truths {
+		ev := Evaluation{Scenario: s, Model: factory.Name, Truth: truth, EstShare: estShare}
+		ae, err := division.AbsoluteError(scoredEsts, scoredPower, division.ConstShares(len(scoredEsts), truth))
+		if err != nil {
+			return nil, fmt.Errorf("protocol: scenario %q: %w", s.Label(), err)
+		}
+		ev.AE = ae
+		ev.ScoredTicks = len(scoredEsts)
+		if len(s.Apps) == 2 {
+			id0, id1 := s.Apps[0].ID, s.Apps[1].ID
+			ev.Point = division.RatioPoint{
+				X:     division.RatioPercent(truth[id0], truth[id1]),
+				Y:     division.RatioPercent(estShare[id0], estShare[id1]),
+				Label: s.Label(),
+			}
+		}
+		out[i] = ev
+	}
+	return out, nil
+}
+
+func goldenContext(spec cpumodel.Spec, hyperthreading bool) Context {
+	cfg := machine.Config{Spec: spec, NoiseStddev: 0.25, Hyperthreading: hyperthreading, Turbo: hyperthreading}
+	ctx := DefaultContext(cfg)
+	ctx.RunFor = 12 * time.Second
+	ctx.StableWindow = 5 * time.Second
+	ctx.Seed = 11
+	return ctx
+}
+
+func goldenFactories(baselines map[string]division.Baseline, spec cpumodel.Spec) []models.Factory {
+	perCore := map[string]units.Watts{}
+	for id, b := range baselines {
+		perCore[id] = b.ActivePerCore()
+	}
+	return []models.Factory{
+		models.NewScaphandre(),
+		models.NewKepler(),
+		models.NewPowerAPI(models.DefaultPowerAPIConfig()),
+		models.NewSmartWatts(models.DefaultSmartWattsConfig()),
+		models.NewF2(perCore),
+		models.NewResidualAwareFromSpec(spec),
+		models.NewOracle(),
+	}
+}
+
+// TestDenseScoringMatchesMapReference pins the tentpole equivalence: on
+// both machines, every model's evaluation from the columnar pipeline is
+// bit-identical (not merely close) to the retired map pipeline's.
+func TestDenseScoringMatchesMapReference(t *testing.T) {
+	specs := []struct {
+		spec cpumodel.Spec
+		ht   bool
+	}{
+		{cpumodel.SmallIntel(), false},
+		{cpumodel.Dahu(), true},
+	}
+	for _, sp := range specs {
+		t.Run(sp.spec.Name, func(t *testing.T) {
+			ctx := goldenContext(sp.spec, sp.ht)
+			a0, err := StressApp("fibonacci", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a1, err := StressApp("matrixprod", 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := StressApp("int64", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scenarios := []Scenario{
+				{Apps: []AppSpec{a0, a1}},
+				{Apps: []AppSpec{a1, a2}},
+				{Apps: []AppSpec{a0, a1, a2}},
+			}
+			baselines, err := MeasureBaselines(ctx, AppsOf(scenarios))
+			if err != nil {
+				t.Fatal(err)
+			}
+			objectives := []Objective{ObjectiveActive, ObjectiveResidualAware}
+			for _, s := range scenarios {
+				truths, err := scenarioTruths(s, baselines, objectives, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run, err := scenarioRun(ctx, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range goldenFactories(baselines, sp.spec) {
+					want, wantErr := scoreRunMapReference(ctx, s, run, f, truths)
+					got, gotErr := scoreRun(ctx, s, run, models.RunTicksDense(run), f, truths)
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("%s on %q: map err %v, dense err %v", f.Name, s.Label(), wantErr, gotErr)
+					}
+					if wantErr != nil {
+						continue
+					}
+					for i := range want {
+						compareEvaluations(t, f.Name, s, want[i], got[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func compareEvaluations(t *testing.T, model string, s Scenario, want, got Evaluation) {
+	t.Helper()
+	label := fmt.Sprintf("%s on %q", model, s.Label())
+	if math.Float64bits(want.AE) != math.Float64bits(got.AE) {
+		t.Errorf("%s: AE %v (map) != %v (dense)", label, want.AE, got.AE)
+	}
+	if want.ScoredTicks != got.ScoredTicks {
+		t.Errorf("%s: ScoredTicks %d != %d", label, want.ScoredTicks, got.ScoredTicks)
+	}
+	// The dense pipeline reports a (zero) share for every roster process;
+	// the map pipeline only for estimated ones. Where both define a share
+	// the values must be bit-identical, and dense extras must be zero.
+	for id, w := range want.EstShare {
+		g, ok := got.EstShare[id]
+		if !ok || math.Float64bits(w) != math.Float64bits(g) {
+			t.Errorf("%s: EstShare[%s] %v != %v", label, id, w, g)
+		}
+	}
+	for id, g := range got.EstShare {
+		if _, ok := want.EstShare[id]; !ok && g != 0 {
+			t.Errorf("%s: dense EstShare[%s] = %v for unestimated process", label, id, g)
+		}
+	}
+	if math.Float64bits(want.Point.X) != math.Float64bits(got.Point.X) ||
+		math.Float64bits(want.Point.Y) != math.Float64bits(got.Point.Y) {
+		t.Errorf("%s: Point (%v,%v) != (%v,%v)", label, want.Point.X, want.Point.Y, got.Point.X, got.Point.Y)
+	}
+}

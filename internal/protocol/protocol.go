@@ -119,14 +119,17 @@ func MeasureBaseline(ctx Context, app AppSpec) (division.Baseline, *machine.Run,
 	var total, residIdle, cores float64
 	var n int
 	tick := run.Tick()
+	slot, hasSlot := run.Roster.Slot(app.ID)
 	for _, rec := range run.Ticks {
 		if rec.At < from || rec.At >= to {
 			continue
 		}
 		total += float64(rec.TruePower)
 		residIdle += float64(rec.Idle + rec.Residual)
-		if pt, ok := rec.Procs[app.ID]; ok {
-			cores += pt.CPUTime.Utilization(tick)
+		if hasSlot {
+			if pt := rec.Procs[slot]; pt.Present() {
+				cores += pt.CPUTime.Utilization(tick)
+			}
 		}
 		n++
 	}
@@ -212,13 +215,13 @@ func deriveSeed(seed int64, parts ...string) int64 {
 
 // stableScoringWindow picks the scoring window: the least-extreme
 // StableWindow of the power series restricted to ticks where the model
-// produced estimates. A non-positive StableWindow disables the selection
-// and scores every estimated tick (the ablation baseline). It returns the
-// inclusive start and exclusive end.
-func stableScoringWindow(ctx Context, run *machine.Run, ests []map[string]units.Watts) (time.Duration, time.Duration) {
+// produced estimates (ok[i], index-aligned with run.Ticks). A non-positive
+// StableWindow disables the selection and scores every estimated tick (the
+// ablation baseline). It returns the inclusive start and exclusive end.
+func stableScoringWindow(ctx Context, run *machine.Run, ok []bool) (time.Duration, time.Duration) {
 	scored := trace.New()
 	for i, rec := range run.Ticks {
-		if ests[i] != nil {
+		if ok[i] {
 			scored.Append(rec.At, float64(rec.Power))
 		}
 	}

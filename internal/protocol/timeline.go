@@ -63,30 +63,37 @@ func EvaluateTimeline(ctx Context, apps []TimelineApp, factory models.Factory, b
 		return res, fmt.Errorf("protocol: timeline: %w", err)
 	}
 	model := factory.New(deriveSeed(ctx.Seed, "model", factory.Name, label))
-	ests := models.Replay(model, run)
+	est := models.ReplayDense(model, models.RunTicksDense(run))
 
-	var scoredEsts []map[string]units.Watts
+	rosterIDs := run.Roster.IDs()
+	var scoredEsts [][]units.Watts
 	var scoredPower []units.Watts
-	var truths []division.Shares
-	for i, rec := range run.Ticks {
-		if len(rec.Procs) == 0 {
+	var truths [][]float64
+	bs := make([]division.Baseline, 0, len(rosterIDs))
+	for i := range run.Ticks {
+		rec := &run.Ticks[i]
+		// The per-tick objective covers exactly the applications present;
+		// roster order keeps the baseline list deterministic.
+		bs = bs[:0]
+		for slot, id := range rosterIDs {
+			if rec.Procs[slot].Present() {
+				bs = append(bs, baselines[id])
+			}
+		}
+		if len(bs) == 0 {
 			continue
 		}
 		res.BusyTicks++
-		if ests[i] == nil {
+		if !est.OK[i] {
 			continue
-		}
-		bs := make([]division.Baseline, 0, len(rec.Procs))
-		for id := range rec.Procs {
-			bs = append(bs, baselines[id])
 		}
 		truth := division.TruthShares(bs)
 		if truth == nil {
 			continue
 		}
-		scoredEsts = append(scoredEsts, ests[i])
+		scoredEsts = append(scoredEsts, est.Row(i))
 		scoredPower = append(scoredPower, rec.Power)
-		truths = append(truths, truth)
+		truths = append(truths, truth.Vector(rosterIDs))
 	}
 	if res.BusyTicks == 0 {
 		return res, fmt.Errorf("protocol: timeline never ran any application")
@@ -94,7 +101,7 @@ func EvaluateTimeline(ctx Context, apps []TimelineApp, factory models.Factory, b
 	res.ScoredTicks = len(scoredEsts)
 	res.Coverage = float64(res.ScoredTicks) / float64(res.BusyTicks)
 	if res.ScoredTicks > 0 {
-		ae, err := division.AbsoluteError(scoredEsts, scoredPower, truths)
+		ae, err := division.AbsoluteErrorColumns(scoredEsts, scoredPower, truths)
 		if err != nil {
 			return res, err
 		}

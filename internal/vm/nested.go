@@ -144,7 +144,7 @@ func NestedDivision(run *machine.Run, host, guest models.Factory, seed int64) ([
 	out := make([]NestedTick, len(run.Ticks))
 	for i, rec := range run.Ticks {
 		nt := NestedTick{At: rec.At}
-		full := models.TickFromRecord(rec, run.Tick(), logical)
+		full := models.TickFromRecord(rec, run.Roster, run.Tick(), logical)
 
 		// Host view: one aggregate sample per VM.
 		hostTick := models.Tick{

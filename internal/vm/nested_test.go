@@ -166,8 +166,11 @@ func TestNestedDivisionGuestRatios(t *testing.T) {
 		t.Errorf("CPU-time guest division fib %.2f != mat %.2f", fib, mat)
 	}
 	// Ground truth differs: matrixprod's cores draw more.
-	truthFib := float64(run.Ticks[len(run.Ticks)-1].Procs["vm0/fib"].ActivePower)
-	truthMat := float64(run.Ticks[len(run.Ticks)-1].Procs["vm0/mat"].ActivePower)
+	lastIdx := len(run.Ticks) - 1
+	fibPT, _ := run.ProcAt(lastIdx, "vm0/fib")
+	matPT, _ := run.ProcAt(lastIdx, "vm0/mat")
+	truthFib := float64(fibPT.ActivePower)
+	truthMat := float64(matPT.ActivePower)
 	if truthFib >= truthMat {
 		t.Errorf("ground truth fib %.2f not below mat %.2f", truthFib, truthMat)
 	}
@@ -182,13 +185,17 @@ func TestNestedDivisionOracleIsExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	last := ticks[len(ticks)-1]
-	rec := run.Ticks[len(run.Ticks)-1]
+	lastIdx := len(run.Ticks) - 1
+	rec := run.Ticks[lastIdx]
 	var totalActive float64
 	for _, pt := range rec.Procs {
-		totalActive += float64(pt.ActivePower)
+		if pt.Present() {
+			totalActive += float64(pt.ActivePower)
+		}
 	}
 	for id, got := range last.PerGuest {
-		want := float64(rec.Power) * float64(rec.Procs[id].ActivePower) / totalActive
+		pt, _ := run.ProcAt(lastIdx, id)
+		want := float64(rec.Power) * float64(pt.ActivePower) / totalActive
 		if math.Abs(float64(got)-want) > 1e-6 {
 			t.Errorf("%s = %v, want %.3f", id, got, want)
 		}
