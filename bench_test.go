@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -285,24 +287,110 @@ func BenchmarkFig13CompressCloverleaf(b *testing.B) {
 }
 
 // BenchmarkLabErrorTable regenerates the §IV-A error summary on both
-// machines with all models (the paper's headline numbers). The run cache is
-// warm after the first iteration, so steady-state numbers measure the
-// memoized campaign — the configuration campaigns actually run in.
+// machines with all models (the paper's headline numbers) through the
+// streaming pipeline — the configuration the CLIs run in. Each iteration
+// simulates every scenario once and feeds all models from the live tick
+// stream; only baseline digests are cached, so B/op and the reported
+// peak-heap-bytes watermark measure the bounded-memory property.
 func BenchmarkLabErrorTable(b *testing.B) {
+	benchLabErrorTable(b, experiments.LabEvaluationStreaming)
+}
+
+// BenchmarkLabErrorTableMaterialized is the same campaign through the
+// materialized pipeline: full runs are simulated, retained and replayed
+// from the memoization cache (warm after the first iteration). It pins the
+// cost of the run-retaining path that timeline and profile consumers use.
+func BenchmarkLabErrorTableMaterialized(b *testing.B) {
+	benchLabErrorTable(b, experiments.LabEvaluation)
+}
+
+func benchLabErrorTable(b *testing.B, evaluate func(protocol.Context, ...models.Factory) (map[string]experiments.ScatterResult, error)) {
 	for _, spec := range cpumodel.Specs() {
 		b.Run(slug(spec.Name), func(b *testing.B) {
 			ctx := experiments.LabContext(spec, benchSeed)
 			nScenarios := labScenarioCount(b, ctx)
+			b.ReportAllocs()
+			stopWatermark := startHeapWatermark()
+			b.ResetTimer()
 			var results map[string]experiments.ScatterResult
 			for i := 0; i < b.N; i++ {
 				var err error
-				results, err = experiments.LabEvaluation(ctx, models.NewKepler(), models.NewOracle())
+				results, err = evaluate(ctx, models.NewKepler(), models.NewOracle())
 				if err != nil {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			b.ReportMetric(stopWatermark(), "peak-heap-bytes")
 			b.ReportMetric(float64(nScenarios)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/sec")
 			writeResult(b, experiments.ErrorTable(spec.Name, results), "errors-"+slug(spec.Name))
+		})
+	}
+}
+
+// startHeapWatermark samples the live heap in the background and returns a
+// stop function yielding the high-water HeapAlloc in bytes. The sampler is
+// coarse (stop-the-world reads every 100 ms — frequent enough to catch a
+// campaign that retains hundreds of megabytes of runs, rare enough not to
+// perturb the timed loop), so the watermark separates a pipeline retaining
+// full runs from one that keeps compact digests, not exact peaks.
+func startHeapWatermark() (stop func() float64) {
+	runtime.GC()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var peak uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+	return func() float64 {
+		close(done)
+		wg.Wait()
+		return float64(peak)
+	}
+}
+
+// BenchmarkCampaignParallel measures the scenario-parallel campaign at a
+// ladder of worker counts (EvaluateCampaignParallel hands scenarios to a
+// GOMAXPROCS-wide pool). On a single-core runner the ladder still
+// exercises the pool dispatch path at width 2; on wider machines it shows
+// the scaling headroom.
+func BenchmarkCampaignParallel(b *testing.B) {
+	ctx := experiments.LabContext(cpumodel.SmallIntel(), benchSeed)
+	scenarios, err := protocol.StressPairs(workload.StressNames(), protocol.SizesFor(ctx.Machine))
+	if err != nil {
+		b.Fatal(err)
+	}
+	widths := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		widths = append(widths, n)
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(w)
+			defer runtime.GOMAXPROCS(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := protocol.EvaluateCampaignParallel(ctx, scenarios, models.NewScaphandre(), protocol.ObjectiveActive, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(scenarios))*float64(b.N)/b.Elapsed().Seconds(), "scenarios/sec")
 		})
 	}
 }

@@ -30,9 +30,11 @@ import (
 )
 
 // defaultBench selects the campaign-speed benchmarks: the §IV-A error-table
-// regeneration, the memoization on/off comparison, the raw simulator
-// stepping cost, and the allocation-pinning columnar-pipeline benchmarks.
-const defaultBench = "BenchmarkLabErrorTable|BenchmarkCampaignMemoization|BenchmarkSimulatorTick|BenchmarkRunTicks|BenchmarkReplayDense|BenchmarkShareOut"
+// regeneration (streaming, plus its materialized counterpart via the
+// substring match), the worker-width sweep, the memoization on/off
+// comparison, the raw simulator stepping cost, and the allocation-pinning
+// columnar-pipeline benchmarks.
+const defaultBench = "BenchmarkLabErrorTable|BenchmarkCampaignParallel|BenchmarkCampaignMemoization|BenchmarkSimulatorTick|BenchmarkRunTicks|BenchmarkReplayDense|BenchmarkShareOut"
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -137,13 +139,15 @@ type diffLine struct {
 }
 
 // diffReports compares the current run against a baseline, benchmark by
-// benchmark: ns/op, B/op and allocs/op regress upward, custom metrics
-// (scenarios/sec) regress downward. Benchmarks present on only one side
-// are reported but never fail the diff. allocOnly restricts the failure
-// gate to B/op and allocs/op — the metrics that stay deterministic at one
-// iteration — while still reporting every delta (the smoke wiring uses it;
-// timing at -benchtime 1x swings by orders of magnitude on sub-microsecond
-// benchmarks).
+// benchmark. Cost metrics regress upward: ns/op, B/op, allocs/op, and any
+// custom metric that is not a rate (peak-heap-bytes). Throughput metrics —
+// custom metrics whose unit contains "/sec", like scenarios/sec — regress
+// downward. Benchmarks present on only one side are reported but never fail
+// the diff. allocOnly restricts the failure gate to the metrics that stay
+// deterministic at one iteration — B/op and allocs/op, plus custom cost
+// metrics like the heap watermark — while still reporting every delta (the
+// smoke wiring uses it; timing and rates at -benchtime 1x swing by orders
+// of magnitude on sub-microsecond benchmarks).
 func diffReports(baseline, current Report, thresholdPct float64, allocOnly bool) []diffLine {
 	base := map[string]Result{}
 	for _, r := range baseline.Benchmarks {
@@ -178,9 +182,19 @@ func diffReports(baseline, current Report, thresholdPct float64, allocOnly bool)
 				continue
 			}
 			pct := deltaPct(old, cur)
+			regressed := false
+			if strings.Contains(unit, "/sec") {
+				// A rate: lower is worse, and like ns/op it is only
+				// meaningful with real iteration counts.
+				regressed = !allocOnly && pct < -thresholdPct
+			} else {
+				// A cost (e.g. peak-heap-bytes): higher is worse, and like
+				// B/op it stays comparable even in one-iteration smoke runs.
+				regressed = pct > thresholdPct
+			}
 			out = append(out, diffLine{
 				bench: r.Name, metric: unit, old: old, cur: cur,
-				pct: pct, regressed: !allocOnly && pct < -thresholdPct,
+				pct: pct, regressed: regressed,
 			})
 		}
 	}

@@ -78,6 +78,7 @@ func main() {
 	csvDir := flag.String("csv-dir", "", "write per-model point CSVs into this directory")
 	asJSON := flag.Bool("json", false, "emit the results as JSON instead of tables")
 	memo := flag.Bool("memo", true, "memoize solo/pair simulation runs")
+	streaming := flag.Bool("streaming", true, "run the fused streaming pipeline (bounded memory, bit-identical results)")
 	memoStats := flag.Bool("memo-stats", false, "print run cache statistics after the campaign")
 	metrics := flag.Bool("metrics", false, "print the internal metrics summary after the campaign")
 	flag.Parse()
@@ -104,7 +105,11 @@ func main() {
 		fmt.Printf("protocol campaign on %s (%s context), sizes %v\n\n",
 			spec.Name, *context, protocol.SizesFor(ctx.Machine))
 	}
-	results, err := experiments.LabEvaluation(ctx, models.NewKepler(), models.NewOracle())
+	evaluate := experiments.LabEvaluation
+	if *streaming {
+		evaluate = experiments.LabEvaluationStreaming
+	}
+	results, err := evaluate(ctx, models.NewKepler(), models.NewOracle())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -130,6 +135,8 @@ func main() {
 	if *memoStats {
 		st := protocol.MemoizationStats()
 		fmt.Printf("\nrun cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+		fmt.Printf("summary tier: %d entries, %d/%d bytes, %d evictions\n",
+			st.SummaryEntries, st.SummaryBytes, st.SummaryByteLimit, st.Evictions)
 	}
 	if *csvDir != "" {
 		for name, r := range results {

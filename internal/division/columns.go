@@ -61,6 +61,37 @@ func AbsoluteErrorColumns(ests [][]units.Watts, power []units.Watts, truths [][]
 	return sum / float64(n), nil
 }
 
+// AbsoluteErrorColumnsConst is AbsoluteErrorColumns with the same truth
+// vector at every tick — the common campaign case, where the objective is
+// fixed per scenario. It is exactly AbsoluteErrorColumns over
+// ConstVectors(len(ests), truth) without materialising the replicated
+// pointer slice: same slot visit order, same accumulation order, same
+// result bit for bit.
+func AbsoluteErrorColumnsConst(ests [][]units.Watts, power []units.Watts, truth []float64) (float64, error) {
+	if len(ests) != len(power) {
+		return 0, fmt.Errorf("division: mismatched lengths %d/%d/%d", len(ests), len(power), len(ests))
+	}
+	var sum float64
+	var n int
+	for i, est := range ests {
+		if est == nil || truth == nil || power[i] <= 0 {
+			continue
+		}
+		for slot, share := range truth {
+			if share < 0 {
+				continue
+			}
+			ce := est[slot] // a zero column entry counts as 0, an attribution error
+			sum += absf(float64(ce)/float64(power[i]) - share)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, ErrEmptyScoring
+	}
+	return sum / float64(n), nil
+}
+
 // ConstVectors replicates one truth vector across n ticks — the dense
 // counterpart of ConstShares.
 func ConstVectors(n int, v []float64) [][]float64 {

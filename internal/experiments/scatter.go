@@ -110,6 +110,19 @@ func RatioScatter(ctx protocol.Context, factory models.Factory) (ScatterResult, 
 // phase 1 baselines. It returns one ScatterResult per model, keyed by
 // model name.
 func LabEvaluation(ctx protocol.Context, extra ...models.Factory) (map[string]ScatterResult, error) {
+	return labEvaluation(ctx, false, extra...)
+}
+
+// LabEvaluationStreaming is LabEvaluation on the fused streaming pipeline
+// (protocol.EvaluateModelsStreaming): bit-identical error tables with
+// bounded memory — each scenario is simulated once and never materialized.
+// The CLIs default to it; the materialized form remains for callers that
+// also want the cached runs (timelines, profiles).
+func LabEvaluationStreaming(ctx protocol.Context, extra ...models.Factory) (map[string]ScatterResult, error) {
+	return labEvaluation(ctx, true, extra...)
+}
+
+func labEvaluation(ctx protocol.Context, streaming bool, extra ...models.Factory) (map[string]ScatterResult, error) {
 	scenarios, err := protocol.StressPairs(stressNames(), protocol.SizesFor(ctx.Machine))
 	if err != nil {
 		return nil, err
@@ -124,7 +137,11 @@ func LabEvaluation(ctx protocol.Context, extra ...models.Factory) (map[string]Sc
 		fs = append(fs, models.NewF2(perCore))
 		return fs
 	}
-	byModel, err := protocol.EvaluateModels(ctx, scenarios, factories, protocol.ObjectiveActive, 0)
+	evaluate := protocol.EvaluateModels
+	if streaming {
+		evaluate = protocol.EvaluateModelsStreaming
+	}
+	byModel, err := evaluate(ctx, scenarios, factories, protocol.ObjectiveActive, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -13,8 +13,6 @@ package machine
 import (
 	"errors"
 	"fmt"
-	"math/rand"
-	"sort"
 	"time"
 
 	"powerdiv/internal/cpumodel"
@@ -209,73 +207,36 @@ func (r *Run) ProcAt(i int, id string) (ProcTick, bool) {
 // The run ends early when every process has finished. It returns
 // ErrContention (wrapped) if at any tick the processes demand more logical
 // CPUs than the machine exposes.
+//
+// Simulate is a collector over Stream: it preallocates the whole run up
+// front (one TickRecord slice and one ProcTick slab that every tick's
+// column is carved from) and copies each streamed tick in, so callers that
+// need the full series keep the columnar layout while streaming consumers
+// skip the materialisation entirely.
 func Simulate(cfg Config, procs []Proc, maxDur time.Duration) (*Run, error) {
-	if err := cfg.Spec.Validate(); err != nil {
+	run := &Run{Config: cfg}
+	n := len(procs)
+	maxTicks := int(maxDur/cfg.tick()) + 1
+	if maxTicks < 0 {
+		maxTicks = 0
+	}
+	run.Ticks = make([]TickRecord, 0, maxTicks)
+	slab := make([]ProcTick, maxTicks*n)
+	info, err := Stream(cfg, procs, maxDur, func(rec *TickRecord) error {
+		col := slab[:n:n]
+		slab = slab[n:]
+		copy(col, rec.Procs)
+		r := *rec
+		r.Procs = col
+		run.Ticks = append(run.Ticks, r)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if maxDur <= 0 {
-		return nil, fmt.Errorf("machine: non-positive duration %v", maxDur)
-	}
-	ids := map[string]bool{}
-	for _, p := range procs {
-		if err := p.Validate(cfg); err != nil {
-			return nil, err
-		}
-		if ids[p.ID] {
-			return nil, fmt.Errorf("machine: duplicate process ID %q", p.ID)
-		}
-		ids[p.ID] = true
-	}
-	// Deterministic scheduling order regardless of caller's slice order.
-	ordered := append([]Proc(nil), procs...)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
-
-	tick := cfg.tick()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	run := &Run{Config: cfg, ProcEnd: map[string]time.Duration{}}
-	phys := cfg.Spec.Topology.PhysicalCores()
-	nCPU := cfg.schedulableCPUs()
-	maxTicks := int(maxDur/tick) + 1
-	run.Ticks = make([]TickRecord, 0, maxTicks)
-	// The roster's slot order is the sorted scheduling order, so a
-	// process's slot is its index in ordered.
-	rosterIDs := make([]string, len(ordered))
-	for i, p := range ordered {
-		rosterIDs[i] = p.ID
-	}
-	run.Roster = NewRoster(rosterIDs)
-	// One slab holds every tick's Procs column; stepTick fills one
-	// len(ordered) slice of it per tick instead of allocating a map.
-	slab := make([]ProcTick, maxTicks*len(ordered))
-	var sc tickScratch
-
-	for t := time.Duration(0); t < maxDur; t += tick {
-		col := slab[:len(ordered):len(ordered)]
-		slab = slab[len(ordered):]
-		rec, active, err := stepTick(cfg, ordered, t, tick, phys, nCPU, run.ProcEnd, &sc, col)
-		if err != nil {
-			return nil, fmt.Errorf("%w at t=%v", err, t)
-		}
-		if cfg.NoiseStddev > 0 {
-			rec.Power = units.Watts(float64(rec.Power) + rng.NormFloat64()*float64(cfg.NoiseStddev))
-		}
-		run.Ticks = append(run.Ticks, rec)
-		run.Duration = t + tick
-		if !active && allStarted(ordered, t) {
-			break
-		}
-	}
-	for _, p := range ordered {
-		if _, done := run.ProcEnd[p.ID]; !done {
-			run.ProcEnd[p.ID] = run.Duration
-		}
-	}
-	obsRuns.Inc()
-	n := uint64(len(run.Ticks))
-	obsTicksSimulated.Add(n)
-	if n >= sc.grownTicks {
-		obsScratchReused.Add(n - sc.grownTicks)
-	}
+	run.Roster = info.Roster
+	run.Duration = info.Duration
+	run.ProcEnd = info.ProcEnd
 	return run, nil
 }
 
@@ -289,9 +250,11 @@ func allStarted(procs []Proc, t time.Duration) bool {
 	return true
 }
 
-// threadPlacement is one busy thread's slot for a tick.
+// threadPlacement is one busy thread's slot for a tick. It is deliberately
+// pointer-free: the placement buffer is appended to for every busy thread
+// of every tick, and a pointer field would drag a write barrier into each
+// of those stores. The slot index reaches the process via procs[slot].
 type threadPlacement struct {
-	proc *Proc
 	// slot is the process's roster slot (its index in the sorted
 	// scheduling order), used to write the tick's dense Procs column.
 	slot int
@@ -305,7 +268,6 @@ type threadPlacement struct {
 // all-or-nothing per process (Proc.Validate), so demand is a pin list plus
 // an unpinned-thread count rather than a per-thread record.
 type procDemand struct {
-	proc *Proc
 	slot int
 	util float64
 	cost units.Watts
@@ -327,6 +289,22 @@ type tickScratch struct {
 	activePhys []bool
 	loads      []cpumodel.CoreLoad
 	perCore    []units.Watts
+	// costOn caches float64(Workload.CostOn(spec)) per roster slot — the
+	// value is constant for the whole run, and the map lookup behind CostOn
+	// is too hot to repeat every tick. Filled once on the run's first tick.
+	costOn []float64
+	// synth/synthSet memoise perfcnt.Synthesize per slot within one tick:
+	// every placement of a process shares the same util (hence CPU time)
+	// and the tick's frequency, so the synthesized counters are identical
+	// across a process's threads. The per-placement Add order is untouched,
+	// keeping the counter accumulation bit-identical.
+	synth    []perfcnt.Counters
+	synthSet []bool
+	// pickCore/pickAny are pickCPU's scan cursors, reset each tick. Busy
+	// bits are only ever set within a tick, so the lowest CPU satisfying
+	// either scan's predicate is nondecreasing and the scans never need to
+	// revisit earlier indices.
+	pickCore, pickAny int
 	// grownTicks counts ticks where a fixed-size buffer had to allocate.
 	// Simulate flushes it to the obs counters once per run, keeping the
 	// tick loop free of atomics.
@@ -341,6 +319,7 @@ func (sc *tickScratch) resetTick(nCPU, phys int) {
 	}
 	sc.demands = sc.demands[:0]
 	sc.placements = sc.placements[:0]
+	sc.pickCore, sc.pickAny = 0, 0
 	sc.cpuBusy = resetBools(sc.cpuBusy, nCPU)
 	sc.activePhys = resetBools(sc.activePhys, phys)
 	if cap(sc.loads) < nCPU {
@@ -375,6 +354,14 @@ func resetBools(b []bool, n int) []bool {
 // last process in ID order.
 func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, procEnd map[string]time.Duration, sc *tickScratch, col []ProcTick) (TickRecord, bool, error) {
 	sc.resetTick(nCPU, phys)
+	if sc.costOn == nil {
+		sc.costOn = make([]float64, len(procs))
+		for i := range procs {
+			sc.costOn[i] = float64(procs[i].Workload.CostOn(cfg.Spec.Name))
+		}
+		sc.synth = make([]perfcnt.Counters, len(procs))
+	}
+	sc.synthSet = resetBools(sc.synthSet, len(procs))
 
 	// Gather each running process's demand for this tick. procs is in
 	// sorted ID order, so index i is the process's roster slot.
@@ -397,10 +384,9 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 			threads = p.Threads
 		}
 		d := procDemand{
-			proc: p,
 			slot: i,
 			util: phase.Util * p.quota(),
-			cost: units.Watts(float64(p.Workload.CostOn(cfg.Spec.Name)) * phase.Intensity),
+			cost: units.Watts(sc.costOn[i] * phase.Intensity),
 		}
 		if p.Pinned != nil {
 			d.pins = p.Pinned[:threads]
@@ -411,29 +397,31 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 	}
 
 	// Pinned threads claim their CPUs first.
-	for _, d := range sc.demands {
+	for di := range sc.demands {
+		d := &sc.demands[di]
 		for _, pin := range d.pins {
 			if sc.cpuBusy[pin] {
 				return TickRecord{}, false, ErrContention
 			}
 			sc.cpuBusy[pin] = true
-			sc.placements = append(sc.placements, threadPlacement{proc: d.proc, slot: d.slot, cpu: pin, util: d.util, cost: d.cost})
+			sc.placements = append(sc.placements, threadPlacement{slot: d.slot, cpu: pin, util: d.util, cost: d.cost})
 		}
 	}
 	// Unpinned threads: round-robin across processes.
 	for round := 0; ; round++ {
 		progressed := false
-		for _, d := range sc.demands {
+		for di := range sc.demands {
+			d := &sc.demands[di]
 			if round >= d.unpinned {
 				continue
 			}
 			progressed = true
-			cpu, ok := pickCPU(sc.cpuBusy, phys)
+			cpu, ok := sc.pickCPU(phys)
 			if !ok {
 				return TickRecord{}, false, ErrContention
 			}
 			sc.cpuBusy[cpu] = true
-			sc.placements = append(sc.placements, threadPlacement{proc: d.proc, slot: d.slot, cpu: cpu, util: d.util, cost: d.cost})
+			sc.placements = append(sc.placements, threadPlacement{slot: d.slot, cpu: cpu, util: d.util, cost: d.cost})
 		}
 		if !progressed {
 			break
@@ -442,8 +430,8 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 
 	// Governor: frequency from the number of active physical cores.
 	nActive := 0
-	for _, pl := range sc.placements {
-		if c := pl.cpu % phys; !sc.activePhys[c] {
+	for pi := range sc.placements {
+		if c := sc.placements[pi].cpu % phys; !sc.activePhys[c] {
 			sc.activePhys[c] = true
 			nActive++
 		}
@@ -452,7 +440,8 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 
 	// Build per-logical-CPU loads. A logical CPU is an SMT sibling when it
 	// is the higher-numbered thread of a core whose other thread is busy.
-	for _, pl := range sc.placements {
+	for pi := range sc.placements {
+		pl := &sc.placements[pi]
 		sibling := false
 		if pl.cpu >= phys && sc.cpuBusy[pl.cpu-phys] {
 			sibling = true
@@ -477,13 +466,18 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 		Procs:     col,
 	}
 	rec.Power = rec.TruePower
-	for _, pl := range sc.placements {
+	for pi := range sc.placements {
+		pl := &sc.placements[pi]
 		pt := &col[pl.slot]
 		cpuTime := units.CPUTime(float64(tick) * pl.util)
 		pt.CPUTime += cpuTime
 		pt.ActivePower += bd.PerCore[pl.cpu]
 		pt.Threads++
-		pt.Counters = pt.Counters.Add(perfcnt.Synthesize(pl.proc.Workload.Mix, cpuTime, freq))
+		if !sc.synthSet[pl.slot] {
+			sc.synth[pl.slot] = perfcnt.Synthesize(procs[pl.slot].Workload.Mix, cpuTime, freq)
+			sc.synthSet[pl.slot] = true
+		}
+		pt.Counters = pt.Counters.Add(sc.synth[pl.slot])
 	}
 	return rec, len(sc.placements) > 0, nil
 }
@@ -499,15 +493,22 @@ func markEnd(procEnd map[string]time.Duration, id string, at time.Duration) {
 // (physical-first placement, like the Linux scheduler under low load).
 // Logical CPU numbering: 0..phys-1 are the first threads of each core,
 // phys..2·phys-1 their SMT siblings.
-func pickCPU(busy []bool, phys int) (int, bool) {
-	for c := 0; c < phys && c < len(busy); c++ {
+//
+// The scans resume from per-tick cursors instead of index 0: within a tick
+// busy bits are only ever set, so once an index fails a scan's predicate it
+// fails for the rest of the tick and the lowest passing index never moves
+// backwards. The picked CPU is identical to a full scan's.
+func (sc *tickScratch) pickCPU(phys int) (int, bool) {
+	busy := sc.cpuBusy
+	for ; sc.pickCore < phys && sc.pickCore < len(busy); sc.pickCore++ {
+		c := sc.pickCore
 		if !busy[c] && (c+phys >= len(busy) || !busy[c+phys]) {
 			return c, true
 		}
 	}
-	for c := range busy {
-		if !busy[c] {
-			return c, true
+	for ; sc.pickAny < len(busy); sc.pickAny++ {
+		if !busy[sc.pickAny] {
+			return sc.pickAny, true
 		}
 	}
 	return 0, false

@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"powerdiv/internal/units"
+)
+
+// TickInterval returns the simulation step the config resolves to
+// (DefaultTick when Tick is unset), so consumers sizing per-tick buffers
+// agree with the simulator on the tick count.
+func (c Config) TickInterval() time.Duration { return c.tick() }
+
+// StreamInfo summarises a streamed simulation: the roster the yielded
+// columns are indexed by, how many ticks ran, the covered duration, and
+// when each process finished (the paper's T_S^{P_i}).
+type StreamInfo struct {
+	Config Config
+	// Roster indexes the yielded Procs columns; slot order is sorted-ID
+	// order, exactly as in a materialised Run.
+	Roster   *Roster
+	Ticks    int
+	Duration time.Duration
+	ProcEnd  map[string]time.Duration
+}
+
+// Stream runs the scenario for at most maxDur, handing each tick to yield
+// as it is produced instead of materialising a Run — the O(ticks-in-flight)
+// entry point of the streaming campaign pipeline. The record passed to
+// yield, including its Procs column, is scratch owned by Stream and valid
+// only during the call; consumers must copy whatever they keep. Ticks
+// arrive in time order and are bit-identical to the records Simulate would
+// store (Simulate is a collector over Stream). A non-nil error from yield
+// aborts the run and is returned unwrapped; like Simulate, the run ends
+// early once every process has started and finished, and oversubscription
+// returns ErrContention (wrapped, with the tick time).
+func Stream(cfg Config, procs []Proc, maxDur time.Duration, yield func(rec *TickRecord) error) (*StreamInfo, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if maxDur <= 0 {
+		return nil, fmt.Errorf("machine: non-positive duration %v", maxDur)
+	}
+	ids := map[string]bool{}
+	for _, p := range procs {
+		if err := p.Validate(cfg); err != nil {
+			return nil, err
+		}
+		if ids[p.ID] {
+			return nil, fmt.Errorf("machine: duplicate process ID %q", p.ID)
+		}
+		ids[p.ID] = true
+	}
+	// Deterministic scheduling order regardless of caller's slice order.
+	ordered := append([]Proc(nil), procs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+
+	tick := cfg.tick()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	phys := cfg.Spec.Topology.PhysicalCores()
+	nCPU := cfg.schedulableCPUs()
+	// The roster's slot order is the sorted scheduling order, so a
+	// process's slot is its index in ordered.
+	rosterIDs := make([]string, len(ordered))
+	for i, p := range ordered {
+		rosterIDs[i] = p.ID
+	}
+	info := &StreamInfo{Config: cfg, Roster: NewRoster(rosterIDs), ProcEnd: map[string]time.Duration{}}
+	// One scratch column backs every yielded tick; stepTick accumulates
+	// into it, so it is re-zeroed before each step.
+	col := make([]ProcTick, len(ordered))
+	var sc tickScratch
+	// rec lives outside the loop: yield takes its address, and a
+	// loop-scoped record would escape to a fresh heap allocation per tick.
+	var rec TickRecord
+
+	for t := time.Duration(0); t < maxDur; t += tick {
+		clear(col)
+		var active bool
+		var err error
+		rec, active, err = stepTick(cfg, ordered, t, tick, phys, nCPU, info.ProcEnd, &sc, col)
+		if err != nil {
+			return nil, fmt.Errorf("%w at t=%v", err, t)
+		}
+		if cfg.NoiseStddev > 0 {
+			rec.Power = units.Watts(float64(rec.Power) + rng.NormFloat64()*float64(cfg.NoiseStddev))
+		}
+		info.Ticks++
+		info.Duration = t + tick
+		if err := yield(&rec); err != nil {
+			return nil, err
+		}
+		if !active && allStarted(ordered, t) {
+			break
+		}
+	}
+	for _, p := range ordered {
+		if _, done := info.ProcEnd[p.ID]; !done {
+			info.ProcEnd[p.ID] = info.Duration
+		}
+	}
+	obsRuns.Inc()
+	n := uint64(info.Ticks)
+	obsTicksSimulated.Add(n)
+	if n >= sc.grownTicks {
+		obsScratchReused.Add(n - sc.grownTicks)
+	}
+	return info, nil
+}

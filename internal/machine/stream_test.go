@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+)
+
+// TestStreamMatchesSimulate pins the collector contract: the ticks Stream
+// yields are bit-identical to the records Simulate stores, on a noisy
+// scenario with staggered starts and an early finisher (so the early-exit
+// and ProcEnd paths are exercised too).
+func TestStreamMatchesSimulate(t *testing.T) {
+	cfg := prodConfig(cpumodel.Dahu())
+	cfg.NoiseStddev = 0.25
+	cfg.Seed = 42
+	procs := []Proc{
+		stressProc("b-late", "matrixprod", 2),
+		stressProc("a-short", "fibonacci", 2),
+	}
+	procs[0].Start = 500 * time.Millisecond
+	procs[1].Stop = 2 * time.Second
+	const dur = 5 * time.Second
+
+	run, err := Simulate(cfg, procs, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed []TickRecord
+	info, err := Stream(cfg, procs, dur, func(rec *TickRecord) error {
+		r := *rec
+		r.Procs = append([]ProcTick(nil), rec.Procs...)
+		streamed = append(streamed, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if info.Ticks != len(run.Ticks) || len(streamed) != len(run.Ticks) {
+		t.Fatalf("stream yielded %d ticks (info %d), run has %d", len(streamed), info.Ticks, len(run.Ticks))
+	}
+	if info.Duration != run.Duration {
+		t.Errorf("duration %v != %v", info.Duration, run.Duration)
+	}
+	if got, want := info.Roster.IDs(), run.Roster.IDs(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("roster %v != %v", got, want)
+	}
+	if len(info.ProcEnd) != len(run.ProcEnd) {
+		t.Fatalf("ProcEnd %v != %v", info.ProcEnd, run.ProcEnd)
+	}
+	for id, at := range run.ProcEnd {
+		if info.ProcEnd[id] != at {
+			t.Errorf("ProcEnd[%s] %v != %v", id, info.ProcEnd[id], at)
+		}
+	}
+	for i, want := range run.Ticks {
+		got := streamed[i]
+		if got.At != want.At || got.Freq != want.Freq {
+			t.Fatalf("tick %d header mismatch: %+v vs %+v", i, got, want)
+		}
+		for _, p := range [][2]float64{
+			{float64(got.Power), float64(want.Power)},
+			{float64(got.TruePower), float64(want.TruePower)},
+			{float64(got.Idle), float64(want.Idle)},
+			{float64(got.Residual), float64(want.Residual)},
+			{float64(got.Active), float64(want.Active)},
+		} {
+			if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+				t.Fatalf("tick %d power field mismatch: %v vs %v", i, p[0], p[1])
+			}
+		}
+		for slot := range want.Procs {
+			if got.Procs[slot] != want.Procs[slot] {
+				t.Fatalf("tick %d slot %d: %+v vs %+v", i, slot, got.Procs[slot], want.Procs[slot])
+			}
+		}
+	}
+}
+
+// TestStreamYieldError proves a consumer error aborts the run and surfaces
+// unwrapped.
+func TestStreamYieldError(t *testing.T) {
+	sentinel := errors.New("stop here")
+	ticks := 0
+	_, err := Stream(labConfig(cpumodel.SmallIntel()), []Proc{stressProc("p0", "fibonacci", 1)}, 5*time.Second, func(*TickRecord) error {
+		ticks++
+		if ticks == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if ticks != 3 {
+		t.Fatalf("yield ran %d times after error, want 3", ticks)
+	}
+}
+
+// TestStreamScratchColumnReused documents the scratch contract: the Procs
+// slice handed to yield is reused between ticks, so a consumer that keeps
+// it sees later ticks' data.
+func TestStreamScratchColumnReused(t *testing.T) {
+	var first []ProcTick
+	_, err := Stream(labConfig(cpumodel.SmallIntel()), []Proc{stressProc("p0", "matrixprod", 1)}, time.Second, func(rec *TickRecord) error {
+		if first == nil {
+			first = rec.Procs
+		} else if &first[0] != &rec.Procs[0] {
+			t.Fatal("expected the scratch column to be reused across ticks")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package models
+
+import (
+	"powerdiv/internal/machine"
+	"powerdiv/internal/units"
+)
+
+// StreamReplay drives several models tick by tick as a simulation streams,
+// accumulating each model's estimates into the same slab-backed
+// DenseEstimates that ReplayDense produces — without a machine.Run or a
+// dense tick slice ever being materialised. Per-tick state is one estimate
+// column per model; the accumulated matrices grow O(roster × ticks), which
+// is all phase-3 scoring needs.
+//
+// Feeding order is the stream's tick order, and each model instance must be
+// driven only through this replay (ObserveInto/Observe advance calibration
+// state). Estimates are bit-identical to ReplayDense over the same ticks:
+// the dense path calls the same ObserveInto, and the map fallback
+// materialises the same ProcsView and scatters by the same roster slots.
+type StreamReplay struct {
+	roster *machine.Roster
+	models []Model
+	// dense is index-aligned with models; nil where the model has no
+	// columnar fast path.
+	dense []DenseModel
+	ests  []*DenseEstimates
+	n     int
+}
+
+// NewStreamReplay readies a replay of ms over roster-indexed ticks.
+// capTicks pre-sizes each estimate slab (the caller's upper bound on ticks,
+// e.g. maxDur/tick+1); slabs grow if the stream runs longer.
+func NewStreamReplay(roster *machine.Roster, ms []Model, capTicks int) *StreamReplay {
+	if capTicks < 0 {
+		capTicks = 0
+	}
+	r := &StreamReplay{
+		roster: roster,
+		models: ms,
+		dense:  make([]DenseModel, len(ms)),
+		ests:   make([]*DenseEstimates, len(ms)),
+		n:      roster.Len(),
+	}
+	for i, m := range ms {
+		if dm, ok := m.(DenseModel); ok {
+			r.dense[i] = dm
+		}
+		r.ests[i] = &DenseEstimates{
+			Roster: roster,
+			Slab:   make([]units.Watts, 0, capTicks*r.n),
+			OK:     make([]bool, 0, capTicks),
+		}
+	}
+	return r
+}
+
+// Observe feeds one tick to every model, appending a column to each
+// model's estimate matrix. The tick's Samples column may be caller-owned
+// scratch reused between ticks: dense models copy what they keep
+// (ObserveInto's contract) and the map fallback materialises its own view.
+func (r *StreamReplay) Observe(t Tick) {
+	// The map view is materialised at most once per tick and shared by all
+	// map-fallback models, which treat it as read-only.
+	var procs map[string]ProcSample
+	for m, model := range r.models {
+		d := r.ests[m]
+		col := extendColumn(d, r.n)
+		if dm := r.dense[m]; dm != nil && t.Samples != nil {
+			if dm.ObserveInto(t, col) {
+				d.OK = append(d.OK, true)
+			} else {
+				clear(col)
+				d.OK = append(d.OK, false)
+			}
+			continue
+		}
+		mt := t
+		if procs == nil {
+			procs = t.ProcsView()
+		}
+		mt.Procs = procs
+		est := model.Observe(mt)
+		if est == nil {
+			d.OK = append(d.OK, false)
+			continue
+		}
+		d.OK = append(d.OK, true)
+		for slot, id := range r.roster.IDs() {
+			col[slot] = est[id]
+		}
+	}
+}
+
+// Ticks returns how many ticks have been observed so far.
+func (r *StreamReplay) Ticks() int {
+	if len(r.ests) == 0 {
+		return 0
+	}
+	return r.ests[0].Ticks()
+}
+
+// Estimates returns model m's accumulated matrix. It stays valid (and
+// keeps growing) across further Observe calls.
+func (r *StreamReplay) Estimates(m int) *DenseEstimates {
+	return r.ests[m]
+}
+
+// extendColumn appends one zeroed n-wide column to the estimate slab and
+// returns it. Within capacity this is a reslice (make's backing array is
+// zeroed and columns are only written through this path); growth copies
+// like append would.
+func extendColumn(d *DenseEstimates, n int) []units.Watts {
+	old := len(d.Slab)
+	if cap(d.Slab) >= old+n {
+		d.Slab = d.Slab[:old+n]
+	} else {
+		grown := make([]units.Watts, old+n, 2*old+n)
+		copy(grown, d.Slab)
+		d.Slab = grown
+	}
+	return d.Slab[old : old+n : old+n]
+}

@@ -32,15 +32,42 @@ type runCacheEntry struct {
 	err  error
 }
 
-// runCache is a bounded FIFO memoization table for simulator runs.
+// summaryEntry is one memoized run digest in the byte-capped tier, with
+// the same singleflight shape as runCacheEntry. size/sized carry the byte
+// accounting: an entry is charged against the cap only once its compute
+// finishes (sized), and an entry evicted while still computing (evicted)
+// is never charged — the flag keeps the bytes ledger exact under
+// concurrent insert/evict interleavings.
+type summaryEntry struct {
+	done    chan struct{}
+	sum     *RunSummary
+	err     error
+	size    int64
+	sized   bool
+	evicted bool
+}
+
+// runCache is a bounded memoization table for simulator runs, in two
+// tiers: full *machine.Run values under an entry-count FIFO (kept for the
+// callers that need tick series — timeline, profiling, experiments), and
+// compact RunSummary digests under a byte-capped FIFO (the streaming
+// pipeline's phase 1 tier).
 type runCache struct {
 	mu      sync.Mutex
 	enabled bool
 	limit   int
 	entries map[string]*runCacheEntry
 	order   []string
-	hits    uint64
-	misses  uint64
+
+	byteLimit int64
+	bytes     int64
+	summaries map[string]*summaryEntry
+	sumOrder  []string
+
+	hits      uint64
+	misses    uint64
+	lookups   uint64
+	evictions uint64
 }
 
 // DefaultMemoLimit is the default number of memoized runs kept. A 30 s
@@ -50,10 +77,19 @@ type runCache struct {
 // baseline, without letting long-lived processes grow without bound.
 const DefaultMemoLimit = 2048
 
+// DefaultMemoBytes is the default cap on the summary tier's estimated
+// footprint. Solo-run digests are a few KB each, so 64 MB holds every
+// baseline of any campaign this repository runs by orders of magnitude;
+// the cap exists so unbounded sweeps degrade to recomputation instead of
+// memory growth.
+const DefaultMemoBytes int64 = 64 << 20
+
 var memo = &runCache{
-	enabled: true,
-	limit:   DefaultMemoLimit,
-	entries: map[string]*runCacheEntry{},
+	enabled:   true,
+	limit:     DefaultMemoLimit,
+	entries:   map[string]*runCacheEntry{},
+	byteLimit: DefaultMemoBytes,
+	summaries: map[string]*summaryEntry{},
 }
 
 // EnableMemoization turns solo/pair run memoization on or off globally.
@@ -64,19 +100,30 @@ func EnableMemoization(on bool) {
 	defer memo.mu.Unlock()
 	memo.enabled = on
 	if !on {
-		memo.entries = map[string]*runCacheEntry{}
-		memo.order = nil
+		memo.dropLocked()
 	}
 }
 
-// ResetMemoization drops every cached run and zeroes the statistics,
-// leaving the enabled state unchanged.
+// ResetMemoization drops every cached run and summary and zeroes the
+// statistics, leaving the enabled state and limits unchanged.
 func ResetMemoization() {
 	memo.mu.Lock()
 	defer memo.mu.Unlock()
-	memo.entries = map[string]*runCacheEntry{}
-	memo.order = nil
-	memo.hits, memo.misses = 0, 0
+	memo.dropLocked()
+	memo.hits, memo.misses, memo.lookups, memo.evictions = 0, 0, 0, 0
+}
+
+// dropLocked empties both tiers. Entries still computing are detached from
+// the table (their waiters still get results) and never charge the ledger.
+func (c *runCache) dropLocked() {
+	c.entries = map[string]*runCacheEntry{}
+	c.order = nil
+	for _, e := range c.summaries {
+		e.evicted = true
+	}
+	c.summaries = map[string]*summaryEntry{}
+	c.sumOrder = nil
+	c.bytes = 0
 }
 
 // SetMemoizationLimit bounds the number of cached runs (FIFO eviction).
@@ -91,18 +138,53 @@ func SetMemoizationLimit(n int) {
 	memo.evictLocked()
 }
 
-// MemoStats reports the cache's activity since the last reset.
+// SetMemoizationByteLimit caps the summary tier's estimated footprint
+// (FIFO eviction). Non-positive limits restore the default.
+func SetMemoizationByteLimit(n int64) {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	if n <= 0 {
+		n = DefaultMemoBytes
+	}
+	memo.byteLimit = n
+	memo.evictSummariesLocked()
+}
+
+// MemoStats reports the cache's activity since the last reset. Both tiers
+// share the hit/miss/lookup counters; all counters are maintained under
+// one lock, so any snapshot satisfies Hits + Misses == Lookups and
+// SummaryBytes <= SummaryByteLimit — invariants the concurrency stress
+// test asserts while workers hammer the cache.
 type MemoStats struct {
 	Hits    uint64
 	Misses  uint64
-	Entries int
+	Lookups uint64
+	// Entries counts the full-run tier; SummaryEntries/SummaryBytes the
+	// byte-capped summary tier (estimated footprint, completed entries
+	// only), under SummaryByteLimit.
+	Entries          int
+	SummaryEntries   int
+	SummaryBytes     int64
+	SummaryByteLimit int64
+	// Evictions counts entries dropped by either tier's bound since the
+	// last reset.
+	Evictions uint64
 }
 
 // MemoizationStats returns the current cache statistics.
 func MemoizationStats() MemoStats {
 	memo.mu.Lock()
 	defer memo.mu.Unlock()
-	return MemoStats{Hits: memo.hits, Misses: memo.misses, Entries: len(memo.entries)}
+	return MemoStats{
+		Hits:             memo.hits,
+		Misses:           memo.misses,
+		Lookups:          memo.lookups,
+		Entries:          len(memo.entries),
+		SummaryEntries:   len(memo.summaries),
+		SummaryBytes:     memo.bytes,
+		SummaryByteLimit: memo.byteLimit,
+		Evictions:        memo.evictions,
+	}
 }
 
 // evictLocked enforces the entry limit. Oldest entries go first; waiters
@@ -111,7 +193,28 @@ func (c *runCache) evictLocked() {
 	for len(c.order) > c.limit {
 		delete(c.entries, c.order[0])
 		c.order = c.order[1:]
+		c.evictions++
 		obsCacheEvictions.Inc()
+	}
+}
+
+// evictSummariesLocked enforces the byte cap, oldest first. A still-
+// computing entry has no size yet; marking it evicted makes its compute
+// skip the charge, so bytes only ever counts completed, table-resident
+// entries.
+func (c *runCache) evictSummariesLocked() {
+	for c.bytes > c.byteLimit && len(c.sumOrder) > 0 {
+		key := c.sumOrder[0]
+		c.sumOrder = c.sumOrder[1:]
+		if e, ok := c.summaries[key]; ok {
+			delete(c.summaries, key)
+			e.evicted = true
+			if e.sized {
+				c.bytes -= e.size
+			}
+			c.evictions++
+			obsCacheEvictions.Inc()
+		}
 	}
 }
 
@@ -126,6 +229,7 @@ func simulateCached(cfg machine.Config, procs []machine.Proc, maxDur time.Durati
 	}
 	key := runKey(cfg, procs, maxDur)
 	memo.mu.Lock()
+	memo.lookups++
 	if e, ok := memo.entries[key]; ok {
 		memo.hits++
 		obsCacheHits.Inc()
@@ -144,6 +248,46 @@ func simulateCached(cfg machine.Config, procs []machine.Proc, maxDur time.Durati
 	e.run, e.err = machine.Simulate(cfg, procs, maxDur)
 	close(e.done)
 	return e.run, e.err
+}
+
+// summaryCached is newRunSummary behind the byte-capped summary tier, with
+// the same singleflight semantics as simulateCached. The returned summary
+// is shared between callers and must be treated as read-only.
+func summaryCached(cfg machine.Config, procs []machine.Proc, maxDur time.Duration) (*RunSummary, error) {
+	memo.mu.Lock()
+	enabled := memo.enabled
+	memo.mu.Unlock()
+	if !enabled {
+		return newRunSummary(cfg, procs, maxDur)
+	}
+	key := runKey(cfg, procs, maxDur)
+	memo.mu.Lock()
+	memo.lookups++
+	if e, ok := memo.summaries[key]; ok {
+		memo.hits++
+		obsCacheHits.Inc()
+		memo.mu.Unlock()
+		<-e.done
+		return e.sum, e.err
+	}
+	e := &summaryEntry{done: make(chan struct{})}
+	memo.summaries[key] = e
+	memo.sumOrder = append(memo.sumOrder, key)
+	memo.misses++
+	obsCacheMisses.Inc()
+	memo.mu.Unlock()
+
+	e.sum, e.err = newRunSummary(cfg, procs, maxDur)
+	memo.mu.Lock()
+	if !e.evicted {
+		e.size = e.sum.EstimatedBytes()
+		e.sized = true
+		memo.bytes += e.size
+		memo.evictSummariesLocked()
+	}
+	memo.mu.Unlock()
+	close(e.done)
+	return e.sum, e.err
 }
 
 // runKey fingerprints everything a simulation's outcome depends on: the

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"powerdiv/internal/division"
 	"powerdiv/internal/machine"
 	"powerdiv/internal/models"
+	"powerdiv/internal/trace"
 	"powerdiv/internal/units"
 )
 
@@ -173,40 +175,95 @@ func scenarioRun(ctx Context, s Scenario) (*machine.Run, error) {
 	return run, nil
 }
 
+// tickSeries is the compact per-tick view phase 3 scoring needs — tick
+// times and measured machine power, index-aligned with a model's estimate
+// matrix. The materialized path projects it out of a run once per scenario;
+// the streaming path accumulates it directly as the ticks arrive.
+type tickSeries struct {
+	at    []time.Duration
+	power []units.Watts
+}
+
+// runSeries projects a run down to the scoring view.
+func runSeries(run *machine.Run) tickSeries {
+	ts := tickSeries{
+		at:    make([]time.Duration, len(run.Ticks)),
+		power: make([]units.Watts, len(run.Ticks)),
+	}
+	for i := range run.Ticks {
+		ts.at[i] = run.Ticks[i].At
+		ts.power[i] = run.Ticks[i].Power
+	}
+	return ts
+}
+
+// scoreScratch holds the scoring tail's reusable buffers, so one worker
+// scoring many models (and many scenarios) refills them instead of
+// reallocating per call. Reuse changes only where the buffers live, never
+// the accumulation order, so results stay bit-identical to fresh buffers.
+type scoreScratch struct {
+	scored      *trace.Series
+	scoredEsts  [][]units.Watts
+	scoredPower []units.Watts
+}
+
+func newScoreScratch() *scoreScratch {
+	return &scoreScratch{scored: trace.New()}
+}
+
 // scoreRun is protocol phase 3 for one model on an already-simulated
 // scenario run: the model replays the run's observations (ticks, the run's
 // pre-converted dense model inputs — shared across models scoring the same
 // run) and Eq 5 scores its estimates against each objective's truth shares
 // (index-aligned with the returned evaluations).
-//
-// The whole phase is columnar: the replay writes into one estimate slab,
-// the scored ticks are column views of it, and the truths are projected
-// onto the run's roster once per objective. Slot order is sorted-ID order,
-// so every floating-point accumulation matches the map pipeline bit for
-// bit (the golden equivalence test pins this).
 func scoreRun(ctx Context, s Scenario, run *machine.Run, ticks []models.Tick, factory models.Factory, truths []division.Shares) ([]Evaluation, error) {
+	return scoreRunSeries(ctx, s, runSeries(run), ticks, factory, truths, nil)
+}
+
+// scoreRunSeries is scoreRun over a pre-projected scoring view (shared
+// across the models scoring one scenario). scr may be nil for one-shot
+// callers.
+func scoreRunSeries(ctx Context, s Scenario, ts tickSeries, ticks []models.Tick, factory models.Factory, truths []division.Shares, scr *scoreScratch) ([]Evaluation, error) {
 	model := factory.New(deriveSeed(ctx.Seed, "model", factory.Name, s.Label()))
 	est := models.ReplayDense(model, ticks)
+	return scoreEstimates(ctx, s, ts, factory.Name, est, truths, scr)
+}
 
-	from, to := stableScoringWindow(ctx, run, est.OK)
-	if to <= from {
-		return nil, fmt.Errorf("protocol: scenario %q: model %s produced no estimates", s.Label(), factory.Name)
+// scoreEstimates is the scoring tail shared by the materialized and the
+// streaming pipelines: Eq 5 over an already-accumulated estimate matrix and
+// the matching tick series. Because both pipelines call exactly this code
+// over identically-accumulated inputs, their error tables are bit-identical
+// by construction (the streaming golden test pins it).
+//
+// The whole phase is columnar: the scored ticks are column views of the
+// estimate slab, and the truths are projected onto the roster once per
+// objective. Slot order is sorted-ID order, so every floating-point
+// accumulation matches the map pipeline bit for bit (the golden
+// equivalence test pins this too).
+func scoreEstimates(ctx Context, s Scenario, ts tickSeries, modelName string, est *models.DenseEstimates, truths []division.Shares, scr *scoreScratch) ([]Evaluation, error) {
+	if scr == nil {
+		scr = newScoreScratch()
 	}
-	rosterIDs := run.Roster.IDs()
-	scoredEsts := make([][]units.Watts, 0, len(run.Ticks))
-	scoredPower := make([]units.Watts, 0, len(run.Ticks))
+	from, to := stableScoringWindow(ctx, ts, est.OK, scr.scored)
+	if to <= from {
+		return nil, fmt.Errorf("protocol: scenario %q: model %s produced no estimates", s.Label(), modelName)
+	}
+	rosterIDs := est.Roster.IDs()
+	scoredEsts := scr.scoredEsts[:0]
+	scoredPower := scr.scoredPower[:0]
 	meanEst := make([]float64, len(rosterIDs))
-	for i, rec := range run.Ticks {
-		if rec.At < from || rec.At >= to || !est.OK[i] {
+	for i, at := range ts.at {
+		if at < from || at >= to || !est.OK[i] {
 			continue
 		}
 		row := est.Row(i)
 		scoredEsts = append(scoredEsts, row)
-		scoredPower = append(scoredPower, rec.Power)
+		scoredPower = append(scoredPower, ts.power[i])
 		for slot, w := range row {
 			meanEst[slot] += float64(w)
 		}
 	}
+	scr.scoredEsts, scr.scoredPower = scoredEsts, scoredPower
 	var meanPower float64
 	for _, p := range scoredPower {
 		meanPower += float64(p)
@@ -220,9 +277,9 @@ func scoreRun(ctx Context, s Scenario, run *machine.Run, ticks []models.Tick, fa
 
 	out := make([]Evaluation, len(truths))
 	for i, truth := range truths {
-		ev := Evaluation{Scenario: s, Model: factory.Name, Truth: truth, EstShare: estShare}
+		ev := Evaluation{Scenario: s, Model: modelName, Truth: truth, EstShare: estShare}
 		tv := truth.Vector(rosterIDs)
-		ae, err := division.AbsoluteErrorColumns(scoredEsts, scoredPower, division.ConstVectors(len(scoredEsts), tv))
+		ae, err := division.AbsoluteErrorColumnsConst(scoredEsts, scoredPower, tv)
 		if err != nil {
 			return nil, fmt.Errorf("protocol: scenario %q: %w", s.Label(), err)
 		}
@@ -439,21 +496,25 @@ func EvaluateModels(ctx Context, scenarios []Scenario, factories func(map[string
 		}
 		row := make([]Evaluation, len(fs))
 		var ticks []models.Tick
+		var ts tickSeries
+		scr := newScoreScratch()
 		for m, f := range fs {
 			// Every model asks for the scenario run through the cache:
 			// with memoization on the first model simulates and the rest
 			// share that run; with it off each model re-simulates (the
 			// results are identical either way — the run's seed derives
 			// from the scenario label, never from the model). The model
-			// inputs are converted once per scenario regardless.
+			// inputs and the scoring view are converted once per scenario
+			// regardless.
 			run, err := scenarioRun(ctx, s)
 			if err != nil {
 				return err
 			}
 			if ticks == nil {
 				ticks = models.RunTicksDense(run)
+				ts = runSeries(run)
 			}
-			evs, err := scoreRun(ctx, s, run, ticks, f, truths)
+			evs, err := scoreRunSeries(ctx, s, ts, ticks, f, truths, scr)
 			if err != nil {
 				return err
 			}

@@ -10,6 +10,7 @@ import (
 	"powerdiv/internal/division"
 	"powerdiv/internal/machine"
 	"powerdiv/internal/models"
+	"powerdiv/internal/trace"
 	"powerdiv/internal/units"
 )
 
@@ -25,7 +26,7 @@ func scoreRunMapReference(ctx Context, s Scenario, run *machine.Run, factory mod
 	for i, est := range ests {
 		ok[i] = est != nil
 	}
-	from, to := stableScoringWindow(ctx, run, ok)
+	from, to := stableScoringWindow(ctx, runSeries(run), ok, trace.New())
 	if to <= from {
 		return nil, fmt.Errorf("protocol: scenario %q: model %s produced no estimates", s.Label(), factory.Name)
 	}

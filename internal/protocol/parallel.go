@@ -3,6 +3,7 @@ package protocol
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"powerdiv/internal/division"
 	"powerdiv/internal/models"
@@ -22,6 +23,13 @@ func parallelism() int {
 // forEachIndexed runs fn(i) for i in [0, n) across the worker pool and
 // returns the first error (by index order, so results are deterministic
 // regardless of scheduling). fn must only write state owned by its index.
+//
+// A failure sets a stop flag that drains the remaining indices: workers
+// finish the call they are in and exit instead of dispatching more work.
+// The first-error-by-index guarantee survives the early stop — indices are
+// handed out in increasing order, so when any call fails, every lower
+// index has already been dispatched, and its (possibly failing) result is
+// recorded before its worker checks the flag.
 func forEachIndexed(n int, fn func(i int) error) error {
 	workers := parallelism()
 	if workers > n {
@@ -36,6 +44,7 @@ func forEachIndexed(n int, fn func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
+	var stop atomic.Bool
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -43,7 +52,7 @@ func forEachIndexed(n int, fn func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !stop.Load() {
 				mu.Lock()
 				i := next
 				next++
@@ -52,8 +61,12 @@ func forEachIndexed(n int, fn func(i int) error) error {
 					return
 				}
 				obsWorkersBusy.Add(1)
-				errs[i] = fn(i)
+				err := fn(i)
+				errs[i] = err
 				obsWorkersBusy.Add(-1)
+				if err != nil {
+					stop.Store(true)
+				}
 			}
 		}()
 	}
@@ -91,11 +104,12 @@ func EvaluateCampaignParallel(ctx Context, scenarios []Scenario, factory models.
 }
 
 // MeasureBaselinesParallel is MeasureBaselines with solo runs executed
-// concurrently.
+// concurrently. Like the serial form it goes through the byte-capped
+// summary tier, so phase 1 keeps compact digests instead of full runs.
 func MeasureBaselinesParallel(ctx Context, apps []AppSpec) (map[string]division.Baseline, error) {
 	results := make([]division.Baseline, len(apps))
 	err := forEachIndexed(len(apps), func(i int) error {
-		b, _, err := MeasureBaseline(ctx, apps[i])
+		b, err := MeasureBaselineSummary(ctx, apps[i])
 		if err != nil {
 			return err
 		}

@@ -2,8 +2,11 @@ package protocol
 
 import (
 	"errors"
+	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"powerdiv/internal/models"
 )
@@ -36,6 +39,36 @@ func TestForEachIndexedError(t *testing.T) {
 	}
 	if err := forEachIndexed(0, func(int) error { return sentinel }); err != nil {
 		t.Errorf("empty iteration err = %v", err)
+	}
+}
+
+// TestForEachIndexedEarlyDrain pins the stop-flag semantics: once a call
+// fails, the pool drains instead of dispatching the full index range, and
+// the error returned is still the failing error with the lowest index even
+// though higher-indexed failures may be recorded first.
+func TestForEachIndexedEarlyDrain(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const n = 400
+	const firstBad = 5
+	var calls atomic.Int64
+	err := forEachIndexed(n, func(i int) error {
+		calls.Add(1)
+		time.Sleep(time.Millisecond)
+		if i >= firstBad {
+			return fmt.Errorf("bad index %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != fmt.Sprintf("bad index %d", firstBad) {
+		t.Errorf("err = %v, want bad index %d (lowest failing index)", err, firstBad)
+	}
+	// Every index at or above firstBad fails, so the stop flag is set
+	// almost immediately; a full dispatch of all n indices means the drain
+	// never engaged. Allow generous scheduling slack.
+	if c := calls.Load(); c >= n/2 {
+		t.Errorf("dispatched %d of %d calls after an early failure; early drain not engaged", c, n)
 	}
 }
 

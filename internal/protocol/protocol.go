@@ -88,13 +88,14 @@ func StressApp(fn string, threads int) (AppSpec, error) {
 }
 
 // MeasureIdle returns the machine's idle power (mean over a short empty
-// run).
+// run). It goes through the byte-capped summary tier: an idle run's digest
+// is all the mean needs.
 func MeasureIdle(ctx Context) (units.Watts, error) {
-	run, err := simulateCached(ctx.Machine, nil, 5*time.Second)
+	sum, err := summaryCached(ctx.Machine, nil, 5*time.Second)
 	if err != nil {
 		return 0, err
 	}
-	return units.Watts(run.TruePowerSeries().Mean()), nil
+	return units.Watts(sum.TruePowerSeries().Mean()), nil
 }
 
 // MeasureBaseline is protocol phase 1 for one application: run it alone
@@ -145,11 +146,25 @@ func MeasureBaseline(ctx Context, app AppSpec) (division.Baseline, *machine.Run,
 	return b, run, nil
 }
 
+// MeasureBaselineSummary is MeasureBaseline through the byte-capped
+// summary cache: the same Baseline bit for bit, computed from a compact
+// RunSummary instead of a retained *machine.Run. The campaign paths use it
+// so phase 1 pins digests, not full solo runs.
+func MeasureBaselineSummary(ctx Context, app AppSpec) (division.Baseline, error) {
+	cfg := ctx.Machine
+	cfg.Seed = deriveSeed(ctx.Seed, "solo", app.ID)
+	sum, err := summaryCached(cfg, []machine.Proc{app.proc()}, ctx.RunFor)
+	if err != nil {
+		return division.Baseline{}, fmt.Errorf("protocol: solo run of %s: %w", app.ID, err)
+	}
+	return sum.baseline(ctx, app.ID)
+}
+
 // MeasureBaselines runs phase 1 for a list of applications.
 func MeasureBaselines(ctx Context, apps []AppSpec) (map[string]division.Baseline, error) {
 	out := make(map[string]division.Baseline, len(apps))
 	for _, app := range apps {
-		b, _, err := MeasureBaseline(ctx, app)
+		b, err := MeasureBaselineSummary(ctx, app)
 		if err != nil {
 			return nil, err
 		}
@@ -174,13 +189,13 @@ func EstimateResidual(ctx Context, probe workload.Workload) (units.Watts, error)
 	for n := 1; n <= phys; n++ {
 		cfg := ctx.Machine
 		cfg.Seed = deriveSeed(ctx.Seed, "residual-probe", fmt.Sprint(n))
-		run, err := simulateCached(cfg, []machine.Proc{{
+		sum, err := summaryCached(cfg, []machine.Proc{{
 			ID: "probe", Workload: probe, Threads: n,
 		}}, 5*time.Second)
 		if err != nil {
 			return 0, err
 		}
-		p[n] = run.PowerSeries().Mean()
+		p[n] = sum.PowerSeries().Mean()
 	}
 	// Least-squares line over n = 1..phys; the intercept is R.
 	var sx, sy, sxx, sxy float64
@@ -215,14 +230,15 @@ func deriveSeed(seed int64, parts ...string) int64 {
 
 // stableScoringWindow picks the scoring window: the least-extreme
 // StableWindow of the power series restricted to ticks where the model
-// produced estimates (ok[i], index-aligned with run.Ticks). A non-positive
+// produced estimates (ok[i], index-aligned with ts). A non-positive
 // StableWindow disables the selection and scores every estimated tick (the
 // ablation baseline). It returns the inclusive start and exclusive end.
-func stableScoringWindow(ctx Context, run *machine.Run, ok []bool) (time.Duration, time.Duration) {
-	scored := trace.New()
-	for i, rec := range run.Ticks {
+// scored is caller-owned scratch, reset and refilled on every call.
+func stableScoringWindow(ctx Context, ts tickSeries, ok []bool, scored *trace.Series) (time.Duration, time.Duration) {
+	scored.Reset()
+	for i, at := range ts.at {
 		if ok[i] {
-			scored.Append(rec.At, float64(rec.Power))
+			scored.Append(at, float64(ts.power[i]))
 		}
 	}
 	if scored.Len() == 0 {
@@ -231,9 +247,9 @@ func stableScoringWindow(ctx Context, run *machine.Run, ok []bool) (time.Duratio
 	if ctx.StableWindow <= 0 {
 		return scored.Start(), scored.End() + 1
 	}
-	window, err := scored.StableWindow(ctx.StableWindow)
+	from, to, err := scored.StableWindowBounds(ctx.StableWindow)
 	if err != nil {
 		return scored.Start(), scored.End() + 1
 	}
-	return window.Start(), window.End() + 1
+	return from, to + 1
 }

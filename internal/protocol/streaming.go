@@ -1,0 +1,164 @@
+package protocol
+
+import (
+	"fmt"
+	"time"
+
+	"powerdiv/internal/division"
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+	"powerdiv/internal/units"
+)
+
+// This file is the fused streaming pipeline: simulate → observe → score in
+// one pass per scenario, with O(ticks-in-flight) simulator state. The
+// materialized path (evaluate.go) simulates a scenario into a full
+// machine.Run, converts it to a dense tick slice, and replays every model
+// over it; here the models observe each tick as the simulator produces it,
+// so per scenario the only O(ticks) state kept is what phase 3 scoring
+// needs anyway — the per-model estimate matrices and the power/time
+// scoring view. Pair runs are never materialized and never cached, which
+// is where the memory goes: the byte-capped summary cache (cache.go) keeps
+// only the compact phase 1 solo-run digests.
+//
+// Results are bit-identical to the materialized path (the streaming golden
+// test pins this on both machines): the simulator yields the very records
+// Simulate would store, StreamReplay accumulates the very matrix
+// ReplayDense would, and scoring is literally the same scoreEstimates call.
+
+// evaluateScenarioStreaming runs phases 2–3 for one scenario in a single
+// simulator pass, scoring every factory: the scenario is simulated exactly
+// once and all models observe the stream tick by tick. The result is
+// indexed [factory][objective], matching truths.
+func evaluateScenarioStreaming(ctx Context, s Scenario, fs []models.Factory, truths []division.Shares) ([][]Evaluation, error) {
+	cfg := ctx.Machine
+	cfg.Seed = deriveSeed(ctx.Seed, "pair", s.Label())
+	procs := make([]machine.Proc, len(s.Apps))
+	ids := make([]string, len(s.Apps))
+	for i, a := range s.Apps {
+		procs[i] = a.proc()
+		ids[i] = a.ID
+	}
+	// The roster is the sorted app-ID order — exactly the slot order the
+	// simulator streams its columns in.
+	roster := machine.NewRoster(ids)
+	ms := make([]models.Model, len(fs))
+	for m, f := range fs {
+		ms[m] = f.New(deriveSeed(ctx.Seed, "model", f.Name, s.Label()))
+	}
+	tick := cfg.TickInterval()
+	maxTicks := int(ctx.RunFor/tick) + 1
+	if maxTicks < 0 {
+		maxTicks = 0
+	}
+	logical := cfg.Spec.Topology.LogicalCPUs()
+	replay := models.NewStreamReplay(roster, ms, maxTicks)
+	ts := tickSeries{
+		at:    make([]time.Duration, 0, maxTicks),
+		power: make([]units.Watts, 0, maxTicks),
+	}
+	// One sample column is reused for every tick; models copy what they
+	// keep (StreamReplay's contract).
+	scratch := make([]models.ProcSample, roster.Len())
+	_, err := machine.Stream(cfg, procs, ctx.RunFor, func(rec *machine.TickRecord) error {
+		for slot := range scratch {
+			pt := rec.Procs[slot]
+			scratch[slot] = models.ProcSample{
+				CPUTime:    pt.CPUTime,
+				Counters:   pt.Counters,
+				Threads:    pt.Threads,
+				TrueActive: pt.ActivePower,
+			}
+		}
+		replay.Observe(models.Tick{
+			At:           rec.At,
+			Interval:     tick,
+			MachinePower: rec.Power,
+			LogicalCPUs:  logical,
+			Freq:         rec.Freq,
+			Roster:       roster,
+			Samples:      scratch,
+		})
+		ts.at = append(ts.at, rec.At)
+		ts.power = append(ts.power, rec.Power)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: scenario %q: %w", s.Label(), err)
+	}
+	out := make([][]Evaluation, len(fs))
+	scr := newScoreScratch()
+	for m, f := range fs {
+		evs, err := scoreEstimates(ctx, s, ts, f.Name, replay.Estimates(m), truths, scr)
+		if err != nil {
+			return nil, err
+		}
+		out[m] = evs
+	}
+	return out, nil
+}
+
+// EvaluatePairStreaming is EvaluatePair on the streaming pipeline: same
+// evaluation bit for bit, without materializing or caching the pair run.
+func EvaluatePairStreaming(ctx Context, s Scenario, factory models.Factory, baselines map[string]division.Baseline, obj Objective, r0 units.Watts) (Evaluation, error) {
+	done := observeScenario()
+	truths, err := scenarioTruths(s, baselines, []Objective{obj}, r0)
+	if err != nil {
+		return Evaluation{Scenario: s, Model: factory.Name}, err
+	}
+	rows, err := evaluateScenarioStreaming(ctx, s, []models.Factory{factory}, truths)
+	if err != nil {
+		return Evaluation{Scenario: s, Model: factory.Name}, err
+	}
+	done()
+	return rows[0][0], nil
+}
+
+// EvaluateModelsStreaming is EvaluateModels on the streaming pipeline.
+// Phase 1 baselines come from the byte-capped summary cache; each scenario
+// is then simulated exactly once per campaign — regardless of cache state
+// or model count, because all models ride the same stream — and scored with
+// the shared scoring tail. Peak memory per worker is the estimate matrices
+// of one scenario instead of a full cached run per scenario, which is what
+// lets combinatorial sweeps scale. Scenarios run concurrently across the
+// worker pool; results are deterministic regardless of scheduling.
+func EvaluateModelsStreaming(ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, obj Objective, r0 units.Watts) (map[string][]Evaluation, error) {
+	baselines, err := MeasureBaselinesParallel(ctx, AppsOf(scenarios))
+	if err != nil {
+		return nil, err
+	}
+	fs := factories(baselines)
+	objectives := []Objective{obj}
+	perScenario := make([][]Evaluation, len(scenarios))
+	err = forEachIndexed(len(scenarios), func(i int) error {
+		s := scenarios[i]
+		done := observeScenario()
+		truths, err := scenarioTruths(s, baselines, objectives, r0)
+		if err != nil {
+			return err
+		}
+		rows, err := evaluateScenarioStreaming(ctx, s, fs, truths)
+		if err != nil {
+			return err
+		}
+		row := make([]Evaluation, len(fs))
+		for m := range fs {
+			row[m] = rows[m][0]
+		}
+		perScenario[i] = row
+		done()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]Evaluation{}
+	for m, f := range fs {
+		evs := make([]Evaluation, len(scenarios))
+		for i := range scenarios {
+			evs[i] = perScenario[i][m]
+		}
+		out[f.Name] = evs
+	}
+	return out, nil
+}

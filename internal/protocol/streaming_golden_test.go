@@ -1,0 +1,124 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/division"
+	"powerdiv/internal/models"
+)
+
+// TestStreamingMatchesMaterialized pins the tentpole equivalence of the
+// fused pipeline: on both machines (SMALL INTEL lab, DAHU production), the
+// error tables of EvaluateModelsStreaming — every model, every scenario,
+// every scored field — are bit-identical to EvaluateModels', with
+// memoization both on and off. Streaming and materialized share the
+// scoring tail, so a divergence means the stream fed models or scoring
+// differently than the materialized run would.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	specs := []struct {
+		spec cpumodel.Spec
+		ht   bool
+	}{
+		{cpumodel.SmallIntel(), false},
+		{cpumodel.Dahu(), true},
+	}
+	for _, sp := range specs {
+		t.Run(sp.spec.Name, func(t *testing.T) {
+			ctx := goldenContext(sp.spec, sp.ht)
+			a0, err := StressApp("fibonacci", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a1, err := StressApp("matrixprod", 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := StressApp("int64", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scenarios := []Scenario{
+				{Apps: []AppSpec{a0, a1}},
+				{Apps: []AppSpec{a1, a2}},
+				{Apps: []AppSpec{a0, a1, a2}},
+			}
+			factories := func(baselines map[string]division.Baseline) []models.Factory {
+				return goldenFactories(baselines, sp.spec)
+			}
+			for _, memo := range []bool{true, false} {
+				EnableMemoization(memo)
+				ResetMemoization()
+				want, err := EvaluateModels(ctx, scenarios, factories, ObjectiveActive, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ResetMemoization()
+				got, err := EvaluateModelsStreaming(ctx, scenarios, factories, ObjectiveActive, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("memo=%v: %d models streamed, %d materialized", memo, len(got), len(want))
+				}
+				for name, wantEvs := range want {
+					gotEvs, ok := got[name]
+					if !ok || len(gotEvs) != len(wantEvs) {
+						t.Fatalf("memo=%v: model %s missing or wrong length", memo, name)
+					}
+					for i := range wantEvs {
+						compareStreamingEvaluations(t, name, wantEvs[i], gotEvs[i])
+					}
+				}
+			}
+			EnableMemoization(true)
+			ResetMemoization()
+		})
+	}
+}
+
+// compareStreamingEvaluations requires full bit-identity — unlike the
+// dense-vs-map comparison, both sides come from the dense scorer, so every
+// field including EstShare's zero entries must agree exactly.
+func compareStreamingEvaluations(t *testing.T, model string, want, got Evaluation) {
+	t.Helper()
+	compareEvaluations(t, model, want.Scenario, want, got)
+	if len(want.EstShare) != len(got.EstShare) {
+		t.Errorf("%s on %q: EstShare sizes %d != %d", model, want.Scenario.Label(), len(want.EstShare), len(got.EstShare))
+	}
+	for id, tw := range want.Truth {
+		if math.Float64bits(tw) != math.Float64bits(got.Truth[id]) {
+			t.Errorf("%s on %q: Truth[%s] %v != %v", model, want.Scenario.Label(), id, tw, got.Truth[id])
+		}
+	}
+}
+
+// TestEvaluatePairStreamingMatchesEvaluatePair pins the single-pair entry
+// point against its materialized twin.
+func TestEvaluatePairStreamingMatchesEvaluatePair(t *testing.T) {
+	ctx := goldenContext(cpumodel.SmallIntel(), false)
+	a0, err := StressApp("fibonacci", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := StressApp("rand", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Scenario{Apps: []AppSpec{a0, a1}}
+	baselines, err := MeasureBaselines(ctx, s.Apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := models.NewScaphandre()
+	want, err := EvaluatePair(ctx, s, f, baselines, ObjectiveActive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluatePairStreaming(ctx, s, f, baselines, ObjectiveActive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareStreamingEvaluations(t, f.Name, want, got)
+}

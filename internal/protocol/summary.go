@@ -1,0 +1,155 @@
+package protocol
+
+import (
+	"fmt"
+	"time"
+
+	"powerdiv/internal/division"
+	"powerdiv/internal/machine"
+	"powerdiv/internal/trace"
+	"powerdiv/internal/units"
+)
+
+// RunSummary is the compact digest of a simulated run that the streaming
+// protocol keeps instead of a *machine.Run: the per-tick power traces
+// phase 1 needs (measured, noise-free, idle+residual), the per-tick
+// CPU-time column of each roster process, per-process totals, and the
+// run's shape. For the paper's 30 s solo runs that is a few KB against the
+// hundreds of KB of a full run with counters — small enough to memoize
+// thousands of digests under a byte cap.
+//
+// The values are stored exactly as the materialized accessors would compute
+// them (float64(rec.TruePower), float64(rec.Idle+rec.Residual), ...), so
+// every statistic derived from a summary is bit-identical to the same
+// statistic derived from the run.
+type RunSummary struct {
+	Roster *machine.Roster
+	// Tick is the sampling period; tick i's time is i·Tick, exactly the
+	// simulator's schedule.
+	Tick     time.Duration
+	Ticks    int
+	Duration time.Duration
+	ProcEnd  map[string]time.Duration
+	// Power / TruePower / ResidIdle are per-tick machine traces (watts):
+	// the sensor reading, the noise-free total, and idle+residual.
+	Power     []float64
+	TruePower []float64
+	ResidIdle []float64
+	// CPUTime is a Ticks × Roster.Len() slab: tick i, slot s is
+	// CPUTime[i*Roster.Len()+s]. Absent processes hold zero.
+	CPUTime []units.CPUTime
+	// TotalCPU / TotalActive are per-slot run totals (the streaming
+	// pipeline's per-proc bookkeeping: CPU time and summed active watts).
+	TotalCPU    []units.CPUTime
+	TotalActive []float64
+}
+
+// newRunSummary streams a simulation directly into its digest; no
+// machine.Run is materialized.
+func newRunSummary(cfg machine.Config, procs []machine.Proc, maxDur time.Duration) (*RunSummary, error) {
+	tick := cfg.TickInterval()
+	maxTicks := int(maxDur/tick) + 1
+	if maxTicks < 0 {
+		maxTicks = 0
+	}
+	n := len(procs)
+	s := &RunSummary{
+		Tick:        tick,
+		Power:       make([]float64, 0, maxTicks),
+		TruePower:   make([]float64, 0, maxTicks),
+		ResidIdle:   make([]float64, 0, maxTicks),
+		CPUTime:     make([]units.CPUTime, 0, maxTicks*n),
+		TotalCPU:    make([]units.CPUTime, n),
+		TotalActive: make([]float64, n),
+	}
+	info, err := machine.Stream(cfg, procs, maxDur, func(rec *machine.TickRecord) error {
+		s.Power = append(s.Power, float64(rec.Power))
+		s.TruePower = append(s.TruePower, float64(rec.TruePower))
+		s.ResidIdle = append(s.ResidIdle, float64(rec.Idle+rec.Residual))
+		for slot := range rec.Procs {
+			pt := &rec.Procs[slot]
+			s.CPUTime = append(s.CPUTime, pt.CPUTime)
+			s.TotalCPU[slot] += pt.CPUTime
+			s.TotalActive[slot] += float64(pt.ActivePower)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Roster = info.Roster
+	s.Ticks = info.Ticks
+	s.Duration = info.Duration
+	s.ProcEnd = info.ProcEnd
+	return s, nil
+}
+
+// PowerSeries returns the measured power trace (times are i·Tick, matching
+// the simulator's tick schedule).
+func (s *RunSummary) PowerSeries() *trace.Series {
+	return trace.FromValues(s.Tick, s.Power...)
+}
+
+// TruePowerSeries returns the noise-free power trace.
+func (s *RunSummary) TruePowerSeries() *trace.Series {
+	return trace.FromValues(s.Tick, s.TruePower...)
+}
+
+// EstimatedBytes approximates the summary's memory footprint for the byte
+// cap: the slices dominate; fixed overhead and the roster/ProcEnd strings
+// are charged with a small constant each.
+func (s *RunSummary) EstimatedBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	const (
+		fixed    = 256
+		perProc  = 64
+		f64Bytes = 8
+	)
+	b := int64(fixed)
+	b += int64(len(s.Power)+len(s.TruePower)+len(s.ResidIdle)+len(s.TotalActive)) * f64Bytes
+	b += int64(len(s.CPUTime)+len(s.TotalCPU)) * f64Bytes
+	b += int64(s.Roster.Len()+len(s.ProcEnd)) * perProc
+	return b
+}
+
+// baseline extracts the phase 1 baseline of app from the digest, exactly
+// as MeasureBaseline extracts it from a full run: mean noise-free power,
+// mean idle+residual and mean busy cores over the least-extreme stable
+// window of the noise-free trace. Bit-identical to the run path — the
+// trace has the same samples and the accumulations run in the same order
+// (adding an absent slot's zero CPU time is bit-neutral: utilization is
+// non-negative).
+func (s *RunSummary) baseline(ctx Context, appID string) (division.Baseline, error) {
+	power := s.TruePowerSeries()
+	window, err := power.StableWindow(ctx.StableWindow)
+	if err != nil {
+		window = power
+	}
+	from, to := window.Start(), window.End()+1
+	var total, residIdle, cores float64
+	var n int
+	slot, hasSlot := s.Roster.Slot(appID)
+	w := s.Roster.Len()
+	for i := 0; i < s.Ticks; i++ {
+		if at := time.Duration(i) * s.Tick; at < from || at >= to {
+			continue
+		}
+		total += s.TruePower[i]
+		residIdle += s.ResidIdle[i]
+		if hasSlot {
+			cores += s.CPUTime[i*w+slot].Utilization(s.Tick)
+		}
+		n++
+	}
+	if n == 0 {
+		return division.Baseline{}, fmt.Errorf("protocol: empty stable window for %s", appID)
+	}
+	return division.Baseline{
+		ID:       appID,
+		Total:    units.Watts(total / float64(n)),
+		Residual: units.Watts(residIdle / float64(n)),
+		Cores:    cores / float64(n),
+	}, nil
+}

@@ -32,6 +32,10 @@ type Sample struct {
 // and Validate checks it.
 type Series struct {
 	samples []Sample
+	// sum/sum2 are stableWindowSearch's prefix-sum scratch, kept on the
+	// series so a reused scratch series (Reset + Append per scoring call)
+	// amortises them too.
+	sum, sum2 []float64
 }
 
 // ErrUnordered is returned by Validate when samples are out of time order.
@@ -81,6 +85,10 @@ func (s *Series) Append(at time.Duration, value float64) {
 	}
 	s.samples = append(s.samples, Sample{At: at, Value: value})
 }
+
+// Reset empties the series in place, keeping its backing store — for
+// scratch series that are refilled tick by tick on every scoring call.
+func (s *Series) Reset() { s.samples = s.samples[:0] }
 
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.samples) }
@@ -427,24 +435,50 @@ func Correlation(a, b *Series, period time.Duration) float64 {
 // and tear-down transients. It returns an error if the series is shorter
 // than the window.
 func (s *Series) StableWindow(window time.Duration) (*Series, error) {
+	best, bestEnd, err := s.stableWindowSearch(window)
+	if err != nil {
+		return nil, err
+	}
+	return New(s.samples[best:bestEnd]...), nil
+}
+
+// StableWindowBounds is StableWindow without materialising the window: it
+// returns the times of the first and last sample of the selected window.
+// Scoring loops that only need the [from, to] bounds use it to avoid
+// copying the window's samples on every call.
+func (s *Series) StableWindowBounds(window time.Duration) (from, to time.Duration, err error) {
+	best, bestEnd, err := s.stableWindowSearch(window)
+	if err != nil {
+		return 0, 0, err
+	}
+	return s.samples[best].At, s.samples[bestEnd-1].At, nil
+}
+
+// stableWindowSearch locates the least-extreme window [best, bestEnd) —
+// the shared core of StableWindow and StableWindowBounds.
+func (s *Series) stableWindowSearch(window time.Duration) (best, bestEnd int, err error) {
 	n := len(s.samples)
 	if n == 0 {
-		return nil, ErrEmpty
+		return 0, 0, ErrEmpty
 	}
 	if s.Duration() < window {
-		return nil, fmt.Errorf("%w: series spans %v, window is %v", ErrTooShort, s.Duration(), window)
+		return 0, 0, fmt.Errorf("%w: series spans %v, window is %v", ErrTooShort, s.Duration(), window)
 	}
 	// Prefix sums of value and value² make every window's score O(1):
 	// for [i, j) with m samples, ss = Σv² − (Σv)²/m and score = ss/m.
 	// The end cursor j only moves forward as i advances, so the whole
 	// search is O(n) instead of O(n·w).
-	sum := make([]float64, n+1)
-	sum2 := make([]float64, n+1)
+	if cap(s.sum) < n+1 {
+		s.sum = make([]float64, n+1)
+		s.sum2 = make([]float64, n+1)
+	}
+	sum, sum2 := s.sum[:n+1], s.sum2[:n+1]
+	sum[0], sum2[0] = 0, 0
 	for i, sm := range s.samples {
 		sum[i+1] = sum[i] + sm.Value
 		sum2[i+1] = sum2[i] + sm.Value*sm.Value
 	}
-	best, bestEnd := -1, -1
+	best, bestEnd = -1, -1
 	bestScore := math.Inf(1)
 	j := 0
 	for i := 0; i < n; i++ {
@@ -468,9 +502,9 @@ func (s *Series) StableWindow(window time.Duration) (*Series, error) {
 		}
 	}
 	if best < 0 {
-		return nil, fmt.Errorf("%w: no contiguous window of %v (sample gaps too large)", ErrTooShort, window)
+		return 0, 0, fmt.Errorf("%w: no contiguous window of %v (sample gaps too large)", ErrTooShort, window)
 	}
-	return New(s.samples[best:bestEnd]...), nil
+	return best, bestEnd, nil
 }
 
 // TrimEnds returns the series with the first and last trim durations of

@@ -78,11 +78,23 @@ func StressSet() []Workload {
 	return out
 }
 
-// StressByName returns the stress workload with the given name.
+// StressByName returns the stress workload with the given name. Only the
+// matched definition is materialised (callers on the campaign hot path look
+// workloads up per process per run); the Cost map is still fresh per call,
+// so callers may mutate the returned Workload freely.
 func StressByName(name string) (Workload, bool) {
-	for _, w := range StressSet() {
-		if w.Name == name {
-			return w, true
+	for _, d := range stressDefs {
+		if d.name == name {
+			return Workload{
+				Name:        d.name,
+				Description: d.desc,
+				Kind:        Stress,
+				Cost: map[string]units.Watts{
+					MachineSmallIntel: d.small,
+					MachineDahu:       d.dahu,
+				},
+				Mix: d.mix,
+			}, true
 		}
 	}
 	return Workload{}, false
