@@ -13,9 +13,14 @@
 # — trip it, not scheduler noise).
 #
 # `make cover` enforces a statement-coverage floor on the numeric core
-# (internal/division), the model implementations (internal/models) and the
-# metrics subsystem (internal/obs) — the packages whose behaviour the paper's
-# numbers depend on most directly.
+# (internal/division), the model implementations (internal/models), the
+# metrics subsystem (internal/obs) and the traffic generator
+# (internal/traffic) — the packages whose behaviour the paper's numbers
+# depend on most directly.
+#
+# `make fuzz-smoke` runs each fuzz target briefly (seed corpus plus a few
+# seconds of mutation) so verify catches parser panics without a long
+# fuzzing session.
 
 GO ?= go
 
@@ -23,13 +28,13 @@ GO ?= go
 # coverage is ~90 %; the floor trails it so refactors have headroom but a
 # test-free feature drop still fails.
 COVER_FLOOR ?= 85
-COVER_PKGS  = ./internal/division ./internal/models ./internal/obs
+COVER_PKGS  = ./internal/division ./internal/models ./internal/obs ./internal/traffic
 
 # Regression threshold (percent) for bench-diff. The default is generous
 # because one-iteration runs are noisy; nightly runs can tighten it.
 BENCH_THRESHOLD ?= 300
 
-.PHONY: build test vet fmt-check race cover bench bench-check bench-diff verify
+.PHONY: build test vet fmt-check race cover bench bench-check bench-diff fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -63,4 +68,9 @@ bench-check:
 bench-diff:
 	$(GO) run ./cmd/powerdiv-bench -diff BENCH_campaign.json -threshold $(BENCH_THRESHOLD) -alloc-only -benchtime 1x -out ''
 
-verify: build vet fmt-check test race bench-check bench-diff
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzTraceJSON -fuzztime 5s ./internal/traffic
+	$(GO) test -run=^$$ -fuzz=FuzzPowercapLayout -fuzztime 2s ./internal/rapl
+	$(GO) test -run=^$$ -fuzz=FuzzParseCurveCSV -fuzztime 2s ./internal/cpumodel
+
+verify: build vet fmt-check test race bench-check bench-diff fuzz-smoke

@@ -25,6 +25,7 @@ import (
 	"powerdiv/internal/protocol"
 	"powerdiv/internal/report"
 	"powerdiv/internal/stressng"
+	"powerdiv/internal/traffic"
 	"powerdiv/internal/units"
 	"powerdiv/internal/vm"
 	"powerdiv/internal/workload"
@@ -322,7 +323,7 @@ func benchLabErrorTable(b *testing.B, evaluate func(protocol.Context, ...models.
 			}
 			b.StopTimer()
 			b.ReportMetric(stopWatermark(), "peak-heap-bytes")
-			b.ReportMetric(float64(nScenarios)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/sec")
+			reportScenariosPerSec(b, nScenarios)
 			writeResult(b, experiments.ErrorTable(spec.Name, results), "errors-"+slug(spec.Name))
 		})
 	}
@@ -390,8 +391,18 @@ func BenchmarkCampaignParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(len(scenarios))*float64(b.N)/b.Elapsed().Seconds(), "scenarios/sec")
+			reportScenariosPerSec(b, len(scenarios))
 		})
+	}
+}
+
+// reportScenariosPerSec emits the scenarios/sec throughput metric, guarded
+// against a zero-elapsed timer (possible when every iteration is served
+// from the memoization cache on a coarse clock): dividing by it would
+// report +Inf and poison benchstat comparisons, so the metric is skipped.
+func reportScenariosPerSec(b *testing.B, scenarios int) {
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(scenarios)*float64(b.N)/secs, "scenarios/sec")
 	}
 }
 
@@ -430,9 +441,33 @@ func BenchmarkCampaignMemoization(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(nScenarios)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/sec")
+			reportScenariosPerSec(b, nScenarios)
 		})
 	}
+}
+
+// BenchmarkTrafficCampaign measures the production-shaped traffic pipeline:
+// generated churn schedules scored per tick by all six models on the fused
+// streaming path. The peak-heap metric pins the bounded-memory claim — the
+// campaign never materializes a full run per scenario.
+func BenchmarkTrafficCampaign(b *testing.B) {
+	ctx := experiments.LabContext(cpumodel.SmallIntel(), benchSeed)
+	cfg := experiments.TrafficConfig(ctx, traffic.Mixed, 24, 15*time.Second)
+	b.ReportAllocs()
+	stopWatermark := startHeapWatermark()
+	b.ResetTimer()
+	var res experiments.TrafficResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.TrafficCampaign(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(stopWatermark(), "peak-heap-bytes")
+	reportScenariosPerSec(b, cfg.Scenarios)
+	writeResult(b, res.Table(), "traffic-campaign")
 }
 
 // BenchmarkSectionVEnergyDeltas regenerates the §V colocation sweep:

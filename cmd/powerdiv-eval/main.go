@@ -3,9 +3,17 @@
 // application, phase 2 parallel pair scenarios, phase 3 Equation 5 scoring
 // of each power division model — the §IV-A campaign behind Fig 4–7.
 //
+// With -traffic it instead scores the models over production-shaped timed
+// rosters: generated arrival schedules (Poisson, bursty, diurnal) whose
+// instances start and exit mid-run, evaluated per tick on the fused
+// streaming pipeline. -traffic-record saves the exact schedule as a JSON
+// trace; -traffic-replay re-scores a saved trace bit-identically.
+//
 // Usage:
 //
 //	powerdiv-eval [-machine DAHU] [-context lab|prod] [-seed 1] [-points] [-csv-dir out/] [-memo=false] [-memo-stats]
+//	powerdiv-eval -traffic [-traffic-kind poisson|bursty|diurnal|mixed] [-traffic-scenarios 50] [-traffic-window 30s] [-traffic-record trace.json]
+//	powerdiv-eval -traffic-replay trace.json
 package main
 
 import (
@@ -17,12 +25,14 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"powerdiv/internal/cpumodel"
 	"powerdiv/internal/experiments"
 	"powerdiv/internal/models"
 	"powerdiv/internal/obs"
 	"powerdiv/internal/protocol"
+	"powerdiv/internal/traffic"
 )
 
 // jsonReport is the machine-readable campaign output.
@@ -81,6 +91,12 @@ func main() {
 	streaming := flag.Bool("streaming", true, "run the fused streaming pipeline (bounded memory, bit-identical results)")
 	memoStats := flag.Bool("memo-stats", false, "print run cache statistics after the campaign")
 	metrics := flag.Bool("metrics", false, "print the internal metrics summary after the campaign")
+	trafficOn := flag.Bool("traffic", false, "run a production-shaped traffic campaign instead of the pair campaign")
+	trafficKind := flag.String("traffic-kind", "mixed", `arrival process: "poisson", "bursty", "diurnal" or "mixed"`)
+	trafficScenarios := flag.Int("traffic-scenarios", 50, "number of generated traffic scenarios")
+	trafficWindow := flag.Duration("traffic-window", 30*time.Second, "duration of each traffic scenario")
+	trafficRecord := flag.String("traffic-record", "", "write the generated schedule to this JSON trace file")
+	trafficReplay := flag.String("traffic-replay", "", "replay a recorded JSON trace instead of generating (implies -traffic)")
 	flag.Parse()
 	protocol.EnableMemoization(*memo)
 	obs.Enable(*metrics)
@@ -99,6 +115,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown context %q (want lab or prod)\n", *context)
 		os.Exit(2)
+	}
+
+	if *trafficOn || *trafficReplay != "" {
+		runTraffic(ctx, *context, trafficOptions{
+			kind:      *trafficKind,
+			scenarios: *trafficScenarios,
+			window:    *trafficWindow,
+			record:    *trafficRecord,
+			replay:    *trafficReplay,
+			asJSON:    *asJSON,
+			metrics:   *metrics,
+		})
+		return
 	}
 
 	if !*asJSON {
@@ -158,4 +187,113 @@ func printMetricsSummary(on bool) {
 	if on {
 		fmt.Fprint(os.Stderr, obs.Default().Summary())
 	}
+}
+
+// trafficOptions bundles the -traffic* flag values.
+type trafficOptions struct {
+	kind      string
+	scenarios int
+	window    time.Duration
+	record    string
+	replay    string
+	asJSON    bool
+	metrics   bool
+}
+
+// jsonTrafficReport is the machine-readable traffic campaign output.
+type jsonTrafficReport struct {
+	Machine   string             `json:"machine"`
+	Context   string             `json:"context"`
+	Kind      string             `json:"kind"`
+	Scenarios int                `json:"scenarios"`
+	Instances int                `json:"instances"`
+	Baselines int                `json:"baselines"`
+	WindowNS  int64              `json:"window_ns"`
+	Models    []jsonTrafficModel `json:"models"`
+}
+
+type jsonTrafficModel struct {
+	Model         string  `json:"model"`
+	MeanAE        float64 `json:"mean_ae"`
+	MaxAE         float64 `json:"max_ae"`
+	MeanCoverage  float64 `json:"mean_coverage"`
+	WorstScenario string  `json:"worst_scenario"`
+}
+
+func emitTrafficJSON(w io.Writer, context string, res experiments.TrafficResult) error {
+	rep := jsonTrafficReport{
+		Machine:   res.Machine,
+		Context:   context,
+		Kind:      res.Kind,
+		Scenarios: res.Scenarios,
+		Instances: res.Instances,
+		Baselines: res.Baselines,
+		WindowNS:  int64(res.Window),
+	}
+	names := make([]string, 0, len(res.Summaries))
+	for n := range res.Summaries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := res.Summaries[n]
+		rep.Models = append(rep.Models, jsonTrafficModel{
+			Model: n, MeanAE: s.MeanAE, MaxAE: s.MaxAE,
+			MeanCoverage: s.MeanCoverage, WorstScenario: s.WorstScenario,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// runTraffic drives a traffic campaign: generate (or replay) the timed
+// rosters, score every model on the streaming pipeline, render, and
+// optionally record the schedule.
+func runTraffic(ctx protocol.Context, context string, opt trafficOptions) {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	var res experiments.TrafficResult
+	if opt.replay != "" {
+		data, err := os.ReadFile(opt.replay)
+		if err != nil {
+			fail(err)
+		}
+		tr, err := traffic.Decode(data)
+		if err != nil {
+			fail(err)
+		}
+		if res, err = experiments.TrafficReplay(ctx, tr); err != nil {
+			fail(err)
+		}
+	} else {
+		kind, err := traffic.KindByName(opt.kind)
+		if err != nil {
+			fail(err)
+		}
+		cfg := experiments.TrafficConfig(ctx, kind, opt.scenarios, opt.window)
+		if res, err = experiments.TrafficCampaign(ctx, cfg); err != nil {
+			fail(err)
+		}
+	}
+	if opt.record != "" {
+		data, err := res.Trace.Encode()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(opt.record, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", opt.record)
+	}
+	if opt.asJSON {
+		if err := emitTrafficJSON(os.Stdout, context, res); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Print(res.Table().String())
+	}
+	printMetricsSummary(opt.metrics)
 }

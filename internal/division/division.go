@@ -103,11 +103,20 @@ func EstimateWithPolicy(aS, aWithoutPi, r units.Watts, x float64) units.Watts {
 type Shares map[string]float64
 
 // normalize scales weights into shares. It returns nil if no weight is
-// positive.
+// positive. The total accumulates in sorted-key order: with three or more
+// applications a map-order float sum differs in the low bits across runs,
+// which would make the objective shares — and every error table derived
+// from them — nondeterministic per seed. (Pairs masked this: adding two
+// floats is commutative.)
 func normalize(weights map[string]float64) Shares {
+	ids := make([]string, 0, len(weights))
+	for id := range weights {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var total float64
-	for _, w := range weights {
-		if w > 0 {
+	for _, id := range ids {
+		if w := weights[id]; w > 0 {
 			total += w
 		}
 	}
@@ -115,7 +124,8 @@ func normalize(weights map[string]float64) Shares {
 		return nil
 	}
 	s := make(Shares, len(weights))
-	for id, w := range weights {
+	for _, id := range ids {
+		w := weights[id]
 		if w < 0 {
 			w = 0
 		}

@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"testing"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/units"
+)
+
+// TestChurnIdleGapRunsToWindow pins the no-early-exit rule under churn: when
+// every early process exits before a late arrival starts, the run must coast
+// through the idle gap (near-idle power, no present procs) instead of
+// declaring the workload finished, and still honour the late arrival.
+func TestChurnIdleGapRunsToWindow(t *testing.T) {
+	cfg := labConfig(cpumodel.SmallIntel())
+	early := stressProc("a-early", "int64", 2)
+	early.Stop = 2 * time.Second
+	late := stressProc("b-late", "fibonacci", 1)
+	late.Start = 5 * time.Second
+
+	run, err := Simulate(cfg, []Proc{early, late}, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Duration < 8*time.Second {
+		t.Fatalf("run ended at %v before the late arrival's window closed", run.Duration)
+	}
+	idlePower := cfg.Spec.Power.Idle
+	for ti, rec := range run.Ticks {
+		_, earlyOn := run.ProcAt(ti, "a-early")
+		_, lateOn := run.ProcAt(ti, "b-late")
+		switch {
+		case rec.At < 2*time.Second:
+			if !earlyOn || lateOn {
+				t.Fatalf("t=%v: presence early=%v late=%v, want true/false", rec.At, earlyOn, lateOn)
+			}
+		case rec.At < 5*time.Second:
+			if earlyOn || lateOn {
+				t.Fatalf("t=%v: presence early=%v late=%v during idle gap", rec.At, earlyOn, lateOn)
+			}
+			// The gap draws idle power plus noise only: no active component.
+			if float64(rec.TruePower) > float64(idlePower)*1.5 {
+				t.Fatalf("t=%v: idle-gap power %v vs idle %v", rec.At, rec.TruePower, idlePower)
+			}
+		default:
+			if earlyOn || !lateOn {
+				t.Fatalf("t=%v: presence early=%v late=%v, want false/true", rec.At, earlyOn, lateOn)
+			}
+		}
+	}
+	if got := run.ProcEnd["a-early"]; got != 2*time.Second {
+		t.Errorf("early ProcEnd = %v, want 2s", got)
+	}
+	if got := run.ProcEnd["b-late"]; got != 8*time.Second {
+		t.Errorf("late ProcEnd = %v, want 8s (ran to window)", got)
+	}
+}
+
+// TestChurnStaggeredRoster pins dense-column bookkeeping under staggered
+// arrivals and exits: every tick's Procs column reports Present exactly for
+// the instances whose [Start, Stop) covers it, and CPU time only accrues
+// while present.
+func TestChurnStaggeredRoster(t *testing.T) {
+	cfg := labConfig(cpumodel.SmallIntel())
+	mk := func(id string, start, stop time.Duration) Proc {
+		p := stressProc(id, "int64", 1)
+		p.Start, p.Stop = start, stop
+		return p
+	}
+	procs := []Proc{
+		mk("p0", 0, 0),
+		mk("p1", time.Second, 3*time.Second),
+		mk("p2", 2*time.Second, 4500*time.Millisecond),
+		mk("p3", 4*time.Second, 0),
+	}
+	window := 6 * time.Second
+	run, err := Simulate(cfg, procs, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum := make(map[string]units.CPUTime, len(procs))
+	for ti, rec := range run.Ticks {
+		for _, p := range procs {
+			pt, present := run.ProcAt(ti, p.ID)
+			want := rec.At >= p.Start && (p.Stop == 0 || rec.At < p.Stop)
+			if present != want {
+				t.Fatalf("t=%v %s: presence %v, want %v", rec.At, p.ID, present, want)
+			}
+			if !present {
+				continue
+			}
+			if pt.CPUTime < cum[p.ID] {
+				t.Fatalf("t=%v %s: CPU time went backwards (%v < %v)", rec.At, p.ID, pt.CPUTime, cum[p.ID])
+			}
+			cum[p.ID] = pt.CPUTime
+		}
+	}
+	for _, p := range procs {
+		stop := p.Stop
+		if stop == 0 {
+			stop = window
+		}
+		if got := run.ProcEnd[p.ID]; got != stop {
+			t.Errorf("%s: ProcEnd = %v, want %v", p.ID, got, stop)
+		}
+		alive := stop - p.Start
+		if cum[p.ID] <= 0 || cum[p.ID].Duration() > alive {
+			t.Errorf("%s: accrued CPU time %v outside (0, %v]", p.ID, cum[p.ID], alive)
+		}
+	}
+}

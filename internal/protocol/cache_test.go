@@ -155,6 +155,18 @@ func TestRunKeyDiscriminates(t *testing.T) {
 			p.CPUQuota = 0.5
 			return runKey(base, []machine.Proc{p}, 10*time.Second)
 		},
+		// Churn fields: two rosters identical except for one instance's
+		// arrival or exit time must never share a memoized run.
+		"start-offset": func() string {
+			p := app.proc()
+			p.Start = 2 * time.Second
+			return runKey(base, []machine.Proc{p}, 10*time.Second)
+		},
+		"stop-offset": func() string {
+			p := app.proc()
+			p.Stop = 8 * time.Second
+			return runKey(base, []machine.Proc{p}, 10*time.Second)
+		},
 		"workload-cost": func() string {
 			a := app
 			cost := map[string]units.Watts{}

@@ -131,10 +131,13 @@ func scenarioTruths(s Scenario, baselines map[string]division.Baseline, objectiv
 	}
 	bs := make([]division.Baseline, 0, len(s.Apps))
 	for _, a := range s.Apps {
-		b, ok := baselines[a.ID]
+		b, ok := baselines[a.baselineID()]
 		if !ok {
 			return nil, fmt.Errorf("protocol: no baseline for %s (run phase 1 first)", a.ID)
 		}
+		// The truth shares key by the roster's instance IDs, not by the
+		// (possibly shared) application type the baseline was measured as.
+		b.ID = a.ID
 		bs = append(bs, b)
 	}
 	truths := make([]division.Shares, len(objectives))
@@ -433,6 +436,31 @@ func AppsOf(scenarios []Scenario) []AppSpec {
 	for _, s := range scenarios {
 		for _, a := range s.Apps {
 			seen[a.ID] = a
+		}
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]AppSpec, len(ids))
+	for i, id := range ids {
+		out[i] = seen[id]
+	}
+	return out
+}
+
+// BaselineAppsOf collects the distinct application *types* appearing in the
+// scenarios — the phase 1 measurement list for traffic campaigns, where many
+// short-lived instances share one baseline. Each returned spec is the
+// stripped baselineSpec (ID = baselineID, no lifetime offsets), sorted by
+// ID. For scenarios without traffic fields it coincides with AppsOf.
+func BaselineAppsOf(scenarios []Scenario) []AppSpec {
+	seen := map[string]AppSpec{}
+	for _, s := range scenarios {
+		for _, a := range s.Apps {
+			b := a.baselineSpec()
+			seen[b.ID] = b
 		}
 	}
 	ids := make([]string, 0, len(seen))

@@ -121,7 +121,7 @@ func MeasureBaselinesParallel(ctx Context, apps []AppSpec) (map[string]division.
 	}
 	out := make(map[string]division.Baseline, len(apps))
 	for i, app := range apps {
-		out[app.ID] = results[i]
+		out[app.baselineID()] = results[i]
 	}
 	return out, nil
 }

@@ -57,13 +57,43 @@ func DefaultContext(cfg machine.Config) Context {
 
 // AppSpec identifies one application instance in the protocol: a workload
 // with a thread count (the paper's "applications" are stress functions ×
-// thread sizes) and optional §IV-B capping/pinning.
+// thread sizes) and optional §IV-B capping/pinning. Traffic scenarios add a
+// lifetime (StartAt/StopAt) and a BaseID so that many short-lived instances
+// of the same application type share a single phase 1 baseline.
 type AppSpec struct {
-	ID       string
+	ID string
+	// BaseID names the application type for phase 1: instances sharing a
+	// BaseID share one solo baseline (measured without lifetime offsets).
+	// Empty means the instance is its own type (the static-campaign case).
+	BaseID   string
 	Workload workload.Workload
 	Threads  int
 	CPUQuota float64
 	Pinned   []int
+	// StartAt is the instance's arrival into the scenario; StopAt its
+	// scripted exit (0 = runs until the scenario or its workload ends).
+	StartAt time.Duration
+	StopAt  time.Duration
+}
+
+// baselineID is the key the instance's phase 1 baseline is stored under.
+func (a AppSpec) baselineID() string {
+	if a.BaseID != "" {
+		return a.BaseID
+	}
+	return a.ID
+}
+
+// baselineSpec strips the instance down to its application type: the spec
+// phase 1 actually measures, solo and without lifetime offsets. For specs
+// without traffic fields it is the identity, so static campaigns measure —
+// and cache — exactly what they always did.
+func (a AppSpec) baselineSpec() AppSpec {
+	b := a
+	b.ID = a.baselineID()
+	b.BaseID = ""
+	b.StartAt, b.StopAt = 0, 0
+	return b
 }
 
 // proc converts the spec to a simulator process.
@@ -72,6 +102,8 @@ func (a AppSpec) proc() machine.Proc {
 		ID:       a.ID,
 		Workload: a.Workload,
 		Threads:  a.Threads,
+		Start:    a.StartAt,
+		Stop:     a.StopAt,
 		CPUQuota: a.CPUQuota,
 		Pinned:   a.Pinned,
 	}
@@ -104,7 +136,12 @@ func MeasureIdle(ctx Context) (units.Watts, error) {
 //
 // The returned run is shared with the memoization cache (see cache.go) and
 // must be treated as read-only.
+//
+// Traffic instances are measured as their application type: the lifetime
+// offsets are stripped and the baseline is keyed by the spec's baselineID,
+// so every instance of a type shares one solo run.
 func MeasureBaseline(ctx Context, app AppSpec) (division.Baseline, *machine.Run, error) {
+	app = app.baselineSpec()
 	cfg := ctx.Machine
 	cfg.Seed = deriveSeed(ctx.Seed, "solo", app.ID)
 	run, err := simulateCached(cfg, []machine.Proc{app.proc()}, ctx.RunFor)
@@ -151,6 +188,7 @@ func MeasureBaseline(ctx Context, app AppSpec) (division.Baseline, *machine.Run,
 // RunSummary instead of a retained *machine.Run. The campaign paths use it
 // so phase 1 pins digests, not full solo runs.
 func MeasureBaselineSummary(ctx Context, app AppSpec) (division.Baseline, error) {
+	app = app.baselineSpec()
 	cfg := ctx.Machine
 	cfg.Seed = deriveSeed(ctx.Seed, "solo", app.ID)
 	sum, err := summaryCached(cfg, []machine.Proc{app.proc()}, ctx.RunFor)
@@ -160,7 +198,8 @@ func MeasureBaselineSummary(ctx Context, app AppSpec) (division.Baseline, error)
 	return sum.baseline(ctx, app.ID)
 }
 
-// MeasureBaselines runs phase 1 for a list of applications.
+// MeasureBaselines runs phase 1 for a list of applications. Results are
+// keyed by baselineID — the same key scenarioTruths resolves instances by.
 func MeasureBaselines(ctx Context, apps []AppSpec) (map[string]division.Baseline, error) {
 	out := make(map[string]division.Baseline, len(apps))
 	for _, app := range apps {
@@ -168,7 +207,7 @@ func MeasureBaselines(ctx Context, apps []AppSpec) (map[string]division.Baseline
 		if err != nil {
 			return nil, err
 		}
-		out[app.ID] = b
+		out[app.baselineID()] = b
 	}
 	return out, nil
 }

@@ -1,0 +1,353 @@
+package protocol
+
+import (
+	"fmt"
+	"time"
+
+	"powerdiv/internal/division"
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+	"powerdiv/internal/units"
+)
+
+// This file scores models over traffic scenarios: generated timed rosters
+// whose instances arrive (AppSpec.StartAt), burst and exit (StopAt) while
+// the scenario runs — the paper's "production context" shape that the
+// static pair campaigns cannot reach. The objective is per tick, over the
+// instances actually present (as in EvaluateTimeline): churn transitions
+// are exactly what is under test, so no stable-window selection applies.
+//
+// Two pipelines produce bit-identical results (the traffic golden test pins
+// it): the materialized reference simulates the full run then replays the
+// models, and the streaming path fuses simulate → observe into one pass
+// with O(ticks-in-flight) simulator state. Both accumulate the same
+// scoring view (tick series + per-slot presence columns) and share the
+// scoring tail verbatim.
+
+// TrafficEvaluation is the scored outcome of one model on one traffic
+// scenario.
+type TrafficEvaluation struct {
+	Scenario Scenario
+	Model    string
+	// AE is the Eq 5 absolute error with per-tick objective shares over the
+	// instances present at each tick.
+	AE float64
+	// Coverage is the fraction of busy ticks the model estimated —
+	// membership churn forces recalibration (PowerAPI's learning drops),
+	// which lowers it.
+	Coverage float64
+	// BusyTicks counts ticks with at least one instance running;
+	// ScoredTicks those that entered the Eq 5 average.
+	BusyTicks   int
+	ScoredTicks int
+}
+
+// TrafficSummary aggregates one model over a traffic campaign.
+type TrafficSummary struct {
+	Model  string
+	MeanAE float64
+	MaxAE  float64
+	// WorstScenario is the scenario achieving MaxAE.
+	WorstScenario string
+	// MeanCoverage is the mean per-scenario estimate coverage.
+	MeanCoverage float64
+	Evaluations  []TrafficEvaluation
+}
+
+// SummarizeTraffic aggregates per-scenario traffic evaluations.
+func SummarizeTraffic(model string, evs []TrafficEvaluation) TrafficSummary {
+	s := TrafficSummary{Model: model, Evaluations: evs}
+	for _, ev := range evs {
+		s.MeanAE += ev.AE
+		s.MeanCoverage += ev.Coverage
+		if ev.AE > s.MaxAE {
+			s.MaxAE = ev.AE
+			s.WorstScenario = ev.Scenario.Label()
+		}
+	}
+	if len(evs) > 0 {
+		s.MeanAE /= float64(len(evs))
+		s.MeanCoverage /= float64(len(evs))
+	}
+	return s
+}
+
+// trafficView is the scoring view both pipelines accumulate: the tick
+// series plus a dense presence slab (ticks × roster slots). It is exactly
+// the O(ticks) state phase 3 needs and nothing more — the streaming path's
+// only per-scenario growth besides the estimate matrices.
+type trafficView struct {
+	ts       tickSeries
+	presence []bool
+	n        int
+}
+
+func newTrafficView(n, capTicks int) *trafficView {
+	return &trafficView{
+		ts: tickSeries{
+			at:    make([]time.Duration, 0, capTicks),
+			power: make([]units.Watts, 0, capTicks),
+		},
+		presence: make([]bool, 0, capTicks*n),
+		n:        n,
+	}
+}
+
+// observe appends one tick's scoring state.
+func (v *trafficView) observe(rec *machine.TickRecord) {
+	v.ts.at = append(v.ts.at, rec.At)
+	v.ts.power = append(v.ts.power, rec.Power)
+	for slot := 0; slot < v.n; slot++ {
+		v.presence = append(v.presence, rec.Procs[slot].Present())
+	}
+}
+
+// row returns tick i's presence column.
+func (v *trafficView) row(i int) []bool { return v.presence[i*v.n : (i+1)*v.n] }
+
+// trafficSlotBaselines resolves each roster slot's baseline, re-keyed to
+// the instance ID so per-tick truth shares key by the roster.
+func trafficSlotBaselines(s Scenario, rosterIDs []string, baselines map[string]division.Baseline) ([]division.Baseline, error) {
+	byID := make(map[string]AppSpec, len(s.Apps))
+	for _, a := range s.Apps {
+		byID[a.ID] = a
+	}
+	out := make([]division.Baseline, len(rosterIDs))
+	for slot, id := range rosterIDs {
+		a, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("protocol: roster instance %s not in scenario %q", id, s.Label())
+		}
+		b, ok := baselines[a.baselineID()]
+		if !ok {
+			return nil, fmt.Errorf("protocol: no baseline for %s (run phase 1 first)", a.baselineID())
+		}
+		b.ID = id
+		out[slot] = b
+	}
+	return out, nil
+}
+
+// trafficTruths computes the per-tick objective: Equation 3 shares over the
+// instances present at each tick, projected onto the roster (AbsentShare
+// marks slots outside a tick's objective). truths[i] is nil for idle or
+// degenerate ticks; busy counts ticks with at least one instance present.
+// The truth is model-independent, so each scenario computes it once and
+// every model scores against the same vectors.
+func trafficTruths(view *trafficView, rosterIDs []string, slotBase []division.Baseline) (truths [][]float64, busy int) {
+	truths = make([][]float64, len(view.ts.at))
+	bs := make([]division.Baseline, 0, len(rosterIDs))
+	for i := range view.ts.at {
+		row := view.row(i)
+		bs = bs[:0]
+		for slot := range rosterIDs {
+			if row[slot] {
+				bs = append(bs, slotBase[slot])
+			}
+		}
+		if len(bs) == 0 {
+			continue
+		}
+		busy++
+		truth := division.TruthShares(bs)
+		if truth == nil {
+			continue
+		}
+		truths[i] = truth.Vector(rosterIDs)
+	}
+	return truths, busy
+}
+
+// scoreTrafficModel is the scoring tail shared verbatim by the streaming
+// and materialized pipelines — which is what makes their error tables
+// bit-identical by construction.
+func scoreTrafficModel(s Scenario, modelName string, view *trafficView, truths [][]float64, busy int, est *models.DenseEstimates) (TrafficEvaluation, error) {
+	ev := TrafficEvaluation{Scenario: s, Model: modelName, BusyTicks: busy}
+	if busy == 0 {
+		return ev, fmt.Errorf("protocol: traffic scenario %q never ran any instance", s.Label())
+	}
+	var scoredEsts [][]units.Watts
+	var scoredPower []units.Watts
+	var scoredTruths [][]float64
+	for i := range view.ts.at {
+		if truths[i] == nil || !est.OK[i] {
+			continue
+		}
+		scoredEsts = append(scoredEsts, est.Row(i))
+		scoredPower = append(scoredPower, view.ts.power[i])
+		scoredTruths = append(scoredTruths, truths[i])
+	}
+	ev.ScoredTicks = len(scoredEsts)
+	ev.Coverage = float64(ev.ScoredTicks) / float64(busy)
+	if ev.ScoredTicks > 0 {
+		ae, err := division.AbsoluteErrorColumns(scoredEsts, scoredPower, scoredTruths)
+		if err != nil {
+			return ev, fmt.Errorf("protocol: traffic scenario %q: %w", s.Label(), err)
+		}
+		ev.AE = ae
+	}
+	return ev, nil
+}
+
+// trafficScenarioSetup is the per-scenario state both pipelines derive the
+// same way: config seed, sorted procs, roster and model instances.
+func trafficScenarioSetup(ctx Context, s Scenario, fs []models.Factory) (machine.Config, []machine.Proc, *machine.Roster, []models.Model) {
+	cfg := ctx.Machine
+	cfg.Seed = deriveSeed(ctx.Seed, "traffic", s.Label())
+	procs := make([]machine.Proc, len(s.Apps))
+	ids := make([]string, len(s.Apps))
+	for i, a := range s.Apps {
+		procs[i] = a.proc()
+		ids[i] = a.ID
+	}
+	roster := machine.NewRoster(ids)
+	ms := make([]models.Model, len(fs))
+	for m, f := range fs {
+		ms[m] = f.New(deriveSeed(ctx.Seed, "model", f.Name, s.Label()))
+	}
+	return cfg, procs, roster, ms
+}
+
+// evaluateTrafficScenarioStreaming scores every factory over one traffic
+// scenario in a single fused simulator pass: the scenario is simulated
+// exactly once, all models observe the stream tick by tick, and the run is
+// never materialized or cached.
+func evaluateTrafficScenarioStreaming(ctx Context, s Scenario, fs []models.Factory, baselines map[string]division.Baseline, window time.Duration) ([]TrafficEvaluation, error) {
+	cfg, procs, roster, ms := trafficScenarioSetup(ctx, s, fs)
+	tick := cfg.TickInterval()
+	maxTicks := int(window/tick) + 1
+	if maxTicks < 0 {
+		maxTicks = 0
+	}
+	logical := cfg.Spec.Topology.LogicalCPUs()
+	replay := models.NewStreamReplay(roster, ms, maxTicks)
+	view := newTrafficView(roster.Len(), maxTicks)
+	scratch := make([]models.ProcSample, roster.Len())
+	_, err := machine.Stream(cfg, procs, window, func(rec *machine.TickRecord) error {
+		for slot := range scratch {
+			pt := rec.Procs[slot]
+			scratch[slot] = models.ProcSample{
+				CPUTime:    pt.CPUTime,
+				Counters:   pt.Counters,
+				Threads:    pt.Threads,
+				TrueActive: pt.ActivePower,
+			}
+		}
+		replay.Observe(models.Tick{
+			At:           rec.At,
+			Interval:     tick,
+			MachinePower: rec.Power,
+			LogicalCPUs:  logical,
+			Freq:         rec.Freq,
+			Roster:       roster,
+			Samples:      scratch,
+		})
+		view.observe(rec)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: traffic scenario %q: %w", s.Label(), err)
+	}
+	return scoreTrafficScenario(s, fs, view, roster.IDs(), baselines, func(m int) *models.DenseEstimates {
+		return replay.Estimates(m)
+	})
+}
+
+// evaluateTrafficScenarioMaterialized is the reference pipeline: simulate
+// the scenario into a full run, replay every model over its dense ticks,
+// then score through the very same tail as the streaming path.
+func evaluateTrafficScenarioMaterialized(ctx Context, s Scenario, fs []models.Factory, baselines map[string]division.Baseline, window time.Duration) ([]TrafficEvaluation, error) {
+	cfg, procs, roster, ms := trafficScenarioSetup(ctx, s, fs)
+	run, err := machine.Simulate(cfg, procs, window)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: traffic scenario %q: %w", s.Label(), err)
+	}
+	ticks := models.RunTicksDense(run)
+	view := newTrafficView(roster.Len(), len(run.Ticks))
+	for i := range run.Ticks {
+		view.observe(&run.Ticks[i])
+	}
+	ests := make([]*models.DenseEstimates, len(ms))
+	for m, model := range ms {
+		ests[m] = models.ReplayDense(model, ticks)
+	}
+	return scoreTrafficScenario(s, fs, view, roster.IDs(), baselines, func(m int) *models.DenseEstimates {
+		return ests[m]
+	})
+}
+
+// scoreTrafficScenario runs the shared scoring tail for every factory.
+func scoreTrafficScenario(s Scenario, fs []models.Factory, view *trafficView, rosterIDs []string, baselines map[string]division.Baseline, est func(int) *models.DenseEstimates) ([]TrafficEvaluation, error) {
+	slotBase, err := trafficSlotBaselines(s, rosterIDs, baselines)
+	if err != nil {
+		return nil, err
+	}
+	truths, busy := trafficTruths(view, rosterIDs, slotBase)
+	out := make([]TrafficEvaluation, len(fs))
+	for m, f := range fs {
+		ev, err := scoreTrafficModel(s, f.Name, view, truths, busy, est(m))
+		if err != nil {
+			return nil, err
+		}
+		out[m] = ev
+	}
+	return out, nil
+}
+
+// evaluateTrafficCampaign factors the campaign shape shared by both
+// pipelines: phase 1 over the distinct application types, then the given
+// per-scenario evaluator across the worker pool.
+func evaluateTrafficCampaign(ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, window time.Duration,
+	eval func(Context, Scenario, []models.Factory, map[string]division.Baseline, time.Duration) ([]TrafficEvaluation, error)) (map[string][]TrafficEvaluation, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("protocol: non-positive traffic window %v", window)
+	}
+	baselines, err := MeasureBaselinesParallel(ctx, BaselineAppsOf(scenarios))
+	if err != nil {
+		return nil, err
+	}
+	fs := factories(baselines)
+	perScenario := make([][]TrafficEvaluation, len(scenarios))
+	err = forEachIndexed(len(scenarios), func(i int) error {
+		done := observeScenario()
+		row, err := eval(ctx, scenarios[i], fs, baselines, window)
+		if err != nil {
+			return err
+		}
+		perScenario[i] = row
+		done()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]TrafficEvaluation{}
+	for m, f := range fs {
+		evs := make([]TrafficEvaluation, len(scenarios))
+		for i := range scenarios {
+			evs[i] = perScenario[i][m]
+		}
+		out[f.Name] = evs
+	}
+	return out, nil
+}
+
+// EvaluateTrafficStreaming scores every factory over a traffic campaign on
+// the fused streaming pipeline: phase 1 measures one baseline per distinct
+// application type through the byte-capped summary cache, then each
+// scenario is simulated exactly once — all models ride the same stream —
+// and scored against the per-tick objective. Peak memory per worker is one
+// scenario's estimate matrices and scoring view; churn runs are never
+// materialized or cached. Deterministic per ctx.Seed regardless of
+// scheduling: every simulation and model seed derives from the scenario
+// label, so two identical campaigns yield bit-identical error tables.
+func EvaluateTrafficStreaming(ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, window time.Duration) (map[string][]TrafficEvaluation, error) {
+	return evaluateTrafficCampaign(ctx, scenarios, factories, window, evaluateTrafficScenarioStreaming)
+}
+
+// EvaluateTraffic is the materialized reference pipeline for traffic
+// campaigns — same results as EvaluateTrafficStreaming bit for bit (the
+// golden test pins it), at the cost of materializing each churn run.
+func EvaluateTraffic(ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, window time.Duration) (map[string][]TrafficEvaluation, error) {
+	return evaluateTrafficCampaign(ctx, scenarios, factories, window, evaluateTrafficScenarioMaterialized)
+}

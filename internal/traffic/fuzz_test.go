@@ -1,0 +1,51 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzTraceJSON pins the replay parser's safety contract: arbitrary bytes
+// never panic Decode, and any trace it accepts is fully replayable —
+// ProtocolScenarios succeeds and the trace re-encodes to a decodable form.
+func FuzzTraceJSON(f *testing.F) {
+	cfg := Config{
+		Kind: Mixed, Seed: 42, Scenarios: 3, Window: 5 * time.Second,
+		ArrivalsPerMinute: 120, MaxThreads: 2, MaxCPUs: 6, Baseload: 2,
+	}
+	if scenarios, err := Generate(cfg); err == nil {
+		if data, err := Record(cfg, scenarios).Encode(); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"version":1,"kind":"poisson","seed":1,"window_ns":1000000000,` +
+		`"scenarios":[{"apps":[` +
+		`{"id":"a","kernel":"fibonacci","threads":1,"start_ns":0,"stop_ns":0},` +
+		`{"id":"b","kernel":"matrixprod","threads":2,"start_ns":5,"stop_ns":10}]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"window_ns":-3}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		scenarios, err := tr.ProtocolScenarios()
+		if err != nil {
+			t.Fatalf("accepted trace failed to replay: %v", err)
+		}
+		for i, s := range scenarios {
+			if len(s.Apps) < 2 {
+				t.Fatalf("accepted trace scenario %d has %d instances", i, len(s.Apps))
+			}
+		}
+		out, err := tr.Encode()
+		if err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		if _, err := Decode(out); err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,374 @@
+// Package traffic generates production-shaped scenario schedules for the
+// evaluation protocol: instead of the paper's static solo/pair rosters,
+// instances of the stress/phoronix application types arrive by a stochastic
+// arrival process, run for exponentially distributed lifetimes and exit
+// mid-run — the "production context" of continuously churning processes
+// that the paper's framing targets but its evaluation never reaches.
+//
+// Three arrival shapes are built in:
+//
+//   - Poisson: memoryless arrivals at a constant mean rate — the classic
+//     open-system baseline;
+//   - Bursty: a two-state Markov-modulated Poisson process alternating
+//     calm and burst periods (exponential sojourns), holding the configured
+//     mean rate overall;
+//   - Diurnal: a Poisson process thinned against a sinusoidal multi-period
+//     rate curve, the day/night load swing of a production fleet.
+//
+// Determinism contract: Generate is a pure function of its Config. Every
+// random draw comes from a per-scenario source seeded by FNV-1a over
+// (Seed, scenario index), draws happen in a fixed order (baseload, then
+// arrival candidates in time order), and rejected arrivals still consume
+// their draws — so schedules are bit-identical across runs, platforms and
+// worker scheduling, and any schedule can be regenerated from (Seed, index)
+// alone. Capacity is enforced at generation time: alive threads never
+// exceed MaxCPUs (concurrency only increases at arrival instants, so the
+// per-arrival check yields an all-times invariant), keeping every generated
+// scenario contention-free as the protocol requires.
+package traffic
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+
+	"powerdiv/internal/protocol"
+	"powerdiv/internal/workload"
+)
+
+// Kind selects the arrival process shape.
+type Kind int
+
+const (
+	// Poisson is a constant-rate memoryless arrival process.
+	Poisson Kind = iota
+	// Bursty is a two-state Markov-modulated Poisson process.
+	Bursty
+	// Diurnal modulates a Poisson process by a sinusoidal rate curve.
+	Diurnal
+	// Mixed cycles Poisson, Bursty and Diurnal across scenarios.
+	Mixed
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	case Diurnal:
+		return "diurnal"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// KindByName parses a kind name.
+func KindByName(name string) (Kind, error) {
+	switch name {
+	case "poisson":
+		return Poisson, nil
+	case "bursty":
+		return Bursty, nil
+	case "diurnal":
+		return Diurnal, nil
+	case "mixed":
+		return Mixed, nil
+	default:
+		return 0, fmt.Errorf("traffic: unknown arrival kind %q (want poisson, bursty, diurnal or mixed)", name)
+	}
+}
+
+// Config parameterizes a generated traffic campaign.
+type Config struct {
+	// Kind is the arrival shape (Mixed cycles all three per scenario).
+	Kind Kind
+	// Seed makes the whole campaign deterministic.
+	Seed int64
+	// Scenarios is how many scenarios to generate.
+	Scenarios int
+	// Window is each scenario's duration.
+	Window time.Duration
+	// ArrivalsPerMinute is the mean arrival rate over the window.
+	ArrivalsPerMinute float64
+	// MeanLifetime is the mean of the exponential instance lifetime.
+	MeanLifetime time.Duration
+	// BurstFactor multiplies the calm arrival rate during bursts (Bursty).
+	BurstFactor float64
+	// BurstFraction is the long-run fraction of time spent bursting, in
+	// (0, 1) (Bursty).
+	BurstFraction float64
+	// DiurnalPeriods is how many rate peaks the window spans (Diurnal).
+	DiurnalPeriods int
+	// DiurnalDepth is the sinusoidal modulation depth in [0, 1) (Diurnal).
+	DiurnalDepth float64
+	// Kernels is the cohort mix instances draw from — stress function or
+	// phoronix application names. Defaults to the 12 stress functions.
+	Kernels []string
+	// MaxThreads caps each arriving instance's thread count (uniform in
+	// 1..MaxThreads).
+	MaxThreads int
+	// MaxCPUs is the machine capacity generation respects: alive threads
+	// never exceed it, so scenarios stay contention-free.
+	MaxCPUs int
+	// Baseload is how many always-on single-thread instances anchor each
+	// scenario (they guarantee ≥2 instances and busy ticks throughout).
+	Baseload int
+}
+
+// Defaults chosen so a 30 s window sees a steady trickle of arrivals with
+// visible churn on a small machine.
+const (
+	defaultWindow            = 30 * time.Second
+	defaultArrivalsPerMinute = 12.0
+	defaultBurstFactor       = 4.0
+	defaultBurstFraction     = 0.2
+	defaultDiurnalPeriods    = 2
+	defaultDiurnalDepth      = 0.8
+	defaultMaxThreads        = 2
+	defaultMaxCPUs           = 4
+	defaultBaseload          = 2
+	// minLifetime keeps instances alive for at least a few simulator ticks
+	// so that every arrival is observable.
+	minLifetime = 500 * time.Millisecond
+)
+
+// WithDefaults fills unset fields with the package defaults.
+func (c Config) WithDefaults() Config {
+	if c.Scenarios <= 0 {
+		c.Scenarios = 1
+	}
+	if c.Window <= 0 {
+		c.Window = defaultWindow
+	}
+	if c.ArrivalsPerMinute <= 0 {
+		c.ArrivalsPerMinute = defaultArrivalsPerMinute
+	}
+	if c.MeanLifetime <= 0 {
+		c.MeanLifetime = c.Window / 3
+	}
+	if c.BurstFactor <= 1 {
+		c.BurstFactor = defaultBurstFactor
+	}
+	if c.BurstFraction <= 0 || c.BurstFraction >= 1 {
+		c.BurstFraction = defaultBurstFraction
+	}
+	if c.DiurnalPeriods <= 0 {
+		c.DiurnalPeriods = defaultDiurnalPeriods
+	}
+	if c.DiurnalDepth <= 0 || c.DiurnalDepth >= 1 {
+		c.DiurnalDepth = defaultDiurnalDepth
+	}
+	if len(c.Kernels) == 0 {
+		c.Kernels = workload.StressNames()
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = defaultMaxThreads
+	}
+	if c.MaxCPUs <= 0 {
+		c.MaxCPUs = defaultMaxCPUs
+	}
+	if c.Baseload <= 0 {
+		c.Baseload = defaultBaseload
+	}
+	return c
+}
+
+// Validate checks a defaulted config for internal consistency.
+func (c Config) Validate() error {
+	if c.Baseload < 2 {
+		return fmt.Errorf("traffic: baseload %d below the protocol's 2-instance floor", c.Baseload)
+	}
+	if c.Baseload > c.MaxCPUs {
+		return fmt.Errorf("traffic: baseload %d exceeds capacity %d", c.Baseload, c.MaxCPUs)
+	}
+	if c.MaxThreads > c.MaxCPUs {
+		return fmt.Errorf("traffic: max threads %d exceeds capacity %d", c.MaxThreads, c.MaxCPUs)
+	}
+	for _, k := range c.Kernels {
+		if _, ok := KernelByName(k); !ok {
+			return fmt.Errorf("traffic: unknown kernel %q", k)
+		}
+	}
+	return nil
+}
+
+// KernelByName resolves a cohort kernel name: the 12 stress functions
+// first, then the phoronix applications.
+func KernelByName(name string) (workload.Workload, bool) {
+	if w, ok := workload.StressByName(name); ok {
+		return w, true
+	}
+	return workload.PhoronixByName(name)
+}
+
+// seedFor derives a deterministic sub-seed by FNV-1a over the seed and
+// labels (the same construction the protocol package uses).
+func seedFor(seed int64, parts ...string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", seed)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return int64(h.Sum64())
+}
+
+// Generate produces the campaign's timed scenarios, deterministically per
+// config. Instance IDs are "<kernel>-<threads>.<seq>" with the shared
+// BaseID "<kernel>-<threads>", so phase 1 measures one baseline per
+// distinct application type regardless of how many instances churn
+// through the campaign.
+func Generate(cfg Config) ([]protocol.Scenario, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]protocol.Scenario, cfg.Scenarios)
+	for i := range out {
+		out[i] = generateScenario(cfg, i)
+	}
+	return out, nil
+}
+
+// ScenarioKind reports which arrival shape scenario idx uses under the
+// config (Mixed cycles the three concrete shapes).
+func (c Config) ScenarioKind(idx int) Kind {
+	if c.Kind != Mixed {
+		return c.Kind
+	}
+	return [...]Kind{Poisson, Bursty, Diurnal}[idx%3]
+}
+
+// generateScenario builds one scenario. Draw order is fixed — baseload
+// instances first, then arrival candidates in time order, each consuming
+// its kernel/threads/lifetime draws even when rejected for capacity — so
+// the schedule is a pure function of (cfg, idx).
+func generateScenario(cfg Config, idx int) protocol.Scenario {
+	rng := rand.New(rand.NewSource(seedFor(cfg.Seed, "scenario", fmt.Sprint(idx))))
+	kind := cfg.ScenarioKind(idx)
+	apps := make([]protocol.AppSpec, 0, cfg.Baseload+8)
+
+	// Baseload: always-on single-thread anchors. Generated first so every
+	// arrival's capacity check already accounts for them.
+	for b := 0; b < cfg.Baseload; b++ {
+		apps = append(apps, newInstance(cfg.Kernels[rng.Intn(len(cfg.Kernels))], 1, len(apps), 0, 0))
+	}
+
+	aliveThreads := func(t time.Duration) int {
+		n := 0
+		for _, a := range apps {
+			if a.StartAt <= t && (a.StopAt == 0 || a.StopAt > t) {
+				n += a.Threads
+			}
+		}
+		return n
+	}
+
+	for _, at := range arrivalTimes(cfg, kind, rng) {
+		kernel := cfg.Kernels[rng.Intn(len(cfg.Kernels))]
+		threads := 1 + rng.Intn(cfg.MaxThreads)
+		life := time.Duration(rng.ExpFloat64() * float64(cfg.MeanLifetime))
+		if life < minLifetime {
+			life = minLifetime
+		}
+		stop := at + life
+		if stop >= cfg.Window {
+			stop = 0 // runs until the scenario ends
+		}
+		if aliveThreads(at)+threads > cfg.MaxCPUs {
+			continue // no capacity at this instant: the arrival is dropped
+		}
+		apps = append(apps, newInstance(kernel, threads, len(apps), at, stop))
+	}
+	return protocol.Scenario{Apps: apps}
+}
+
+// newInstance builds instance seq of an application type. The type's
+// lookup cannot fail: Validate checked every kernel name.
+func newInstance(kernel string, threads, seq int, start, stop time.Duration) protocol.AppSpec {
+	w, _ := KernelByName(kernel)
+	base := fmt.Sprintf("%s-%d", kernel, threads)
+	return protocol.AppSpec{
+		ID:       fmt.Sprintf("%s.%03d", base, seq),
+		BaseID:   base,
+		Workload: w,
+		Threads:  threads,
+		StartAt:  start,
+		StopAt:   stop,
+	}
+}
+
+// arrivalTimes draws the scenario's candidate arrival instants in [0,
+// Window), in increasing order.
+func arrivalTimes(cfg Config, kind Kind, rng *rand.Rand) []time.Duration {
+	base := cfg.ArrivalsPerMinute / 60 // per second
+	window := cfg.Window.Seconds()
+	var out []time.Duration
+	appendAt := func(t float64) {
+		out = append(out, time.Duration(t*float64(time.Second)))
+	}
+	switch kind {
+	case Poisson:
+		for t := expStep(rng, base); t < window; t += expStep(rng, base) {
+			appendAt(t)
+		}
+	case Diurnal:
+		// Thinning: candidates at the peak rate, each kept with probability
+		// rate(t)/peak. rate(t) sweeps DiurnalPeriods full sine periods
+		// across the window around the base rate.
+		peak := base * (1 + cfg.DiurnalDepth)
+		for t := expStep(rng, peak); t < window; t += expStep(rng, peak) {
+			rate := base * (1 + cfg.DiurnalDepth*math.Sin(2*math.Pi*float64(cfg.DiurnalPeriods)*t/window))
+			if rng.Float64()*peak <= rate {
+				appendAt(t)
+			}
+		}
+	case Bursty:
+		// Two-state MMPP: exponential sojourns in calm/burst states, the
+		// burst rate BurstFactor times the calm rate, rates chosen so the
+		// long-run mean matches the configured base rate. Crossing a state
+		// boundary redraws the inter-arrival gap — valid because the
+		// exponential is memoryless.
+		calmRate := base / (1 - cfg.BurstFraction + cfg.BurstFraction*cfg.BurstFactor)
+		burstRate := calmRate * cfg.BurstFactor
+		cycle := window / 4 // mean calm+burst cycle length
+		meanBurst := cfg.BurstFraction * cycle
+		meanCalm := (1 - cfg.BurstFraction) * cycle
+		burst := false
+		t := 0.0
+		stateEnd := expStep(rng, 1/meanCalm)
+		for t < window {
+			rate := calmRate
+			if burst {
+				rate = burstRate
+			}
+			next := t + expStep(rng, rate)
+			if next >= stateEnd {
+				t = stateEnd
+				burst = !burst
+				mean := meanCalm
+				if burst {
+					mean = meanBurst
+				}
+				stateEnd = t + expStep(rng, 1/mean)
+				continue
+			}
+			t = next
+			if t < window {
+				appendAt(t)
+			}
+		}
+	}
+	return out
+}
+
+// expStep draws an exponential inter-arrival gap at the given rate.
+func expStep(rng *rand.Rand, rate float64) float64 {
+	return rng.ExpFloat64() / rate
+}

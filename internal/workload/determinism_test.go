@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"powerdiv/internal/units"
+)
+
+// TestCostOnFallbackDeterministic pins the unknown-machine fallback to a
+// sorted-key sum: the mean over a many-entry cost map must be bit-identical
+// across repeated calls (map iteration order is randomised per run, and
+// float addition is order-sensitive).
+func TestCostOnFallbackDeterministic(t *testing.T) {
+	// Values chosen so that different addition orders genuinely produce
+	// different low bits (verified below), making the test meaningful.
+	w := Workload{
+		Name: "fallback",
+		Cost: map[string]units.Watts{
+			"a": 0.1, "b": 0.2, "c": 0.3, "d": 1.7, "e": 7.7, "f": 0.0001,
+			"g": 3.14159, "h": 2.5, "i": 42.42, "j": 0.6180339887,
+		},
+		Mix: CounterMix{IPC: 1},
+	}
+	want := w.CostOn("UNKNOWN MACHINE")
+	for i := 0; i < 200; i++ {
+		if got := w.CostOn("UNKNOWN MACHINE"); math.Float64bits(float64(got)) != math.Float64bits(float64(want)) {
+			t.Fatalf("call %d: CostOn = %x, want %x", i, math.Float64bits(float64(got)), math.Float64bits(float64(want)))
+		}
+	}
+
+	// The sum order genuinely matters for these values: the reverse-order
+	// sum differs, so a map-order implementation could not pass the loop
+	// above except by luck.
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	var fwd, rev float64
+	for i := range names {
+		fwd += float64(w.Cost[names[i]])
+		rev += float64(w.Cost[names[len(names)-1-i]])
+	}
+	if math.Float64bits(fwd) == math.Float64bits(rev) {
+		t.Fatal("test values do not discriminate addition order; pick different costs")
+	}
+
+	// Known machine and empty map keep their behaviour.
+	w.Cost["KNOWN"] = 9
+	if got := w.CostOn("KNOWN"); got != 9 {
+		t.Errorf("known machine: CostOn = %v, want 9", got)
+	}
+	if got := (Workload{Name: "empty"}).CostOn("X"); got != 5 {
+		t.Errorf("empty cost map: CostOn = %v, want 5", got)
+	}
+}
+
+// TestPhaseAtEdges pins PhaseAt's behaviour at exact phase boundaries and
+// around zero-duration phases: at t == acc the next non-empty phase is
+// active, and empty phases never shadow a boundary.
+func TestPhaseAtEdges(t *testing.T) {
+	p1 := Phase{Duration: 2 * time.Second, Threads: 1, Intensity: 1, Util: 1}
+	p2 := Phase{Duration: 3 * time.Second, Threads: 2, Intensity: 0.5, Util: 0.8}
+	empty := Phase{Duration: 0, Threads: 9, Intensity: 9, Util: 1}
+	neg := Phase{Duration: -time.Second, Threads: 8, Intensity: 8, Util: 1}
+
+	cases := []struct {
+		name   string
+		script []Phase
+		t      time.Duration
+		want   Phase
+		done   bool
+	}{
+		{"start of first", []Phase{p1, p2}, 0, p1, false},
+		{"inside first", []Phase{p1, p2}, time.Second, p1, false},
+		{"exact edge switches phase", []Phase{p1, p2}, 2 * time.Second, p2, false},
+		{"last tick of second", []Phase{p1, p2}, 5*time.Second - time.Nanosecond, p2, false},
+		{"exact end is done", []Phase{p1, p2}, 5 * time.Second, Phase{}, true},
+		{"zero-duration phase skipped at edge", []Phase{p1, empty, p2}, 2 * time.Second, p2, false},
+		{"zero-duration phase skipped at start", []Phase{empty, p1}, 0, p1, false},
+		{"negative-duration phase skipped", []Phase{neg, p1}, 0, p1, false},
+		{"all-empty script is done immediately", []Phase{empty, empty}, 0, Phase{}, true},
+	}
+	w := Workload{Name: "scripted"}
+	for _, tc := range cases {
+		w.Script = tc.script
+		got, done := w.PhaseAt(tc.t, 4)
+		if got != tc.want || done != tc.done {
+			t.Errorf("%s: PhaseAt(%v) = (%+v, %t), want (%+v, %t)", tc.name, tc.t, got, done, tc.want, tc.done)
+		}
+	}
+
+	// Scriptless workloads report the constant full-load phase.
+	w.Script = nil
+	got, done := w.PhaseAt(time.Hour, 4)
+	if done || got.Threads != 4 || got.Intensity != 1 || got.Util != 1 {
+		t.Errorf("scriptless: PhaseAt = (%+v, %t)", got, done)
+	}
+
+	// Validate keeps rejecting non-positive durations outright.
+	w = Workload{Name: "bad", Mix: CounterMix{IPC: 1}, Script: []Phase{empty}}
+	if err := w.Validate(); err == nil {
+		t.Error("Validate accepted a zero-duration phase")
+	}
+	w.Script = []Phase{neg}
+	if err := w.Validate(); err == nil {
+		t.Error("Validate accepted a negative-duration phase")
+	}
+}
+
+// TestNormalizeShareDeterminism (division-level) lives in the division
+// package; this test pins the workload-level consequence: two identical
+// workloads must report identical fallback costs in either construction
+// order.
+func TestCostOnOrderIndependent(t *testing.T) {
+	mk := func(order []string) Workload {
+		w := Workload{Name: "w", Cost: map[string]units.Watts{}, Mix: CounterMix{IPC: 1}}
+		vals := map[string]units.Watts{"m1": 0.1, "m2": 0.2, "m3": 0.3, "m4": 1.7, "m5": 2.5}
+		for _, k := range order {
+			w.Cost[k] = vals[k]
+		}
+		return w
+	}
+	a := mk([]string{"m1", "m2", "m3", "m4", "m5"})
+	b := mk([]string{"m5", "m4", "m3", "m2", "m1"})
+	if ga, gb := a.CostOn("X"), b.CostOn("X"); math.Float64bits(float64(ga)) != math.Float64bits(float64(gb)) {
+		t.Errorf("insertion order changed CostOn: %x vs %x", math.Float64bits(float64(ga)), math.Float64bits(float64(gb)))
+	}
+}

@@ -20,6 +20,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"powerdiv/internal/units"
@@ -115,9 +116,18 @@ func (w Workload) CostOn(machine string) units.Watts {
 	if len(w.Cost) == 0 {
 		return 5 // arbitrary but harmless default
 	}
+	// Sum in sorted-key order: float addition is order-sensitive and map
+	// iteration order is randomised, so a map-order sum would differ in the
+	// low bits across runs — silently breaking per-seed determinism and the
+	// memo-cache fingerprints derived from simulated power.
+	names := make([]string, 0, len(w.Cost))
+	for n := range w.Cost {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	var sum units.Watts
-	for _, c := range w.Cost {
-		sum += c
+	for _, n := range names {
+		sum += w.Cost[n]
 	}
 	return sum / units.Watts(len(w.Cost))
 }
@@ -133,6 +143,13 @@ func (w Workload) PhaseAt(t time.Duration, defaultThreads int) (p Phase, done bo
 	}
 	var acc time.Duration
 	for _, ph := range w.Script {
+		// Zero-duration phases are rejected by Validate, but unvalidated
+		// scripts must not make boundary behaviour depend on them: an empty
+		// phase occupies no time and is explicitly skipped, so the phase
+		// active at an exact edge t == acc is always the next non-empty one.
+		if ph.Duration <= 0 {
+			continue
+		}
 		acc += ph.Duration
 		if t < acc {
 			return ph, false
