@@ -14,9 +14,9 @@
 #
 # `make cover` enforces a statement-coverage floor on the numeric core
 # (internal/division), the model implementations (internal/models), the
-# metrics subsystem (internal/obs) and the traffic generator
-# (internal/traffic) — the packages whose behaviour the paper's numbers
-# depend on most directly.
+# metrics subsystem (internal/obs), the traffic generator
+# (internal/traffic) and the fleet campaign (internal/fleet) — the
+# packages whose behaviour the paper's numbers depend on most directly.
 #
 # `make fuzz-smoke` runs each fuzz target briefly (seed corpus plus a few
 # seconds of mutation) so verify catches parser panics without a long
@@ -28,7 +28,7 @@ GO ?= go
 # coverage is ~90 %; the floor trails it so refactors have headroom but a
 # test-free feature drop still fails.
 COVER_FLOOR ?= 85
-COVER_PKGS  = ./internal/division ./internal/models ./internal/obs ./internal/traffic
+COVER_PKGS  = ./internal/division ./internal/models ./internal/obs ./internal/traffic ./internal/fleet
 
 # Regression threshold (percent) for bench-diff. The default is generous
 # because one-iteration runs are noisy; nightly runs can tighten it.

@@ -20,6 +20,7 @@ import (
 	"powerdiv/internal/cpumodel"
 	"powerdiv/internal/energyacct"
 	"powerdiv/internal/experiments"
+	"powerdiv/internal/fleet"
 	"powerdiv/internal/machine"
 	"powerdiv/internal/models"
 	"powerdiv/internal/protocol"
@@ -468,6 +469,54 @@ func BenchmarkTrafficCampaign(b *testing.B) {
 	b.ReportMetric(stopWatermark(), "peak-heap-bytes")
 	reportScenariosPerSec(b, cfg.Scenarios)
 	writeResult(b, res.Table(), "traffic-campaign")
+}
+
+// BenchmarkFleetCampaign measures the fleet-scale campaign: a
+// heterogeneous node population, each node running its own traffic shard
+// through the fused streaming pipeline and all seven model families
+// (six intrusive plus the WattScope-style non-intrusive model), reduced
+// to aggregate error distributions in sorted-node order. The GOMAXPROCS
+// ladder exercises the shared worker budget (nodes fan out on the same
+// pool the per-node pipeline would otherwise oversubscribe); the
+// peak-heap metric pins the claim that per-node results are reduced to
+// compact digests, never materialized fleet-wide.
+func BenchmarkFleetCampaign(b *testing.B) {
+	cfg := fleet.Config{
+		Nodes:            24,
+		Seed:             benchSeed,
+		ScenariosPerNode: 1,
+		Window:           2 * time.Second,
+		RunFor:           3 * time.Second,
+		StableWindow:     time.Second,
+		Kernels:          []string{"fibonacci", "matrixprod", "queens"},
+	}
+	widths := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		widths = append(widths, n)
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(w)
+			defer runtime.GOMAXPROCS(prev)
+			b.ReportAllocs()
+			stopWatermark := startHeapWatermark()
+			b.ResetTimer()
+			var res fleet.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.FleetCampaign(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(stopWatermark(), "peak-heap-bytes")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(cfg.Nodes)*float64(b.N)/secs, "nodes/sec")
+			}
+			writeResult(b, experiments.FleetTable(res), fmt.Sprintf("fleet-campaign-w%d", w))
+		})
+	}
 }
 
 // BenchmarkSectionVEnergyDeltas regenerates the §V colocation sweep:

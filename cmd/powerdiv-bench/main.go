@@ -32,9 +32,10 @@ import (
 // defaultBench selects the campaign-speed benchmarks: the §IV-A error-table
 // regeneration (streaming, plus its materialized counterpart via the
 // substring match), the worker-width sweep, the memoization on/off
-// comparison, the production-shaped traffic campaign, the raw simulator
-// stepping cost, and the allocation-pinning columnar-pipeline benchmarks.
-const defaultBench = "BenchmarkLabErrorTable|BenchmarkCampaignParallel|BenchmarkCampaignMemoization|BenchmarkTrafficCampaign|BenchmarkSimulatorTick|BenchmarkRunTicks|BenchmarkReplayDense|BenchmarkShareOut"
+// comparison, the production-shaped traffic campaign, the fleet-scale
+// campaign across its worker ladder, the raw simulator stepping cost, and
+// the allocation-pinning columnar-pipeline benchmarks.
+const defaultBench = "BenchmarkLabErrorTable|BenchmarkCampaignParallel|BenchmarkCampaignMemoization|BenchmarkTrafficCampaign|BenchmarkFleetCampaign|BenchmarkSimulatorTick|BenchmarkRunTicks|BenchmarkReplayDense|BenchmarkShareOut"
 
 // Result is one parsed benchmark line.
 type Result struct {

@@ -9,11 +9,19 @@
 // streaming pipeline. -traffic-record saves the exact schedule as a JSON
 // trace; -traffic-replay re-scores a saved trace bit-identically.
 //
+// With -fleet it runs the protocol datacenter-wide: hundreds of
+// heterogeneous simulated nodes (mixed SMALL-INTEL/DAHU-derived specs
+// with per-node clock skew and sensor seeds), each evaluating its own
+// deterministic traffic shard, with the six intrusive models plus the
+// WattScope-style non-intrusive model aggregated into fleet-wide error
+// distributions. Reruns with the same seed are bit-identical.
+//
 // Usage:
 //
 //	powerdiv-eval [-machine DAHU] [-context lab|prod] [-seed 1] [-points] [-csv-dir out/] [-memo=false] [-memo-stats]
 //	powerdiv-eval -traffic [-traffic-kind poisson|bursty|diurnal|mixed] [-traffic-scenarios 50] [-traffic-window 30s] [-traffic-record trace.json]
 //	powerdiv-eval -traffic-replay trace.json
+//	powerdiv-eval -fleet [-fleet-nodes 200] [-fleet-scenarios 1] [-fleet-window 10s] [-fleet-kind mixed] [-json]
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 
 	"powerdiv/internal/cpumodel"
 	"powerdiv/internal/experiments"
+	"powerdiv/internal/fleet"
 	"powerdiv/internal/models"
 	"powerdiv/internal/obs"
 	"powerdiv/internal/protocol"
@@ -97,9 +106,34 @@ func main() {
 	trafficWindow := flag.Duration("traffic-window", 30*time.Second, "duration of each traffic scenario")
 	trafficRecord := flag.String("traffic-record", "", "write the generated schedule to this JSON trace file")
 	trafficReplay := flag.String("traffic-replay", "", "replay a recorded JSON trace instead of generating (implies -traffic)")
+	fleetOn := flag.Bool("fleet", false, "run a fleet-wide campaign over heterogeneous simulated nodes")
+	fleetNodes := flag.Int("fleet-nodes", 200, "fleet size in nodes")
+	fleetScenarios := flag.Int("fleet-scenarios", 1, "traffic scenarios per node")
+	fleetWindow := flag.Duration("fleet-window", 10*time.Second, "duration of each fleet scenario")
+	fleetKind := flag.String("fleet-kind", "mixed", `fleet arrival process: "poisson", "bursty", "diurnal" or "mixed"`)
 	flag.Parse()
 	protocol.EnableMemoization(*memo)
 	obs.Enable(*metrics)
+
+	if *fleetOn {
+		// The fleet draws its own heterogeneous spec mix; -machine does
+		// not apply. -context prod enables hyperthreading/turbo fleet-wide.
+		if *context != "lab" && *context != "prod" {
+			fmt.Fprintf(os.Stderr, "unknown context %q (want lab or prod)\n", *context)
+			os.Exit(2)
+		}
+		runFleet(fleetOptions{
+			nodes:      *fleetNodes,
+			scenarios:  *fleetScenarios,
+			window:     *fleetWindow,
+			kind:       *fleetKind,
+			seed:       *seed,
+			production: *context == "prod",
+			asJSON:     *asJSON,
+			metrics:    *metrics,
+		})
+		return
+	}
 
 	spec, ok := cpumodel.SpecByName(*machineName)
 	if !ok {
@@ -245,6 +279,92 @@ func emitTrafficJSON(w io.Writer, context string, res experiments.TrafficResult)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// fleetOptions bundles the -fleet* flag values.
+type fleetOptions struct {
+	nodes      int
+	scenarios  int
+	window     time.Duration
+	kind       string
+	seed       int64
+	production bool
+	asJSON     bool
+	metrics    bool
+}
+
+// jsonFleetReport is the machine-readable fleet campaign output.
+type jsonFleetReport struct {
+	Nodes     int              `json:"nodes"`
+	Classes   map[string]int   `json:"classes"`
+	Kind      string           `json:"kind"`
+	Scenarios int              `json:"scenarios"`
+	Instances int              `json:"instances"`
+	WindowNS  int64            `json:"window_ns"`
+	Models    []jsonFleetModel `json:"models"`
+}
+
+type jsonFleetModel struct {
+	Model        string  `json:"model"`
+	MeanAE       float64 `json:"mean_ae"`
+	P50          float64 `json:"p50_ae"`
+	P90          float64 `json:"p90_ae"`
+	P99          float64 `json:"p99_ae"`
+	MaxAE        float64 `json:"max_ae"`
+	MeanCoverage float64 `json:"mean_coverage"`
+	WorstNode    string  `json:"worst_node"`
+}
+
+func emitFleetJSON(w io.Writer, res fleet.Result) error {
+	rep := jsonFleetReport{
+		Nodes:     res.Nodes,
+		Classes:   res.Classes,
+		Kind:      res.Kind,
+		Scenarios: res.Scenarios,
+		Instances: res.Instances,
+		WindowNS:  int64(res.Window),
+	}
+	for _, m := range res.Models {
+		rep.Models = append(rep.Models, jsonFleetModel{
+			Model: m.Model, MeanAE: m.MeanAE,
+			P50: m.P50, P90: m.P90, P99: m.P99, MaxAE: m.MaxAE,
+			MeanCoverage: m.MeanCoverage, WorstNode: m.WorstNode,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// runFleet drives a fleet-wide campaign over heterogeneous nodes.
+func runFleet(opt fleetOptions) {
+	kind, err := traffic.KindByName(opt.kind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	cfg := fleet.Config{
+		Nodes:            opt.nodes,
+		Seed:             opt.seed,
+		Kind:             kind,
+		ScenariosPerNode: opt.scenarios,
+		Window:           opt.window,
+		Production:       opt.production,
+	}
+	res, err := experiments.FleetCampaign(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if opt.asJSON {
+		if err := emitFleetJSON(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(experiments.FleetTable(res).String())
+	}
+	printMetricsSummary(opt.metrics)
 }
 
 // runTraffic drives a traffic campaign: generate (or replay) the timed

@@ -1,0 +1,44 @@
+package cpumodel
+
+import "powerdiv/internal/units"
+
+// Variant derives a heterogeneous-fleet spec from a calibrated base: the
+// same machine family at a different core count and clock. Fleet nodes
+// bought across hardware generations share a calibration shape but differ
+// in capacity and effective clock, and per-node clock skew (firmware,
+// thermal headroom, silicon lottery) shifts the whole frequency domain by
+// a factor close to 1.
+//
+// coresPerSocket, when positive, replaces the base topology's value.
+// freqScale, when positive, multiplies every frequency in the spec — the
+// domain's min/base/turbo/derate, the power model's base frequency and
+// the residual curve's calibration frequencies — so the spec stays
+// self-consistent: residual-at-base and active-cost-at-base are unchanged,
+// the machine just runs its curve at shifted clocks. Calibrated watt
+// values are deliberately untouched; sensor-grade differences are modelled
+// by the simulator's noise configuration, not the spec.
+func (s Spec) Variant(name string, coresPerSocket int, freqScale float64) Spec {
+	v := s
+	if name != "" {
+		v.Name = name
+	}
+	if coresPerSocket > 0 {
+		v.Topology.CoresPerSocket = coresPerSocket
+	}
+	if freqScale > 0 && freqScale != 1 {
+		scale := func(f units.Hertz) units.Hertz {
+			return units.Hertz(float64(f) * freqScale)
+		}
+		v.Freq.Min = scale(v.Freq.Min)
+		v.Freq.Base = scale(v.Freq.Base)
+		v.Freq.Turbo = scale(v.Freq.Turbo)
+		v.Freq.TurboDerate = scale(v.Freq.TurboDerate)
+		v.Power.BaseFreq = scale(v.Power.BaseFreq)
+		pts := s.Power.Residual.Points()
+		for i := range pts {
+			pts[i].Freq = scale(pts[i].Freq)
+		}
+		v.Power.Residual = NewResidualCurve(pts...)
+	}
+	return v
+}

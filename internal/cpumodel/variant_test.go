@@ -1,0 +1,47 @@
+package cpumodel
+
+import (
+	"math"
+	"testing"
+
+	"powerdiv/internal/units"
+)
+
+func TestSpecVariant(t *testing.T) {
+	base := SmallIntel()
+	v := base.Variant("SMALL-INTEL/8c-fast", 8, 1.04)
+	if err := v.Validate(); err != nil {
+		t.Fatalf("variant invalid: %v", err)
+	}
+	if v.Name != "SMALL-INTEL/8c-fast" {
+		t.Errorf("name %q", v.Name)
+	}
+	if v.Topology.CoresPerSocket != 8 || v.Topology.Sockets != base.Topology.Sockets {
+		t.Errorf("topology %+v", v.Topology)
+	}
+	// Every frequency scales together, so the spec stays self-consistent.
+	approx := func(got, want units.Hertz) bool {
+		return math.Abs(float64(got)-float64(want)) <= 1e-6*math.Abs(float64(want))
+	}
+	if !approx(v.Freq.Base, units.Hertz(float64(base.Freq.Base)*1.04)) ||
+		!approx(v.Freq.Min, units.Hertz(float64(base.Freq.Min)*1.04)) ||
+		!approx(v.Freq.Turbo, units.Hertz(float64(base.Freq.Turbo)*1.04)) ||
+		!approx(v.Power.BaseFreq, units.Hertz(float64(base.Power.BaseFreq)*1.04)) {
+		t.Errorf("frequency domain not uniformly scaled: %+v", v.Freq)
+	}
+	// Residual at the (scaled) base frequency is the calibrated value: clock
+	// skew shifts where the curve sits, not the calibrated watts.
+	if got, want := v.Power.Residual.At(v.Freq.Base), base.Power.Residual.At(base.Freq.Base); got != want {
+		t.Errorf("residual at base %v, want %v", got, want)
+	}
+	// The base spec is untouched (value semantics, including the curve).
+	if base.Power.Residual.At(base.Freq.Base) != SmallIntel().Power.Residual.At(SmallIntel().Freq.Base) {
+		t.Error("Variant mutated the base spec's residual curve")
+	}
+
+	// Zero/one arguments are no-ops on their fields.
+	same := base.Variant("", 0, 1)
+	if same.Name != base.Name || same.Topology != base.Topology || same.Freq != base.Freq {
+		t.Errorf("identity variant changed the spec: %+v", same)
+	}
+}

@@ -1,0 +1,473 @@
+// Package fleet scales the evaluation protocol from one simulated machine
+// to a datacenter: hundreds-to-thousands of heterogeneous nodes, each a
+// varied machine spec (mixed SMALL-INTEL/DAHU-derived families at
+// different core counts, per-node clock skew, sensor-noise grade and
+// seed), each running its own deterministic share of traffic churn
+// scenarios through the fused streaming pipeline, with per-model error
+// distributions aggregated fleet-wide.
+//
+// Determinism contract: everything derives from (Config.Seed, node ID).
+// Node specs, traffic shards and protocol seeds are pure functions of
+// that pair, so adding nodes to a fleet never changes the scenarios — or
+// results — of existing nodes, and two runs of the same config produce
+// bit-identical aggregates. Cross-node reductions accumulate in node
+// index order (node IDs are zero-padded, so index order is sorted-ID
+// order), never in map order, keeping float sums reproducible — the same
+// rule workload.CostOn and division.normalize follow.
+//
+// Memory contract: node evaluation streams — one fused simulate → observe
+// → score pass per scenario — and each node's full evaluation rows are
+// reduced to compact per-model error slices as soon as the node finishes,
+// so peak live heap is bounded by the in-flight workers' scenario state
+// plus the compact aggregates, not by fleet size × run length.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/division"
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+	"powerdiv/internal/protocol"
+	"powerdiv/internal/traffic"
+	"powerdiv/internal/units"
+)
+
+// Node is one simulated machine of the fleet.
+type Node struct {
+	// ID is the node's zero-padded name ("node-00042"): index order is
+	// sorted-ID order, which the aggregation order relies on.
+	ID string
+	// Class names the spec variant family the node was drawn from.
+	Class string
+	// Machine is the node's fully varied simulator config.
+	Machine machine.Config
+	// MaxCPUs is the node's schedulable capacity, the cap its traffic
+	// shard respects.
+	MaxCPUs int
+}
+
+// Config parameterizes a fleet campaign.
+type Config struct {
+	// Nodes is the fleet size (default 200, max 99999 — the ID padding
+	// keeps sorted order equal to index order).
+	Nodes int
+	// Seed makes the whole fleet — specs, shards, noise — deterministic.
+	Seed int64
+	// Kind is the arrival shape of every node's traffic shard.
+	Kind traffic.Kind
+	// ScenariosPerNode is each node's scenario count (default 1).
+	ScenariosPerNode int
+	// Window is each scenario's duration (default 10s).
+	Window time.Duration
+	// RunFor and StableWindow configure the per-node protocol context's
+	// phase 1 baseline runs (defaults 10s / 4s — shorter than the paper's
+	// 30s / 10s because a fleet runs hundreds of phase 1 sweeps).
+	RunFor       time.Duration
+	StableWindow time.Duration
+	// FreqSkewFrac is the maximum fractional per-node clock skew; each
+	// node draws a scale factor uniform in [1−f, 1+f] (default 0.03).
+	FreqSkewFrac float64
+	// NoiseJitterFrac spreads per-node sensor grade: each node scales the
+	// base noise by a factor uniform in [1, 1+f] (default 0.5).
+	NoiseJitterFrac float64
+	// BaseNoise is the base sensor-noise standard deviation (default
+	// 0.25 W, the calibrations' stress-ng spread).
+	BaseNoise units.Watts
+	// Production enables hyperthreading and turbo on every node — the
+	// paper's production context, and a datacenter's usual shape.
+	Production bool
+	// Kernels is the cohort mix of every node's shard (defaults to the
+	// traffic package's 12 stress functions).
+	Kernels []string
+	// Baseload passes through to each node's traffic config: 0 defaults
+	// to 2 always-on anchors, traffic.NoBaseload means none.
+	Baseload int
+}
+
+const (
+	defaultNodes        = 200
+	maxNodes            = 99999
+	defaultWindow       = 10 * time.Second
+	defaultRunFor       = 10 * time.Second
+	defaultStableWindow = 4 * time.Second
+	defaultFreqSkew     = 0.03
+	defaultNoiseJitter  = 0.5
+	defaultBaseNoise    = units.Watts(0.25)
+)
+
+// WithDefaults fills unset fields with the package defaults.
+func (c Config) WithDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = defaultNodes
+	}
+	if c.ScenariosPerNode <= 0 {
+		c.ScenariosPerNode = 1
+	}
+	if c.Window <= 0 {
+		c.Window = defaultWindow
+	}
+	if c.RunFor <= 0 {
+		c.RunFor = defaultRunFor
+	}
+	if c.StableWindow <= 0 {
+		c.StableWindow = defaultStableWindow
+	}
+	if c.FreqSkewFrac <= 0 {
+		c.FreqSkewFrac = defaultFreqSkew
+	}
+	if c.NoiseJitterFrac <= 0 {
+		c.NoiseJitterFrac = defaultNoiseJitter
+	}
+	if c.BaseNoise <= 0 {
+		c.BaseNoise = defaultBaseNoise
+	}
+	return c
+}
+
+// Validate checks a defaulted config.
+func (c Config) Validate() error {
+	if c.Nodes > maxNodes {
+		return fmt.Errorf("fleet: %d nodes exceeds the %d-node ID space", c.Nodes, maxNodes)
+	}
+	if c.StableWindow > c.RunFor {
+		return fmt.Errorf("fleet: stable window %v exceeds run duration %v", c.StableWindow, c.RunFor)
+	}
+	if c.FreqSkewFrac >= 1 {
+		return fmt.Errorf("fleet: frequency skew fraction %v must be below 1", c.FreqSkewFrac)
+	}
+	return nil
+}
+
+// nodeClass is one hardware generation the fleet mixes: a calibrated base
+// spec at a given per-socket core count.
+type nodeClass struct {
+	name  string
+	base  func() cpumodel.Spec
+	cores int
+}
+
+// nodeClasses are the capacity-heterogeneous variants fleet nodes draw
+// from: SMALL-INTEL-derived workstations at 4/6/8 cores per socket and
+// DAHU-derived dual-socket servers at 8/12/16.
+var nodeClasses = []nodeClass{
+	{"small-intel/4c", cpumodel.SmallIntel, 4},
+	{"small-intel/6c", cpumodel.SmallIntel, 6},
+	{"small-intel/8c", cpumodel.SmallIntel, 8},
+	{"dahu/8c", cpumodel.Dahu, 8},
+	{"dahu/12c", cpumodel.Dahu, 12},
+	{"dahu/16c", cpumodel.Dahu, 16},
+}
+
+// seedFor derives a deterministic sub-seed by FNV-1a over the seed and
+// labels (the construction the protocol and traffic packages share).
+func seedFor(seed int64, parts ...string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", seed)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return int64(h.Sum64())
+}
+
+// NodeID names node i.
+func NodeID(i int) string { return fmt.Sprintf("node-%05d", i) }
+
+// NewNode derives node i of the fleet: a pure function of (cfg.Seed, i),
+// independent of every other node, which is what makes the node set
+// growable without disturbing existing nodes.
+func NewNode(cfg Config, i int) Node {
+	id := NodeID(i)
+	rng := rand.New(rand.NewSource(seedFor(cfg.Seed, "node", id)))
+	cl := nodeClasses[rng.Intn(len(nodeClasses))]
+	skew := 1 + (2*rng.Float64()-1)*cfg.FreqSkewFrac
+	noiseScale := 1 + rng.Float64()*cfg.NoiseJitterFrac
+	base := machine.Config{
+		Spec:           cl.base(),
+		Hyperthreading: cfg.Production,
+		Turbo:          cfg.Production,
+		NoiseStddev:    cfg.BaseNoise,
+	}
+	mc := base.WithVariation(machine.Variation{
+		SpecName:       fmt.Sprintf("%s@%s", cl.name, id),
+		CoresPerSocket: cl.cores,
+		FreqScale:      skew,
+		NoiseScale:     noiseScale,
+		Seed:           seedFor(cfg.Seed, "noise", id),
+	})
+	maxCPUs := mc.Spec.Topology.PhysicalCores()
+	if mc.Hyperthreading {
+		maxCPUs = mc.Spec.Topology.LogicalCPUs()
+	}
+	return Node{ID: id, Class: cl.name, Machine: mc, MaxCPUs: maxCPUs}
+}
+
+// Nodes instantiates the whole fleet in index order.
+func Nodes(cfg Config) []Node {
+	out := make([]Node, cfg.Nodes)
+	for i := range out {
+		out[i] = NewNode(cfg, i)
+	}
+	return out
+}
+
+// NodeTrafficConfig is node n's traffic shard: seeded by (fleet seed,
+// node ID) alone and capped by the node's own capacity, so the shard is
+// stable under fleet growth and contention-free on that node.
+func NodeTrafficConfig(cfg Config, n Node) traffic.Config {
+	return traffic.Config{
+		Kind:      cfg.Kind,
+		Seed:      seedFor(cfg.Seed, "traffic", n.ID),
+		Scenarios: cfg.ScenariosPerNode,
+		Window:    cfg.Window,
+		Kernels:   cfg.Kernels,
+		MaxCPUs:   n.MaxCPUs,
+		Baseload:  cfg.Baseload,
+	}.WithDefaults()
+}
+
+// NodeScenarios generates node n's scenarios.
+func NodeScenarios(cfg Config, n Node) ([]protocol.Scenario, error) {
+	return traffic.Generate(NodeTrafficConfig(cfg, n))
+}
+
+// nodeContext is node n's protocol evaluation context.
+func nodeContext(cfg Config, n Node) protocol.Context {
+	return protocol.Context{
+		Machine:      n.Machine,
+		RunFor:       cfg.RunFor,
+		StableWindow: cfg.StableWindow,
+		Seed:         seedFor(cfg.Seed, "ctx", n.ID),
+	}
+}
+
+// nodeFactories builds the seven-model roster a node scores: the six
+// intrusive families of the single-machine campaigns plus the
+// WattScope-style non-intrusive model, which sees only machine power and
+// coarse utilization — the fleet operator's signal.
+func nodeFactories(scenarios []protocol.Scenario) func(map[string]division.Baseline) []models.Factory {
+	return func(baselines map[string]division.Baseline) []models.Factory {
+		perCore := map[string]units.Watts{}
+		for _, s := range scenarios {
+			for _, a := range s.Apps {
+				base := a.BaseID
+				if base == "" {
+					base = a.ID
+				}
+				if b, ok := baselines[base]; ok {
+					perCore[a.ID] = b.ActivePerCore()
+				}
+			}
+		}
+		return []models.Factory{
+			models.NewScaphandre(),
+			models.NewPowerAPI(models.DefaultPowerAPIConfig()),
+			models.NewKepler(),
+			models.NewSmartWatts(models.DefaultSmartWattsConfig()),
+			models.NewF2(perCore),
+			models.NewOracle(),
+			models.NewWattScope(),
+		}
+	}
+}
+
+// nodeOutcome is the compact per-node reduction kept after a node's full
+// evaluation rows are dropped: per-model error samples and coverage, plus
+// roster counts. Everything the fleet aggregate needs, nothing sized by
+// run length.
+type nodeOutcome struct {
+	node      Node
+	scenarios int
+	instances int
+	// aes and coverages are per-model, scenario-ordered (model name →
+	// one value per scenario).
+	aes       map[string][]float64
+	coverages map[string][]float64
+}
+
+// evaluateNode runs one node's full protocol — phase 1 baselines over its
+// shard's application types, then every scenario through the fused
+// streaming pipeline — and reduces the result immediately.
+func evaluateNode(cfg Config, n Node) (nodeOutcome, error) {
+	scenarios, err := NodeScenarios(cfg, n)
+	if err != nil {
+		return nodeOutcome{}, fmt.Errorf("fleet: %s: %w", n.ID, err)
+	}
+	byModel, err := protocol.EvaluateTrafficStreaming(nodeContext(cfg, n), scenarios, nodeFactories(scenarios), cfg.Window)
+	if err != nil {
+		return nodeOutcome{}, fmt.Errorf("fleet: %s: %w", n.ID, err)
+	}
+	out := nodeOutcome{
+		node:      n,
+		scenarios: len(scenarios),
+		aes:       make(map[string][]float64, len(byModel)),
+		coverages: make(map[string][]float64, len(byModel)),
+	}
+	for _, s := range scenarios {
+		out.instances += len(s.Apps)
+	}
+	for name, evs := range byModel {
+		aes := make([]float64, len(evs))
+		covs := make([]float64, len(evs))
+		for i, ev := range evs {
+			aes[i] = ev.AE
+			covs[i] = ev.Coverage
+		}
+		out.aes[name] = aes
+		out.coverages[name] = covs
+	}
+	return out, nil
+}
+
+// ModelStats is one model's fleet-wide error distribution.
+type ModelStats struct {
+	Model string
+	// MeanAE / MaxAE aggregate the per-scenario Eq 5 absolute errors
+	// across every node.
+	MeanAE float64
+	MaxAE  float64
+	// P50 / P90 / P99 are nearest-rank quantiles of the same distribution.
+	P50 float64
+	P90 float64
+	P99 float64
+	// MeanCoverage averages per-scenario estimate coverage fleet-wide.
+	MeanCoverage float64
+	// WorstNode is the node with the highest per-node mean AE.
+	WorstNode       string
+	WorstNodeMeanAE float64
+	// Scenarios is the number of scored scenarios in the distribution.
+	Scenarios int
+}
+
+// Result is a fleet campaign's aggregate outcome.
+type Result struct {
+	Nodes     int
+	Scenarios int
+	Instances int
+	Window    time.Duration
+	Kind      string
+	// Classes counts nodes per spec-variant class.
+	Classes map[string]int
+	// Models holds one aggregate per model family, sorted by name.
+	Models []ModelStats
+}
+
+// Campaign evaluates the whole fleet: nodes run concurrently on the
+// shared protocol worker budget (node-level and per-node parallelism draw
+// from one GOMAXPROCS pool), and the per-node reductions are folded into
+// fleet aggregates strictly in node index order — zero-padded IDs make
+// that sorted-node order — so float accumulation never depends on
+// scheduling or map iteration.
+func Campaign(cfg Config) (Result, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	nodes := Nodes(cfg)
+	outcomes := make([]nodeOutcome, len(nodes))
+	err := protocol.ForEach(len(nodes), func(i int) error {
+		out, err := evaluateNode(cfg, nodes[i])
+		if err != nil {
+			return err
+		}
+		outcomes[i] = out
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return reduce(cfg, outcomes), nil
+}
+
+// reduce folds per-node outcomes into the fleet aggregate, visiting nodes
+// in index order and models in sorted-name order.
+func reduce(cfg Config, outcomes []nodeOutcome) Result {
+	res := Result{
+		Nodes:   len(outcomes),
+		Window:  cfg.Window,
+		Kind:    cfg.Kind.String(),
+		Classes: map[string]int{},
+	}
+	modelNames := map[string]bool{}
+	for i := range outcomes {
+		res.Scenarios += outcomes[i].scenarios
+		res.Instances += outcomes[i].instances
+		res.Classes[outcomes[i].node.Class]++
+		for name := range outcomes[i].aes {
+			modelNames[name] = true
+		}
+	}
+	names := make([]string, 0, len(modelNames))
+	for name := range modelNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := ModelStats{Model: name, WorstNodeMeanAE: math.Inf(-1)}
+		var all []float64
+		var covSum float64
+		for i := range outcomes {
+			o := &outcomes[i]
+			aes := o.aes[name]
+			if len(aes) == 0 {
+				continue
+			}
+			var nodeSum float64
+			for _, ae := range aes {
+				nodeSum += ae
+				if ae > st.MaxAE {
+					st.MaxAE = ae
+				}
+			}
+			for _, c := range o.coverages[name] {
+				covSum += c
+			}
+			all = append(all, aes...)
+			if nodeMean := nodeSum / float64(len(aes)); nodeMean > st.WorstNodeMeanAE {
+				st.WorstNodeMeanAE = nodeMean
+				st.WorstNode = o.node.ID
+			}
+		}
+		st.Scenarios = len(all)
+		if len(all) == 0 {
+			st.WorstNodeMeanAE = 0
+			res.Models = append(res.Models, st)
+			continue
+		}
+		var sum float64
+		for _, ae := range all {
+			sum += ae
+		}
+		st.MeanAE = sum / float64(len(all))
+		st.MeanCoverage = covSum / float64(len(all))
+		sorted := append([]float64(nil), all...)
+		sort.Float64s(sorted)
+		st.P50 = quantile(sorted, 0.50)
+		st.P90 = quantile(sorted, 0.90)
+		st.P99 = quantile(sorted, 0.99)
+		res.Models = append(res.Models, st)
+	}
+	return res
+}
+
+// quantile is the nearest-rank quantile of a sorted sample.
+func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"powerdiv/internal/traffic"
+)
+
+// testFleet is a fast fleet config: short runs, a 3-kernel cohort, one
+// scenario per node.
+func testFleet(nodes int, seed int64) Config {
+	return Config{
+		Nodes:            nodes,
+		Seed:             seed,
+		ScenariosPerNode: 1,
+		Window:           2 * time.Second,
+		RunFor:           3 * time.Second,
+		StableWindow:     time.Second,
+		Kernels:          []string{"fibonacci", "matrixprod", "queens"},
+	}
+}
+
+// TestCampaignDeterministic pins the fleet aggregation's bit-level
+// reproducibility over a 200-node heterogeneous fleet: two runs of the
+// same config must agree on every aggregate float to the last bit, which
+// fails if any cross-node reduction runs in scheduling or map order
+// instead of sorted-node order.
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := testFleet(200, 42)
+	a, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nodes != 200 || a.Scenarios != 200 {
+		t.Fatalf("fleet shape: %d nodes, %d scenarios", a.Nodes, a.Scenarios)
+	}
+	if len(a.Models) != 7 {
+		t.Fatalf("got %d model families, want 7", len(a.Models))
+	}
+	if len(a.Models) != len(b.Models) {
+		t.Fatalf("model counts differ: %d vs %d", len(a.Models), len(b.Models))
+	}
+	bits := func(f float64) uint64 { return math.Float64bits(f) }
+	for i := range a.Models {
+		ma, mb := a.Models[i], b.Models[i]
+		if ma.Model != mb.Model || ma.WorstNode != mb.WorstNode || ma.Scenarios != mb.Scenarios {
+			t.Fatalf("model %d identity differs: %+v vs %+v", i, ma, mb)
+		}
+		for _, pair := range [][2]float64{
+			{ma.MeanAE, mb.MeanAE}, {ma.MaxAE, mb.MaxAE},
+			{ma.P50, mb.P50}, {ma.P90, mb.P90}, {ma.P99, mb.P99},
+			{ma.MeanCoverage, mb.MeanCoverage},
+			{ma.WorstNodeMeanAE, mb.WorstNodeMeanAE},
+		} {
+			if bits(pair[0]) != bits(pair[1]) {
+				t.Fatalf("model %s: %v and %v differ at the bit level", ma.Model, pair[0], pair[1])
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.Classes, b.Classes) {
+		t.Fatalf("class mix differs: %v vs %v", a.Classes, b.Classes)
+	}
+}
+
+// TestShardingStableUnderGrowth is the seeded property: adding nodes to a
+// fleet never changes existing nodes' specs or scenario shards — each
+// derives from (seed, node ID) alone.
+func TestShardingStableUnderGrowth(t *testing.T) {
+	for _, seed := range []int64{1, 7, 99} {
+		small := testFleet(40, seed).WithDefaults()
+		large := testFleet(55, seed).WithDefaults()
+		ns, nl := Nodes(small), Nodes(large)
+		for i := range ns {
+			if !reflect.DeepEqual(ns[i], nl[i]) {
+				t.Fatalf("seed %d: node %d changed when the fleet grew:\n%+v\nvs\n%+v", seed, i, ns[i], nl[i])
+			}
+			ss, err := NodeScenarios(small, ns[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sl, err := NodeScenarios(large, nl[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ss, sl) {
+				t.Fatalf("seed %d: node %s's scenarios changed when the fleet grew", seed, ns[i].ID)
+			}
+		}
+	}
+}
+
+// TestFleetHeterogeneity checks a 200-node fleet actually mixes hardware:
+// several spec classes, distinct capacities, per-node clock skew and
+// independent noise seeds.
+func TestFleetHeterogeneity(t *testing.T) {
+	cfg := testFleet(200, 3).WithDefaults()
+	nodes := Nodes(cfg)
+	classes := map[string]int{}
+	caps := map[int]int{}
+	seeds := map[int64]bool{}
+	baseFreqs := map[float64]bool{}
+	for _, n := range nodes {
+		classes[n.Class]++
+		caps[n.MaxCPUs]++
+		if seeds[n.Machine.Seed] {
+			t.Fatalf("node %s shares a noise seed with another node", n.ID)
+		}
+		seeds[n.Machine.Seed] = true
+		baseFreqs[float64(n.Machine.Spec.Freq.Base)] = true
+		if err := n.Machine.Spec.Validate(); err != nil {
+			t.Fatalf("node %s spec invalid: %v", n.ID, err)
+		}
+		if !strings.HasPrefix(n.Machine.Spec.Name, n.Class) {
+			t.Fatalf("node %s spec name %q does not carry class %q", n.ID, n.Machine.Spec.Name, n.Class)
+		}
+	}
+	if len(classes) < 4 {
+		t.Fatalf("only %d spec classes in 200 nodes: %v", len(classes), classes)
+	}
+	if len(caps) < 3 {
+		t.Fatalf("only %d distinct capacities: %v", len(caps), caps)
+	}
+	if len(baseFreqs) < 50 {
+		t.Fatalf("clock skew not engaging: only %d distinct base frequencies", len(baseFreqs))
+	}
+}
+
+// TestWattScopeFleetSanity pins the non-intrusive model's place in the
+// table: present alongside the six intrusive families, finite, and no
+// more accurate than the oracle's ground-truth division.
+func TestWattScopeFleetSanity(t *testing.T) {
+	res, err := Campaign(testFleet(30, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ModelStats{}
+	for _, m := range res.Models {
+		byName[m.Model] = m
+	}
+	for _, want := range []string{"scaphandre", "powerapi", "kepler", "smartwatts", "f2", "oracle", "wattscope"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("model %s missing from fleet table: %v", want, byName)
+		}
+	}
+	ws, oracle := byName["wattscope"], byName["oracle"]
+	for _, v := range []float64{ws.MeanAE, ws.MaxAE, ws.P50, ws.P90, ws.P99, ws.MeanCoverage} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("wattscope stat not finite: %+v", ws)
+		}
+	}
+	if ws.MeanAE < oracle.MeanAE {
+		t.Fatalf("non-intrusive wattscope (%v) beat the oracle (%v)", ws.MeanAE, oracle.MeanAE)
+	}
+	if ws.MeanAE <= 0 {
+		t.Fatalf("wattscope mean AE %v: a power-floor heuristic cannot be exact", ws.MeanAE)
+	}
+	if ws.MeanCoverage <= 0 {
+		t.Fatal("wattscope produced no estimates")
+	}
+}
+
+// TestConfigValidate covers the fleet config's guard rails.
+func TestConfigValidate(t *testing.T) {
+	if _, err := Campaign(Config{Nodes: maxNodes + 1}); err == nil {
+		t.Error("accepted a fleet larger than the ID space")
+	}
+	if _, err := Campaign(Config{Nodes: 1, RunFor: time.Second, StableWindow: 2 * time.Second}); err == nil {
+		t.Error("accepted a stable window longer than the run")
+	}
+	if _, err := Campaign(Config{Nodes: 1, FreqSkewFrac: 1.5}); err == nil {
+		t.Error("accepted a frequency skew of 150%")
+	}
+	cfg := Config{}.WithDefaults()
+	if cfg.Nodes != defaultNodes || cfg.ScenariosPerNode != 1 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+// TestNoBaseloadPassthrough checks the fleet honours the traffic
+// package's explicit zero-baseload sentinel.
+func TestNoBaseloadPassthrough(t *testing.T) {
+	cfg := testFleet(3, 5)
+	cfg.Baseload = traffic.NoBaseload
+	cfg = cfg.WithDefaults()
+	n := NewNode(cfg, 0)
+	tc := NodeTrafficConfig(cfg, n)
+	if tc.Baseload != 0 {
+		t.Fatalf("baseload %d, want 0", tc.Baseload)
+	}
+}

@@ -1,0 +1,37 @@
+package machine
+
+import "powerdiv/internal/units"
+
+// Variation is the per-node spread a fleet applies on top of a shared
+// machine configuration: clock skew, sensor grade and an independent
+// noise seed. The fields compose with Config.WithVariation so a fleet
+// layer derives hundreds of distinct-but-related nodes from one
+// calibrated config without reaching into spec internals.
+type Variation struct {
+	// SpecName renames the varied spec ("" keeps the base name).
+	SpecName string
+	// CoresPerSocket overrides the spec's per-socket core count when
+	// positive — capacity heterogeneity across hardware generations.
+	CoresPerSocket int
+	// FreqScale multiplies the spec's whole frequency domain when
+	// positive — per-node clock skew, typically within a few percent of 1.
+	FreqScale float64
+	// NoiseScale multiplies the config's sensor-noise standard deviation
+	// when positive — per-node sensor grade.
+	NoiseScale float64
+	// Seed replaces the config's noise seed, so every node draws an
+	// independent sensor-noise stream.
+	Seed int64
+}
+
+// WithVariation returns the config with a node's variation applied. The
+// receiver is unchanged; specs are value types, so the variant shares no
+// mutable state with the base.
+func (c Config) WithVariation(v Variation) Config {
+	c.Spec = c.Spec.Variant(v.SpecName, v.CoresPerSocket, v.FreqScale)
+	if v.NoiseScale > 0 {
+		c.NoiseStddev = units.Watts(float64(c.NoiseStddev) * v.NoiseScale)
+	}
+	c.Seed = v.Seed
+	return c
+}

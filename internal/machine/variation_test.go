@@ -1,0 +1,44 @@
+package machine
+
+import (
+	"testing"
+
+	"powerdiv/internal/cpumodel"
+)
+
+func TestConfigWithVariation(t *testing.T) {
+	base := Config{Spec: cpumodel.SmallIntel(), NoiseStddev: 0.25, Seed: 1}
+	v := base.WithVariation(Variation{
+		SpecName:       "node-spec",
+		CoresPerSocket: 4,
+		FreqScale:      0.97,
+		NoiseScale:     1.5,
+		Seed:           99,
+	})
+	if v.Spec.Name != "node-spec" || v.Spec.Topology.CoresPerSocket != 4 {
+		t.Errorf("spec variant not applied: %+v", v.Spec)
+	}
+	if v.NoiseStddev != 0.375 {
+		t.Errorf("noise %v, want 0.375", v.NoiseStddev)
+	}
+	if v.Seed != 99 {
+		t.Errorf("seed %d, want 99", v.Seed)
+	}
+	if base.Seed != 1 || base.Spec.Name != "SMALL INTEL" || base.NoiseStddev != 0.25 {
+		t.Errorf("base config mutated: %+v", base)
+	}
+	if err := v.Spec.Validate(); err != nil {
+		t.Fatalf("varied spec invalid: %v", err)
+	}
+
+	// Two nodes varied from one base produce different sensor streams but
+	// share the calibration family.
+	a := base.WithVariation(Variation{Seed: 2, FreqScale: 1.02})
+	b := base.WithVariation(Variation{Seed: 3, FreqScale: 0.98})
+	if a.Seed == b.Seed {
+		t.Error("node seeds collide")
+	}
+	if a.Spec.Freq.Base <= b.Spec.Freq.Base {
+		t.Errorf("clock skew not applied: %v vs %v", a.Spec.Freq.Base, b.Spec.Freq.Base)
+	}
+}

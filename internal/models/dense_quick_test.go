@@ -124,6 +124,7 @@ func TestQuickObserveIntoMatchesObserve(t *testing.T) {
 		}),
 		NewResidualAwareFromSpec(cpumodel.SmallIntel()),
 		NewOracle(),
+		NewWattScope(),
 	}
 	for _, f := range factories {
 		f := f

@@ -72,6 +72,44 @@ func TestForEachIndexedEarlyDrain(t *testing.T) {
 	}
 }
 
+// TestForEachNestedBudget pins the shared worker budget: a ForEach whose
+// callback itself fans out through forEachIndexed (the fleet-over-campaign
+// shape) must keep the total number of concurrently executing callbacks
+// within GOMAXPROCS instead of multiplying the two levels.
+func TestForEachNestedBudget(t *testing.T) {
+	const budget = 4
+	prev := runtime.GOMAXPROCS(budget)
+	defer runtime.GOMAXPROCS(prev)
+
+	var busy, highWater atomic.Int64
+	enter := func() {
+		n := busy.Add(1)
+		for {
+			hw := highWater.Load()
+			if n <= hw || highWater.CompareAndSwap(hw, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond) // widen the overlap window
+	}
+	err := ForEach(8, func(int) error {
+		return forEachIndexed(8, func(int) error {
+			enter()
+			defer busy.Add(-1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw := highWater.Load(); hw > budget {
+		t.Fatalf("nested fan-out ran %d callbacks concurrently, budget %d", hw, budget)
+	}
+	if left := activeWorkers.Load(); left != 0 {
+		t.Fatalf("worker budget leaked: %d slots still held", left)
+	}
+}
+
 func TestParallelCampaignMatchesSequential(t *testing.T) {
 	ctx := labSmall()
 	scenarios, err := StressPairs([]string{"fibonacci", "float64", "matrixprod", "queens"}, []int{1, 3})

@@ -36,8 +36,8 @@ func FuzzTraceJSON(f *testing.F) {
 			t.Fatalf("accepted trace failed to replay: %v", err)
 		}
 		for i, s := range scenarios {
-			if len(s.Apps) < 2 {
-				t.Fatalf("accepted trace scenario %d has %d instances", i, len(s.Apps))
+			if len(s.Apps) < 1 {
+				t.Fatalf("accepted trace scenario %d has no instances", i)
 			}
 		}
 		out, err := tr.Encode()

@@ -99,8 +99,8 @@ func (t Trace) validate() error {
 		return fmt.Errorf("traffic: trace holds no scenarios")
 	}
 	for i, s := range t.Scenarios {
-		if len(s.Apps) < 2 {
-			return fmt.Errorf("traffic: scenario %d has %d instances (protocol needs ≥2)", i, len(s.Apps))
+		if len(s.Apps) < 1 {
+			return fmt.Errorf("traffic: scenario %d has no instances", i)
 		}
 		seen := make(map[string]bool, len(s.Apps))
 		for j, a := range s.Apps {

@@ -117,9 +117,18 @@ type Config struct {
 	// never exceed it, so scenarios stay contention-free.
 	MaxCPUs int
 	// Baseload is how many always-on single-thread instances anchor each
-	// scenario (they guarantee ≥2 instances and busy ticks throughout).
+	// scenario (they guarantee busy ticks throughout). Zero means "unset"
+	// and defaults to 2; set NoBaseload for an explicitly empty baseload —
+	// a scenario driven by arrivals alone, as on a fleet node that only
+	// sees churn.
 	Baseload int
 }
+
+// NoBaseload is the explicit Baseload sentinel for "no always-on
+// instances". The zero value of Config keeps its historical meaning
+// (defaulted baseload of 2), so zero-baseload schedules need this marker
+// to be distinguishable from an unset field.
+const NoBaseload = -1
 
 // Defaults chosen so a 30 s window sees a steady trickle of arrivals with
 // visible churn on a small machine.
@@ -173,16 +182,21 @@ func (c Config) WithDefaults() Config {
 	if c.MaxCPUs <= 0 {
 		c.MaxCPUs = defaultMaxCPUs
 	}
-	if c.Baseload <= 0 {
+	switch {
+	case c.Baseload == 0:
+		// Zero is "unset", not "no baseload": the historical default.
 		c.Baseload = defaultBaseload
+	case c.Baseload < 0:
+		// NoBaseload (or any negative sentinel): explicitly empty.
+		c.Baseload = 0
 	}
 	return c
 }
 
 // Validate checks a defaulted config for internal consistency.
 func (c Config) Validate() error {
-	if c.Baseload < 2 {
-		return fmt.Errorf("traffic: baseload %d below the protocol's 2-instance floor", c.Baseload)
+	if c.Baseload != 0 && c.Baseload < 2 {
+		return fmt.Errorf("traffic: baseload %d below the protocol's 2-instance floor (use NoBaseload for none)", c.Baseload)
 	}
 	if c.Baseload > c.MaxCPUs {
 		return fmt.Errorf("traffic: baseload %d exceeds capacity %d", c.Baseload, c.MaxCPUs)

@@ -247,7 +247,7 @@ func TestDecodeRejectsInvalid(t *testing.T) {
 		{"wrong version", func(tr *Trace) { tr.Version = 2 }},
 		{"no window", func(tr *Trace) { tr.WindowNS = 0 }},
 		{"no scenarios", func(tr *Trace) { tr.Scenarios = nil }},
-		{"single instance", func(tr *Trace) { tr.Scenarios[0].Apps = tr.Scenarios[0].Apps[:1] }},
+		{"empty roster", func(tr *Trace) { tr.Scenarios[0].Apps = nil }},
 		{"empty ID", func(tr *Trace) { tr.Scenarios[0].Apps[0].ID = "" }},
 		{"duplicate ID", func(tr *Trace) { tr.Scenarios[0].Apps[1].ID = tr.Scenarios[0].Apps[0].ID }},
 		{"unknown kernel", func(tr *Trace) { tr.Scenarios[0].Apps[0].Kernel = "minesweeper" }},
@@ -272,6 +272,60 @@ func TestDecodeRejectsInvalid(t *testing.T) {
 	}
 	if _, err := Decode([]byte("{")); err == nil {
 		t.Error("Decode accepted truncated JSON")
+	}
+}
+
+// TestZeroBaseload is the regression test for the Baseload sentinel: the
+// zero value of Config still defaults to 2 always-on anchors, while
+// NoBaseload yields schedules driven by arrivals alone that both generate
+// and replay through a trace roundtrip.
+func TestZeroBaseload(t *testing.T) {
+	base := testConfig(31)
+	base.Scenarios = 3
+	base.ArrivalsPerMinute = 240 // dense enough that every scenario has arrivals
+
+	defaulted := Config{}.WithDefaults()
+	if defaulted.Baseload != defaultBaseload {
+		t.Fatalf("zero-value Baseload defaulted to %d, want %d", defaulted.Baseload, defaultBaseload)
+	}
+
+	cfg := base
+	cfg.Baseload = NoBaseload
+	if got := cfg.WithDefaults().Baseload; got != 0 {
+		t.Fatalf("NoBaseload defaulted to %d, want 0", got)
+	}
+	scenarios, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("zero-baseload Generate: %v", err)
+	}
+	for i, s := range scenarios {
+		if len(s.Apps) == 0 {
+			t.Fatalf("scenario %d generated no arrivals at %v arrivals/min", i, cfg.ArrivalsPerMinute)
+		}
+		// Every instance must be an arrival: before the fix, WithDefaults
+		// silently re-inserted two always-on anchors at t=0.
+		for _, a := range s.Apps {
+			if a.StartAt == 0 {
+				t.Fatalf("scenario %d instance %s starts at 0: baseload sneaked back in", i, a.ID)
+			}
+		}
+	}
+
+	tr := Record(cfg, scenarios)
+	data, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("zero-baseload trace rejected on decode: %v", err)
+	}
+	replayed, err := back.ProtocolScenarios()
+	if err != nil {
+		t.Fatalf("zero-baseload trace failed to replay: %v", err)
+	}
+	if !reflect.DeepEqual(replayed, scenarios) {
+		t.Fatal("zero-baseload replay differs from the generated schedule")
 	}
 }
 
