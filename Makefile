@@ -15,8 +15,9 @@
 # `make cover` enforces a statement-coverage floor on the numeric core
 # (internal/division), the model implementations (internal/models), the
 # metrics subsystem (internal/obs), the traffic generator
-# (internal/traffic) and the fleet campaign (internal/fleet) — the
-# packages whose behaviour the paper's numbers depend on most directly.
+# (internal/traffic), the fleet campaign (internal/fleet) and the campaign
+# service (internal/serve) — the packages whose behaviour the paper's
+# numbers depend on most directly.
 #
 # `make fuzz-smoke` runs each fuzz target briefly (seed corpus plus a few
 # seconds of mutation) so verify catches parser panics without a long
@@ -28,13 +29,13 @@ GO ?= go
 # coverage is ~90 %; the floor trails it so refactors have headroom but a
 # test-free feature drop still fails.
 COVER_FLOOR ?= 85
-COVER_PKGS  = ./internal/division ./internal/models ./internal/obs ./internal/traffic ./internal/fleet
+COVER_PKGS  = ./internal/division ./internal/models ./internal/obs ./internal/traffic ./internal/fleet ./internal/serve
 
 # Regression threshold (percent) for bench-diff. The default is generous
 # because one-iteration runs are noisy; nightly runs can tighten it.
 BENCH_THRESHOLD ?= 300
 
-.PHONY: build test vet fmt-check race cover bench bench-check bench-diff fuzz-smoke verify
+.PHONY: build test vet fmt-check race cover bench bench-check bench-diff fuzz-smoke serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -72,5 +73,13 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzTraceJSON -fuzztime 5s ./internal/traffic
 	$(GO) test -run=^$$ -fuzz=FuzzPowercapLayout -fuzztime 2s ./internal/rapl
 	$(GO) test -run=^$$ -fuzz=FuzzParseCurveCSV -fuzztime 2s ./internal/cpumodel
+	$(GO) test -run=^$$ -fuzz=FuzzSubmitJSON -fuzztime 3s ./internal/serve
+	$(GO) test -run=^$$ -fuzz=FuzzSnapshotJSON -fuzztime 3s ./internal/serve
 
-verify: build vet fmt-check test race bench-check bench-diff fuzz-smoke
+# serve-smoke boots the campaign daemon in-process, runs a 5-scenario
+# streamed job over loopback HTTP, checks the NDJSON stream's shape, and
+# drains — the end-to-end gate for cmd/powerdiv-serve.
+serve-smoke:
+	$(GO) run ./cmd/powerdiv-serve -smoke
+
+verify: build vet fmt-check test race bench-check bench-diff fuzz-smoke serve-smoke

@@ -52,11 +52,12 @@ func TrafficConfig(ctx protocol.Context, kind traffic.Kind, scenarios int, windo
 	return cfg.WithDefaults()
 }
 
-// trafficFactories builds the traffic model roster: the paper's two models,
+// TrafficFactories builds the traffic model roster: the paper's two models,
 // the two extra open-source families, the F2 reference (its per-core table
 // keyed by instance ID through the shared baseline types) and the oracle
-// floor.
-func trafficFactories(scenarios []protocol.Scenario) func(map[string]division.Baseline) []models.Factory {
+// floor. Exported so the campaign service scores the same roster per
+// scenario that the batch traffic experiments score per campaign.
+func TrafficFactories(scenarios []protocol.Scenario) func(map[string]division.Baseline) []models.Factory {
 	return func(baselines map[string]division.Baseline) []models.Factory {
 		perCore := map[string]units.Watts{}
 		for _, s := range scenarios {
@@ -114,7 +115,7 @@ func TrafficReplay(ctx protocol.Context, tr traffic.Trace) (TrafficResult, error
 }
 
 func trafficEvaluate(ctx protocol.Context, kind string, window time.Duration, scenarios []protocol.Scenario) (TrafficResult, error) {
-	byModel, err := protocol.EvaluateTrafficStreaming(ctx, scenarios, trafficFactories(scenarios), window)
+	byModel, err := protocol.EvaluateTrafficStreaming(ctx, scenarios, TrafficFactories(scenarios), window)
 	if err != nil {
 		return TrafficResult{}, err
 	}

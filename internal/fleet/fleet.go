@@ -23,6 +23,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -278,40 +279,45 @@ func nodeFactories(scenarios []protocol.Scenario) func(map[string]division.Basel
 	}
 }
 
-// nodeOutcome is the compact per-node reduction kept after a node's full
+// NodeDigest is the compact per-node reduction kept after a node's full
 // evaluation rows are dropped: per-model error samples and coverage, plus
 // roster counts. Everything the fleet aggregate needs, nothing sized by
-// run length.
-type nodeOutcome struct {
-	node      Node
-	scenarios int
-	instances int
-	// aes and coverages are per-model, scenario-ordered (model name →
+// run length. It is also the fleet job's per-shard result unit in the
+// campaign service — JSON-serializable, and a pure function of
+// (Config.Seed, node ID), so a digest computed before a daemon restart is
+// bit-identical to one computed after.
+type NodeDigest struct {
+	Node      Node `json:"node"`
+	Scenarios int  `json:"scenarios"`
+	Instances int  `json:"instances"`
+	// AEs and Coverages are per-model, scenario-ordered (model name →
 	// one value per scenario).
-	aes       map[string][]float64
-	coverages map[string][]float64
+	AEs       map[string][]float64 `json:"aes"`
+	Coverages map[string][]float64 `json:"coverages"`
 }
 
-// evaluateNode runs one node's full protocol — phase 1 baselines over its
+// EvaluateNode runs one node's full protocol — phase 1 baselines over its
 // shard's application types, then every scenario through the fused
-// streaming pipeline — and reduces the result immediately.
-func evaluateNode(cfg Config, n Node) (nodeOutcome, error) {
+// streaming pipeline — and reduces the result immediately. cctx is the
+// cancellation seam: a cancelled context aborts the node's in-flight
+// simulator at the next tick (see protocol.EvaluateTrafficStreamingCtx).
+func EvaluateNode(cctx context.Context, cfg Config, n Node) (NodeDigest, error) {
 	scenarios, err := NodeScenarios(cfg, n)
 	if err != nil {
-		return nodeOutcome{}, fmt.Errorf("fleet: %s: %w", n.ID, err)
+		return NodeDigest{}, fmt.Errorf("fleet: %s: %w", n.ID, err)
 	}
-	byModel, err := protocol.EvaluateTrafficStreaming(nodeContext(cfg, n), scenarios, nodeFactories(scenarios), cfg.Window)
+	byModel, err := protocol.EvaluateTrafficStreamingCtx(cctx, nodeContext(cfg, n), scenarios, nodeFactories(scenarios), cfg.Window)
 	if err != nil {
-		return nodeOutcome{}, fmt.Errorf("fleet: %s: %w", n.ID, err)
+		return NodeDigest{}, fmt.Errorf("fleet: %s: %w", n.ID, err)
 	}
-	out := nodeOutcome{
-		node:      n,
-		scenarios: len(scenarios),
-		aes:       make(map[string][]float64, len(byModel)),
-		coverages: make(map[string][]float64, len(byModel)),
+	out := NodeDigest{
+		Node:      n,
+		Scenarios: len(scenarios),
+		AEs:       make(map[string][]float64, len(byModel)),
+		Coverages: make(map[string][]float64, len(byModel)),
 	}
 	for _, s := range scenarios {
-		out.instances += len(s.Apps)
+		out.Instances += len(s.Apps)
 	}
 	for name, evs := range byModel {
 		aes := make([]float64, len(evs))
@@ -320,8 +326,8 @@ func evaluateNode(cfg Config, n Node) (nodeOutcome, error) {
 			aes[i] = ev.AE
 			covs[i] = ev.Coverage
 		}
-		out.aes[name] = aes
-		out.coverages[name] = covs
+		out.AEs[name] = aes
+		out.Coverages[name] = covs
 	}
 	return out, nil
 }
@@ -371,9 +377,9 @@ func Campaign(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	nodes := Nodes(cfg)
-	outcomes := make([]nodeOutcome, len(nodes))
+	outcomes := make([]NodeDigest, len(nodes))
 	err := protocol.ForEach(len(nodes), func(i int) error {
-		out, err := evaluateNode(cfg, nodes[i])
+		out, err := EvaluateNode(context.Background(), cfg, nodes[i])
 		if err != nil {
 			return err
 		}
@@ -383,12 +389,14 @@ func Campaign(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return reduce(cfg, outcomes), nil
+	return Reduce(cfg, outcomes), nil
 }
 
-// reduce folds per-node outcomes into the fleet aggregate, visiting nodes
-// in index order and models in sorted-name order.
-func reduce(cfg Config, outcomes []nodeOutcome) Result {
+// Reduce folds per-node digests into the fleet aggregate, visiting nodes
+// in index order and models in sorted-name order. Exported so the campaign
+// service can fold resumed shard digests with exactly the Campaign
+// accumulation order.
+func Reduce(cfg Config, outcomes []NodeDigest) Result {
 	res := Result{
 		Nodes:   len(outcomes),
 		Window:  cfg.Window,
@@ -397,10 +405,10 @@ func reduce(cfg Config, outcomes []nodeOutcome) Result {
 	}
 	modelNames := map[string]bool{}
 	for i := range outcomes {
-		res.Scenarios += outcomes[i].scenarios
-		res.Instances += outcomes[i].instances
-		res.Classes[outcomes[i].node.Class]++
-		for name := range outcomes[i].aes {
+		res.Scenarios += outcomes[i].Scenarios
+		res.Instances += outcomes[i].Instances
+		res.Classes[outcomes[i].Node.Class]++
+		for name := range outcomes[i].AEs {
 			modelNames[name] = true
 		}
 	}
@@ -415,7 +423,7 @@ func reduce(cfg Config, outcomes []nodeOutcome) Result {
 		var covSum float64
 		for i := range outcomes {
 			o := &outcomes[i]
-			aes := o.aes[name]
+			aes := o.AEs[name]
 			if len(aes) == 0 {
 				continue
 			}
@@ -426,13 +434,13 @@ func reduce(cfg Config, outcomes []nodeOutcome) Result {
 					st.MaxAE = ae
 				}
 			}
-			for _, c := range o.coverages[name] {
+			for _, c := range o.Coverages[name] {
 				covSum += c
 			}
 			all = append(all, aes...)
 			if nodeMean := nodeSum / float64(len(aes)); nodeMean > st.WorstNodeMeanAE {
 				st.WorstNodeMeanAE = nodeMean
-				st.WorstNode = o.node.ID
+				st.WorstNode = o.Node.ID
 			}
 		}
 		st.Scenarios = len(all)

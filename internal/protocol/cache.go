@@ -84,12 +84,76 @@ const DefaultMemoLimit = 2048
 // memory growth.
 const DefaultMemoBytes int64 = 64 << 20
 
-var memo = &runCache{
-	enabled:   true,
-	limit:     DefaultMemoLimit,
-	entries:   map[string]*runCacheEntry{},
-	byteLimit: DefaultMemoBytes,
-	summaries: map[string]*summaryEntry{},
+var memo = newRunCache(DefaultMemoLimit, DefaultMemoBytes)
+
+// newRunCache builds an enabled two-tier cache with the given bounds.
+func newRunCache(limit int, byteLimit int64) *runCache {
+	return &runCache{
+		enabled:   true,
+		limit:     limit,
+		entries:   map[string]*runCacheEntry{},
+		byteLimit: byteLimit,
+		summaries: map[string]*summaryEntry{},
+	}
+}
+
+// CacheScope is an isolated memoization tier with its own byte budget — the
+// unit of cache isolation the campaign service hands each job. A scope has
+// the same two-tier structure and singleflight semantics as the process
+// cache but shares nothing with it: a job's solo-run digests are charged
+// against the job's budget, evicted within the job, and released wholesale
+// when the scope is dropped, so one tenant's sweep can never evict another
+// tenant's baselines (or grow the process past its admission-time budget).
+// Campaigns select a scope through Context.Cache; a nil scope means the
+// process-wide cache, which keeps every existing caller's behaviour.
+type CacheScope struct {
+	c *runCache
+}
+
+// NewCacheScope returns an isolated cache tier capped at byteLimit bytes of
+// summary digests (non-positive means DefaultMemoBytes). The full-run tier
+// keeps the default entry bound; jobs on the streaming pipeline only touch
+// the summary tier.
+func NewCacheScope(byteLimit int64) *CacheScope {
+	if byteLimit <= 0 {
+		byteLimit = DefaultMemoBytes
+	}
+	return &CacheScope{c: newRunCache(DefaultMemoLimit, byteLimit)}
+}
+
+// Stats reports the scope's activity since creation, with the same
+// invariants as the process-wide MemoizationStats.
+func (s *CacheScope) Stats() MemoStats {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	return MemoStats{
+		Hits:             s.c.hits,
+		Misses:           s.c.misses,
+		Lookups:          s.c.lookups,
+		Entries:          len(s.c.entries),
+		SummaryEntries:   len(s.c.summaries),
+		SummaryBytes:     s.c.bytes,
+		SummaryByteLimit: s.c.byteLimit,
+		Evictions:        s.c.evictions,
+	}
+}
+
+// Drop releases everything the scope holds. Waiters on in-flight entries
+// still receive their results; the tables are emptied so the memory is
+// reclaimable as soon as those callers return.
+func (s *CacheScope) Drop() {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.c.dropLocked()
+}
+
+// memo resolves the cache a campaign context uses: its scoped tier when one
+// is set, else the process-wide cache.
+func (ctx Context) memo() *runCache {
+	if ctx.Cache != nil {
+		return ctx.Cache.c
+	}
+	return memo
 }
 
 // EnableMemoization turns solo/pair run memoization on or off globally.
@@ -218,74 +282,76 @@ func (c *runCache) evictSummariesLocked() {
 	}
 }
 
-// simulateCached is machine.Simulate behind the memoization cache. The
-// returned run is shared with other callers and must not be mutated.
-func simulateCached(cfg machine.Config, procs []machine.Proc, maxDur time.Duration) (*machine.Run, error) {
-	memo.mu.Lock()
-	enabled := memo.enabled
-	memo.mu.Unlock()
+// simulateCached is machine.Simulate behind the receiver's memoization
+// tier. The returned run is shared with other callers and must not be
+// mutated.
+func (c *runCache) simulateCached(cfg machine.Config, procs []machine.Proc, maxDur time.Duration) (*machine.Run, error) {
+	c.mu.Lock()
+	enabled := c.enabled
+	c.mu.Unlock()
 	if !enabled {
 		return machine.Simulate(cfg, procs, maxDur)
 	}
 	key := runKey(cfg, procs, maxDur)
-	memo.mu.Lock()
-	memo.lookups++
-	if e, ok := memo.entries[key]; ok {
-		memo.hits++
+	c.mu.Lock()
+	c.lookups++
+	if e, ok := c.entries[key]; ok {
+		c.hits++
 		obsCacheHits.Inc()
-		memo.mu.Unlock()
+		c.mu.Unlock()
 		<-e.done
 		return e.run, e.err
 	}
 	e := &runCacheEntry{done: make(chan struct{})}
-	memo.entries[key] = e
-	memo.order = append(memo.order, key)
-	memo.misses++
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	c.misses++
 	obsCacheMisses.Inc()
-	memo.evictLocked()
-	memo.mu.Unlock()
+	c.evictLocked()
+	c.mu.Unlock()
 
 	e.run, e.err = machine.Simulate(cfg, procs, maxDur)
 	close(e.done)
 	return e.run, e.err
 }
 
-// summaryCached is newRunSummary behind the byte-capped summary tier, with
-// the same singleflight semantics as simulateCached. The returned summary
-// is shared between callers and must be treated as read-only.
-func summaryCached(cfg machine.Config, procs []machine.Proc, maxDur time.Duration) (*RunSummary, error) {
-	memo.mu.Lock()
-	enabled := memo.enabled
-	memo.mu.Unlock()
+// summaryCached is newRunSummary behind the receiver's byte-capped summary
+// tier, with the same singleflight semantics as simulateCached. The
+// returned summary is shared between callers and must be treated as
+// read-only.
+func (c *runCache) summaryCached(cfg machine.Config, procs []machine.Proc, maxDur time.Duration) (*RunSummary, error) {
+	c.mu.Lock()
+	enabled := c.enabled
+	c.mu.Unlock()
 	if !enabled {
 		return newRunSummary(cfg, procs, maxDur)
 	}
 	key := runKey(cfg, procs, maxDur)
-	memo.mu.Lock()
-	memo.lookups++
-	if e, ok := memo.summaries[key]; ok {
-		memo.hits++
+	c.mu.Lock()
+	c.lookups++
+	if e, ok := c.summaries[key]; ok {
+		c.hits++
 		obsCacheHits.Inc()
-		memo.mu.Unlock()
+		c.mu.Unlock()
 		<-e.done
 		return e.sum, e.err
 	}
 	e := &summaryEntry{done: make(chan struct{})}
-	memo.summaries[key] = e
-	memo.sumOrder = append(memo.sumOrder, key)
-	memo.misses++
+	c.summaries[key] = e
+	c.sumOrder = append(c.sumOrder, key)
+	c.misses++
 	obsCacheMisses.Inc()
-	memo.mu.Unlock()
+	c.mu.Unlock()
 
 	e.sum, e.err = newRunSummary(cfg, procs, maxDur)
-	memo.mu.Lock()
+	c.mu.Lock()
 	if !e.evicted {
 		e.size = e.sum.EstimatedBytes()
 		e.sized = true
-		memo.bytes += e.size
-		memo.evictSummariesLocked()
+		c.bytes += e.size
+		c.evictSummariesLocked()
 	}
-	memo.mu.Unlock()
+	c.mu.Unlock()
 	close(e.done)
 	return e.sum, e.err
 }

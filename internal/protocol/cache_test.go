@@ -210,7 +210,7 @@ func TestMemoizationSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			run, err := simulateCached(cfg, []machine.Proc{app.proc()}, 3*time.Second)
+			run, err := memo.simulateCached(cfg, []machine.Proc{app.proc()}, 3*time.Second)
 			if err != nil {
 				t.Error(err)
 				return
@@ -243,7 +243,7 @@ func TestMemoizationLimit(t *testing.T) {
 	app := mustStressApp(t, "int64", 1)
 	for seed := int64(1); seed <= 4; seed++ {
 		cfg := machine.Config{Spec: cpumodel.SmallIntel(), Seed: seed}
-		if _, err := simulateCached(cfg, []machine.Proc{app.proc()}, time.Second); err != nil {
+		if _, err := memo.simulateCached(cfg, []machine.Proc{app.proc()}, time.Second); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -253,7 +253,7 @@ func TestMemoizationLimit(t *testing.T) {
 	// Seed 1 was evicted; asking again recomputes and still agrees with a
 	// direct simulation.
 	cfg := machine.Config{Spec: cpumodel.SmallIntel(), Seed: 1}
-	got, err := simulateCached(cfg, []machine.Proc{app.proc()}, time.Second)
+	got, err := memo.simulateCached(cfg, []machine.Proc{app.proc()}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

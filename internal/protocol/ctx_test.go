@@ -1,0 +1,300 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/division"
+	"powerdiv/internal/models"
+)
+
+// cancelAfterErrs is a context.Context whose Err flips to Canceled after a
+// fixed number of polls. The streaming pipeline checks cctx.Err() once per
+// simulated tick, so this cancels deterministically "at tick k" without any
+// timing dependence — unlike context.WithCancel fired from another
+// goroutine, which races the simulator.
+type cancelAfterErrs struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCancelAfterErrs(k int) *cancelAfterErrs {
+	c := &cancelAfterErrs{Context: context.Background()}
+	c.remaining.Store(int64(k))
+	return c
+}
+
+func (c *cancelAfterErrs) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestStreamingCtxCancelMidRun cancels a pair campaign at the k-th tick
+// poll and requires that the campaign aborts mid-simulation (not after the
+// scenario), the error unwraps to context.Canceled, and the shared worker
+// budget drains back to zero — the contract the service's job cancellation
+// and client-disconnect paths rely on.
+func TestStreamingCtxCancelMidRun(t *testing.T) {
+	ctx := goldenContext(cpumodel.SmallIntel(), false)
+	a0 := mustStressApp(t, "fibonacci", 1)
+	a1 := mustStressApp(t, "int64", 1)
+	scenarios := []Scenario{{Apps: []AppSpec{a0, a1}}}
+	factories := func(baselines map[string]division.Baseline) []models.Factory {
+		return []models.Factory{models.NewScaphandre()}
+	}
+
+	// Cancel generously after the baseline phase has had its polls but well
+	// before the pair run's tick count (12 s at the simulator tick rate).
+	cctx := newCancelAfterErrs(20)
+	_, err := EvaluateModelsStreamingCtx(cctx, ctx, scenarios, factories, ObjectiveActive, 0)
+	if err == nil {
+		t.Fatal("cancelled campaign returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+	waitWorkerBudgetDrain(t)
+}
+
+// TestTrafficCtxCancelMidRun is the traffic-campaign twin of the pair-path
+// cancellation test.
+func TestTrafficCtxCancelMidRun(t *testing.T) {
+	ctx, scenarios, factories := trafficGoldenSetup(t)
+	cctx := newCancelAfterErrs(25)
+	_, err := EvaluateTrafficStreamingCtx(cctx, ctx, scenarios, factories, trafficTestWindow)
+	if err == nil {
+		t.Fatal("cancelled traffic campaign returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+	waitWorkerBudgetDrain(t)
+}
+
+// TestStreamingCtxUncancelledBitIdentical pins that threading an uncancelled
+// context through the campaign changes nothing: both Ctx entry points yield
+// tables bit-identical to their context-free twins.
+func TestStreamingCtxUncancelledBitIdentical(t *testing.T) {
+	ctx := goldenContext(cpumodel.SmallIntel(), false)
+	a0 := mustStressApp(t, "fibonacci", 1)
+	a1 := mustStressApp(t, "matrixprod", 2)
+	scenarios := []Scenario{{Apps: []AppSpec{a0, a1}}}
+	factories := func(baselines map[string]division.Baseline) []models.Factory {
+		return goldenFactories(baselines, cpumodel.SmallIntel())
+	}
+	want, err := EvaluateModelsStreaming(ctx, scenarios, factories, ObjectiveActive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateModelsStreamingCtx(context.Background(), ctx, scenarios, factories, ObjectiveActive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, wevs := range want {
+		for i := range wevs {
+			compareStreamingEvaluations(t, name, wevs[i], got[name][i])
+		}
+	}
+
+	tctx, tscenarios, tfactories := trafficGoldenSetup(t)
+	twant, err := EvaluateTrafficStreaming(tctx, tscenarios, tfactories, trafficTestWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgot, err := EvaluateTrafficStreamingCtx(context.Background(), tctx, tscenarios, tfactories, trafficTestWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, wevs := range twant {
+		for i := range wevs {
+			compareTrafficEvaluations(t, name, wevs[i], tgot[name][i])
+		}
+	}
+}
+
+// TestScenarioStreamingMatchesCampaign pins the service's sharding unit:
+// evaluating one scenario at a time through EvaluateScenarioStreaming and
+// EvaluateTrafficScenarioStreaming reproduces the whole-campaign tables bit
+// for bit, in any order. This is what lets a resumed job skip completed
+// scenarios without re-running them.
+func TestScenarioStreamingMatchesCampaign(t *testing.T) {
+	ctx, scenarios, factories := trafficGoldenSetup(t)
+	baselines, err := MeasureBaselinesParallel(ctx, AppsOf(scenarios))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := factories(baselines)
+	want, err := EvaluateTrafficStreaming(ctx, scenarios, factories, trafficTestWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse order: per-scenario results must not depend on evaluation
+	// order.
+	for i := len(scenarios) - 1; i >= 0; i-- {
+		rows, err := EvaluateTrafficScenarioStreaming(context.Background(), ctx, scenarios[i], fs, baselines, trafficTestWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != len(fs) {
+			t.Fatalf("scenario %d: %d rows for %d factories", i, len(rows), len(fs))
+		}
+		for m, f := range fs {
+			compareTrafficEvaluations(t, f.Name, want[f.Name][i], rows[m])
+		}
+	}
+}
+
+// waitWorkerBudgetDrain asserts the shared worker budget returns to zero
+// shortly after a cancelled campaign's entry point returns. forEachIndexed
+// releases its grant before returning, so this should already be zero; the
+// brief settle loop only guards against unrelated tests' stragglers.
+func waitWorkerBudgetDrain(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if WorkerBudgetInUse() == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker budget still holds %d slots after cancellation", WorkerBudgetInUse())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCacheScopeIsolation pins the service's cache-tenancy contract: a
+// campaign run under a CacheScope records all its memoization activity in
+// the scope and none in the process-wide cache, and the scope's byte budget
+// actually evicts.
+func TestCacheScopeIsolation(t *testing.T) {
+	EnableMemoization(true)
+	ResetMemoization()
+	defer func() {
+		EnableMemoization(true)
+		ResetMemoization()
+	}()
+
+	ctx, scenarios, factories := trafficGoldenSetup(t)
+	ctx.Cache = NewCacheScope(1 << 20)
+	globalBefore := MemoizationStats()
+
+	want, err := EvaluateTrafficStreaming(Context{
+		Machine: ctx.Machine, RunFor: ctx.RunFor,
+		StableWindow: ctx.StableWindow, Seed: ctx.Seed,
+	}, scenarios, factories, trafficTestWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalMid := MemoizationStats()
+	if globalMid.Lookups == globalBefore.Lookups {
+		t.Fatal("unscoped campaign did not touch the process cache; test is vacuous")
+	}
+
+	got, err := EvaluateTrafficStreaming(ctx, scenarios, factories, trafficTestWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalAfter := MemoizationStats()
+	if globalAfter.Lookups != globalMid.Lookups {
+		t.Errorf("scoped campaign leaked %d lookups into the process cache",
+			globalAfter.Lookups-globalMid.Lookups)
+	}
+	st := ctx.Cache.Stats()
+	if st.Lookups == 0 || st.Misses == 0 {
+		t.Errorf("scope saw no activity: %+v", st)
+	}
+	if st.Hits+st.Misses != st.Lookups {
+		t.Errorf("scope stats inconsistent: %+v", st)
+	}
+	if st.SummaryByteLimit != 1<<20 {
+		t.Errorf("scope byte limit = %d, want %d", st.SummaryByteLimit, 1<<20)
+	}
+	if st.SummaryBytes > st.SummaryByteLimit {
+		t.Errorf("scope bytes %d exceed limit %d", st.SummaryBytes, st.SummaryByteLimit)
+	}
+
+	// Which cache serves a campaign must not leak into results.
+	for name, wevs := range want {
+		for i := range wevs {
+			compareTrafficEvaluations(t, name, wevs[i], got[name][i])
+		}
+	}
+
+	ctx.Cache.Drop()
+	if st := ctx.Cache.Stats(); st.Entries != 0 || st.SummaryEntries != 0 || st.SummaryBytes != 0 {
+		t.Errorf("dropped scope still holds data: %+v", st)
+	}
+}
+
+// TestCacheScopeTinyBudgetEvicts forces eviction with a budget smaller than
+// one campaign's digests and checks the ledger stays within it while the
+// campaign still completes correctly.
+func TestCacheScopeTinyBudgetEvicts(t *testing.T) {
+	ctx, scenarios, factories := trafficGoldenSetup(t)
+	scope := NewCacheScope(1) // one byte: every summary evicts on insert
+	ctx.Cache = scope
+	if _, err := EvaluateTrafficStreaming(ctx, scenarios, factories, trafficTestWindow); err != nil {
+		t.Fatal(err)
+	}
+	st := scope.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("one-byte budget evicted nothing: %+v", st)
+	}
+	if st.SummaryBytes > st.SummaryByteLimit {
+		t.Errorf("scope bytes %d exceed limit %d", st.SummaryBytes, st.SummaryByteLimit)
+	}
+}
+
+// TestCampaignFingerprint pins the snapshot-binding key: stable across
+// calls, insensitive to the cache scope, and sensitive to every input that
+// changes what phase 2 simulates — seed, scenario set, order, duration,
+// scoring window, and campaign kind.
+func TestCampaignFingerprint(t *testing.T) {
+	ctx, scenarios, _ := trafficGoldenSetup(t)
+	base := CampaignFingerprint(ctx, scenarios, TrafficCampaign, trafficTestWindow)
+	if len(base) != 16 {
+		t.Fatalf("fingerprint %q is not a 16-hex digest", base)
+	}
+	if again := CampaignFingerprint(ctx, scenarios, TrafficCampaign, trafficTestWindow); again != base {
+		t.Errorf("fingerprint not stable: %s then %s", base, again)
+	}
+	scoped := ctx
+	scoped.Cache = NewCacheScope(0)
+	if got := CampaignFingerprint(scoped, scenarios, TrafficCampaign, trafficTestWindow); got != base {
+		t.Errorf("cache scope changed the fingerprint: %s != %s", got, base)
+	}
+
+	mutants := map[string]string{}
+	seeded := ctx
+	seeded.Seed++
+	mutants["seed"] = CampaignFingerprint(seeded, scenarios, TrafficCampaign, trafficTestWindow)
+	windowed := ctx
+	windowed.StableWindow += time.Second
+	mutants["stable window"] = CampaignFingerprint(windowed, scenarios, TrafficCampaign, trafficTestWindow)
+	mutants["kind"] = CampaignFingerprint(ctx, scenarios, PairCampaign, trafficTestWindow)
+	mutants["duration"] = CampaignFingerprint(ctx, scenarios, TrafficCampaign, trafficTestWindow+time.Second)
+	mutants["subset"] = CampaignFingerprint(ctx, scenarios[:2], TrafficCampaign, trafficTestWindow)
+	swapped := []Scenario{scenarios[1], scenarios[0], scenarios[2]}
+	mutants["order"] = CampaignFingerprint(ctx, swapped, TrafficCampaign, trafficTestWindow)
+	for what, got := range mutants {
+		if got == base {
+			t.Errorf("changing %s did not change the fingerprint", what)
+		}
+	}
+}
+
+// TestWorkerBudgetInUseBounded samples the exported budget reading while a
+// campaign runs: it must never exceed GOMAXPROCS (math.MaxInt guard only;
+// the race-mode stress test in internal/serve does the heavy sampling).
+func TestWorkerBudgetInUseBounded(t *testing.T) {
+	if got := WorkerBudgetInUse(); got < 0 || got > math.MaxInt32 {
+		t.Fatalf("implausible worker budget reading %d", got)
+	}
+}

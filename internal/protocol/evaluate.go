@@ -171,7 +171,7 @@ func scenarioRun(ctx Context, s Scenario) (*machine.Run, error) {
 	for i, a := range s.Apps {
 		procs[i] = a.proc()
 	}
-	run, err := simulateCached(cfg, procs, ctx.RunFor)
+	run, err := ctx.memo().simulateCached(cfg, procs, ctx.RunFor)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: scenario %q: %w", s.Label(), err)
 	}

@@ -1,0 +1,51 @@
+package protocol
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"powerdiv/internal/machine"
+)
+
+// CampaignKind names the seed-derivation family a campaign's scenarios
+// simulate under — the label EvaluateModelsStreaming ("pair") or
+// EvaluateTrafficStreaming ("traffic") folds into each scenario's config
+// seed. Fingerprints must use the same label as the evaluator that will run
+// the scenarios, or they address different simulations.
+type CampaignKind string
+
+const (
+	// PairCampaign is the static pair/combination campaign family
+	// (EvaluatePair*, EvaluateModels*).
+	PairCampaign CampaignKind = "pair"
+	// TrafficCampaign is the timed-roster campaign family
+	// (EvaluateTraffic*).
+	TrafficCampaign CampaignKind = "traffic"
+)
+
+// CampaignFingerprint content-addresses a campaign's phase 2 simulations:
+// an FNV-1a digest over every scenario's run-memoization key — the exact
+// fingerprint the cache files the simulated run under (machine calibration,
+// performance settings, derived seed, full process list, duration) — plus
+// the scoring window. Two campaigns with equal fingerprints simulate
+// byte-identical runs and score them over the same stable window, so
+// per-scenario results computed under one are valid under the other. The
+// campaign service uses this to bind snapshots to submissions: a resumed
+// job replays completed rows only when the fingerprints match.
+func CampaignFingerprint(ctx Context, scenarios []Scenario, kind CampaignKind, runFor time.Duration) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "kind:%s|stable:%d|n:%d", kind, int64(ctx.StableWindow), len(scenarios))
+	for _, s := range scenarios {
+		cfg := ctx.Machine
+		cfg.Seed = deriveSeed(ctx.Seed, string(kind), s.Label())
+		procs := make([]machine.Proc, len(s.Apps))
+		for i, a := range s.Apps {
+			procs[i] = a.proc()
+		}
+		h.Write([]byte{0})
+		io.WriteString(h, runKey(cfg, procs, runFor))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -54,6 +55,12 @@ func acquireWorkers(want int) int {
 
 // releaseWorkers returns slots to the shared budget.
 func releaseWorkers(n int) { activeWorkers.Add(-int64(n)) }
+
+// WorkerBudgetInUse reports how many slots of the shared worker budget are
+// currently held. It never exceeds GOMAXPROCS, and returns to zero once
+// every fan-out has drained — the invariant the service stress tests assert
+// while jobs are admitted, cancelled and killed concurrently.
+func WorkerBudgetInUse() int { return int(activeWorkers.Load()) }
 
 // ForEach runs fn(i) for i in [0, n) across the shared worker pool with
 // the same determinism and early-stop contract as the internal campaign
@@ -168,8 +175,28 @@ func EvaluateCampaignParallel(ctx Context, scenarios []Scenario, factory models.
 // concurrently. Like the serial form it goes through the byte-capped
 // summary tier, so phase 1 keeps compact digests instead of full runs.
 func MeasureBaselinesParallel(ctx Context, apps []AppSpec) (map[string]division.Baseline, error) {
+	return measureBaselinesParallelCtx(context.Background(), ctx, apps)
+}
+
+// MeasureBaselinesParallelCtx is MeasureBaselinesParallel with the
+// cancellation seam of the Ctx campaign entry points — the phase 1 the
+// campaign service runs before sharding a job into scenarios.
+func MeasureBaselinesParallelCtx(cctx context.Context, ctx Context, apps []AppSpec) (map[string]division.Baseline, error) {
+	return measureBaselinesParallelCtx(cctx, ctx, apps)
+}
+
+// measureBaselinesParallelCtx is MeasureBaselinesParallel with the
+// cancellation seam of the Ctx campaign entry points. Cancellation is
+// checked before each solo run, not inside it: solo digests are shared
+// through the (possibly job-scoped) summary cache, and a compute owned by
+// one singleflight caller must not be aborted by another caller's deadline.
+// Solo runs are short, so the drain latency is one run, not one campaign.
+func measureBaselinesParallelCtx(cctx context.Context, ctx Context, apps []AppSpec) (map[string]division.Baseline, error) {
 	results := make([]division.Baseline, len(apps))
 	err := forEachIndexed(len(apps), func(i int) error {
+		if err := cctx.Err(); err != nil {
+			return err
+		}
 		b, err := MeasureBaselineSummary(ctx, apps[i])
 		if err != nil {
 			return err

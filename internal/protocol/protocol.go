@@ -43,6 +43,12 @@ type Context struct {
 	StableWindow time.Duration
 	// Seed seeds scenario-level randomness (sensor noise, model seeds).
 	Seed int64
+	// Cache optionally scopes this campaign's run memoization to an
+	// isolated, byte-budgeted tier (see NewCacheScope). Nil selects the
+	// process-wide cache — the behaviour of every pre-service caller. The
+	// scope does not enter any fingerprint or seed derivation, so results
+	// are bit-identical regardless of which cache serves them.
+	Cache *CacheScope
 }
 
 // DefaultContext returns the paper's stress-evaluation settings on the
@@ -123,7 +129,7 @@ func StressApp(fn string, threads int) (AppSpec, error) {
 // run). It goes through the byte-capped summary tier: an idle run's digest
 // is all the mean needs.
 func MeasureIdle(ctx Context) (units.Watts, error) {
-	sum, err := summaryCached(ctx.Machine, nil, 5*time.Second)
+	sum, err := ctx.memo().summaryCached(ctx.Machine, nil, 5*time.Second)
 	if err != nil {
 		return 0, err
 	}
@@ -144,7 +150,7 @@ func MeasureBaseline(ctx Context, app AppSpec) (division.Baseline, *machine.Run,
 	app = app.baselineSpec()
 	cfg := ctx.Machine
 	cfg.Seed = deriveSeed(ctx.Seed, "solo", app.ID)
-	run, err := simulateCached(cfg, []machine.Proc{app.proc()}, ctx.RunFor)
+	run, err := ctx.memo().simulateCached(cfg, []machine.Proc{app.proc()}, ctx.RunFor)
 	if err != nil {
 		return division.Baseline{}, nil, fmt.Errorf("protocol: solo run of %s: %w", app.ID, err)
 	}
@@ -191,7 +197,7 @@ func MeasureBaselineSummary(ctx Context, app AppSpec) (division.Baseline, error)
 	app = app.baselineSpec()
 	cfg := ctx.Machine
 	cfg.Seed = deriveSeed(ctx.Seed, "solo", app.ID)
-	sum, err := summaryCached(cfg, []machine.Proc{app.proc()}, ctx.RunFor)
+	sum, err := ctx.memo().summaryCached(cfg, []machine.Proc{app.proc()}, ctx.RunFor)
 	if err != nil {
 		return division.Baseline{}, fmt.Errorf("protocol: solo run of %s: %w", app.ID, err)
 	}
@@ -228,7 +234,7 @@ func EstimateResidual(ctx Context, probe workload.Workload) (units.Watts, error)
 	for n := 1; n <= phys; n++ {
 		cfg := ctx.Machine
 		cfg.Seed = deriveSeed(ctx.Seed, "residual-probe", fmt.Sprint(n))
-		sum, err := summaryCached(cfg, []machine.Proc{{
+		sum, err := ctx.memo().summaryCached(cfg, []machine.Proc{{
 			ID: "probe", Workload: probe, Threads: n,
 		}}, 5*time.Second)
 		if err != nil {

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,7 +31,14 @@ import (
 // simulator pass, scoring every factory: the scenario is simulated exactly
 // once and all models observe the stream tick by tick. The result is
 // indexed [factory][objective], matching truths.
-func evaluateScenarioStreaming(ctx Context, s Scenario, fs []models.Factory, truths []division.Shares) ([][]Evaluation, error) {
+//
+// cctx is the cancellation seam: it is polled once per simulated tick
+// inside the stream yield, so a cancelled context (client disconnect, job
+// deadline) aborts the simulator mid-run instead of after the scenario —
+// the error unwraps to cctx's cause via errors.Is. Cancellation only ever
+// aborts; it cannot perturb the float accumulation order of a run that
+// completes.
+func evaluateScenarioStreaming(cctx context.Context, ctx Context, s Scenario, fs []models.Factory, truths []division.Shares) ([][]Evaluation, error) {
 	cfg := ctx.Machine
 	cfg.Seed = deriveSeed(ctx.Seed, "pair", s.Label())
 	procs := make([]machine.Proc, len(s.Apps))
@@ -61,6 +69,9 @@ func evaluateScenarioStreaming(ctx Context, s Scenario, fs []models.Factory, tru
 	// keep (StreamReplay's contract).
 	scratch := make([]models.ProcSample, roster.Len())
 	_, err := machine.Stream(cfg, procs, ctx.RunFor, func(rec *machine.TickRecord) error {
+		if err := cctx.Err(); err != nil {
+			return err
+		}
 		for slot := range scratch {
 			pt := rec.Procs[slot]
 			scratch[slot] = models.ProcSample{
@@ -106,12 +117,38 @@ func EvaluatePairStreaming(ctx Context, s Scenario, factory models.Factory, base
 	if err != nil {
 		return Evaluation{Scenario: s, Model: factory.Name}, err
 	}
-	rows, err := evaluateScenarioStreaming(ctx, s, []models.Factory{factory}, truths)
+	rows, err := evaluateScenarioStreaming(context.Background(), ctx, s, []models.Factory{factory}, truths)
 	if err != nil {
 		return Evaluation{Scenario: s, Model: factory.Name}, err
 	}
 	done()
 	return rows[0][0], nil
+}
+
+// EvaluateScenarioStreaming scores every factory over one scenario on the
+// fused streaming pipeline — the per-scenario unit the campaign service
+// shards jobs into. The returned slice is index-aligned with fs, and each
+// row is bit-identical to the corresponding row a whole-campaign
+// EvaluateModelsStreaming call would produce: the simulation and model
+// seeds derive from the scenario label alone, so per-scenario results do
+// not depend on which other scenarios run, in what order, or on which
+// process. cctx cancellation aborts the simulator mid-run.
+func EvaluateScenarioStreaming(cctx context.Context, ctx Context, s Scenario, fs []models.Factory, baselines map[string]division.Baseline, obj Objective, r0 units.Watts) ([]Evaluation, error) {
+	done := observeScenario()
+	truths, err := scenarioTruths(s, baselines, []Objective{obj}, r0)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := evaluateScenarioStreaming(cctx, ctx, s, fs, truths)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Evaluation, len(fs))
+	for m := range fs {
+		out[m] = rows[m][0]
+	}
+	done()
+	return out, nil
 }
 
 // EvaluateModelsStreaming is EvaluateModels on the streaming pipeline.
@@ -123,7 +160,17 @@ func EvaluatePairStreaming(ctx Context, s Scenario, factory models.Factory, base
 // lets combinatorial sweeps scale. Scenarios run concurrently across the
 // worker pool; results are deterministic regardless of scheduling.
 func EvaluateModelsStreaming(ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, obj Objective, r0 units.Watts) (map[string][]Evaluation, error) {
-	baselines, err := MeasureBaselinesParallel(ctx, AppsOf(scenarios))
+	return EvaluateModelsStreamingCtx(context.Background(), ctx, scenarios, factories, obj, r0)
+}
+
+// EvaluateModelsStreamingCtx is EvaluateModelsStreaming with a cancellation
+// seam: when cctx is cancelled (client disconnect, deadline) the campaign
+// stops mid-run — in-flight scenarios abort their simulators at the next
+// tick, the worker pool drains, and the shared worker budget returns to
+// full. The error then unwraps to cctx's cause. An uncancelled cctx changes
+// nothing: results are bit-identical to EvaluateModelsStreaming.
+func EvaluateModelsStreamingCtx(cctx context.Context, ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, obj Objective, r0 units.Watts) (map[string][]Evaluation, error) {
+	baselines, err := measureBaselinesParallelCtx(cctx, ctx, AppsOf(scenarios))
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +184,7 @@ func EvaluateModelsStreaming(ctx Context, scenarios []Scenario, factories func(m
 		if err != nil {
 			return err
 		}
-		rows, err := evaluateScenarioStreaming(ctx, s, fs, truths)
+		rows, err := evaluateScenarioStreaming(cctx, ctx, s, fs, truths)
 		if err != nil {
 			return err
 		}

@@ -58,7 +58,7 @@ func EvaluateTimeline(ctx Context, apps []TimelineApp, factory models.Factory, b
 	}
 	cfg := ctx.Machine
 	cfg.Seed = deriveSeed(ctx.Seed, "timeline", label)
-	run, err := simulateCached(cfg, procs, maxDur)
+	run, err := ctx.memo().simulateCached(cfg, procs, maxDur)
 	if err != nil {
 		return res, fmt.Errorf("protocol: timeline: %w", err)
 	}

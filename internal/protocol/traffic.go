@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -208,11 +209,28 @@ func trafficScenarioSetup(ctx Context, s Scenario, fs []models.Factory) (machine
 	return cfg, procs, roster, ms
 }
 
+// EvaluateTrafficScenarioStreaming scores every factory over one traffic
+// scenario on the fused streaming pipeline — the per-scenario unit the
+// campaign service shards traffic jobs into. Rows are index-aligned with fs
+// and bit-identical to the corresponding rows of a whole-campaign
+// EvaluateTrafficStreaming call: every seed derives from the scenario label
+// alone. cctx cancellation aborts the simulator mid-run (polled once per
+// tick); the error then unwraps to cctx's cause.
+func EvaluateTrafficScenarioStreaming(cctx context.Context, ctx Context, s Scenario, fs []models.Factory, baselines map[string]division.Baseline, window time.Duration) ([]TrafficEvaluation, error) {
+	done := observeScenario()
+	row, err := evaluateTrafficScenarioStreaming(cctx, ctx, s, fs, baselines, window)
+	if err != nil {
+		return nil, err
+	}
+	done()
+	return row, nil
+}
+
 // evaluateTrafficScenarioStreaming scores every factory over one traffic
 // scenario in a single fused simulator pass: the scenario is simulated
 // exactly once, all models observe the stream tick by tick, and the run is
 // never materialized or cached.
-func evaluateTrafficScenarioStreaming(ctx Context, s Scenario, fs []models.Factory, baselines map[string]division.Baseline, window time.Duration) ([]TrafficEvaluation, error) {
+func evaluateTrafficScenarioStreaming(cctx context.Context, ctx Context, s Scenario, fs []models.Factory, baselines map[string]division.Baseline, window time.Duration) ([]TrafficEvaluation, error) {
 	cfg, procs, roster, ms := trafficScenarioSetup(ctx, s, fs)
 	tick := cfg.TickInterval()
 	maxTicks := int(window/tick) + 1
@@ -224,6 +242,9 @@ func evaluateTrafficScenarioStreaming(ctx Context, s Scenario, fs []models.Facto
 	view := newTrafficView(roster.Len(), maxTicks)
 	scratch := make([]models.ProcSample, roster.Len())
 	_, err := machine.Stream(cfg, procs, window, func(rec *machine.TickRecord) error {
+		if err := cctx.Err(); err != nil {
+			return err
+		}
 		for slot := range scratch {
 			pt := rec.Procs[slot]
 			scratch[slot] = models.ProcSample{
@@ -255,8 +276,10 @@ func evaluateTrafficScenarioStreaming(ctx Context, s Scenario, fs []models.Facto
 
 // evaluateTrafficScenarioMaterialized is the reference pipeline: simulate
 // the scenario into a full run, replay every model over its dense ticks,
-// then score through the very same tail as the streaming path.
-func evaluateTrafficScenarioMaterialized(ctx Context, s Scenario, fs []models.Factory, baselines map[string]division.Baseline, window time.Duration) ([]TrafficEvaluation, error) {
+// then score through the very same tail as the streaming path. It has no
+// mid-run cancellation seam (Simulate owns its loop); cctx is honoured
+// between scenarios by the campaign driver.
+func evaluateTrafficScenarioMaterialized(_ context.Context, ctx Context, s Scenario, fs []models.Factory, baselines map[string]division.Baseline, window time.Duration) ([]TrafficEvaluation, error) {
 	cfg, procs, roster, ms := trafficScenarioSetup(ctx, s, fs)
 	run, err := machine.Simulate(cfg, procs, window)
 	if err != nil {
@@ -297,20 +320,23 @@ func scoreTrafficScenario(s Scenario, fs []models.Factory, view *trafficView, ro
 // evaluateTrafficCampaign factors the campaign shape shared by both
 // pipelines: phase 1 over the distinct application types, then the given
 // per-scenario evaluator across the worker pool.
-func evaluateTrafficCampaign(ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, window time.Duration,
-	eval func(Context, Scenario, []models.Factory, map[string]division.Baseline, time.Duration) ([]TrafficEvaluation, error)) (map[string][]TrafficEvaluation, error) {
+func evaluateTrafficCampaign(cctx context.Context, ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, window time.Duration,
+	eval func(context.Context, Context, Scenario, []models.Factory, map[string]division.Baseline, time.Duration) ([]TrafficEvaluation, error)) (map[string][]TrafficEvaluation, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("protocol: non-positive traffic window %v", window)
 	}
-	baselines, err := MeasureBaselinesParallel(ctx, BaselineAppsOf(scenarios))
+	baselines, err := measureBaselinesParallelCtx(cctx, ctx, BaselineAppsOf(scenarios))
 	if err != nil {
 		return nil, err
 	}
 	fs := factories(baselines)
 	perScenario := make([][]TrafficEvaluation, len(scenarios))
 	err = forEachIndexed(len(scenarios), func(i int) error {
+		if err := cctx.Err(); err != nil {
+			return err
+		}
 		done := observeScenario()
-		row, err := eval(ctx, scenarios[i], fs, baselines, window)
+		row, err := eval(cctx, ctx, scenarios[i], fs, baselines, window)
 		if err != nil {
 			return err
 		}
@@ -342,12 +368,21 @@ func evaluateTrafficCampaign(ctx Context, scenarios []Scenario, factories func(m
 // scheduling: every simulation and model seed derives from the scenario
 // label, so two identical campaigns yield bit-identical error tables.
 func EvaluateTrafficStreaming(ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, window time.Duration) (map[string][]TrafficEvaluation, error) {
-	return evaluateTrafficCampaign(ctx, scenarios, factories, window, evaluateTrafficScenarioStreaming)
+	return EvaluateTrafficStreamingCtx(context.Background(), ctx, scenarios, factories, window)
+}
+
+// EvaluateTrafficStreamingCtx is EvaluateTrafficStreaming with a
+// cancellation seam: a cancelled cctx (client disconnect, job deadline)
+// aborts in-flight simulators at the next tick, drains the worker pool and
+// returns the shared budget to full; the error unwraps to cctx's cause. An
+// uncancelled cctx changes nothing — results stay bit-identical.
+func EvaluateTrafficStreamingCtx(cctx context.Context, ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, window time.Duration) (map[string][]TrafficEvaluation, error) {
+	return evaluateTrafficCampaign(cctx, ctx, scenarios, factories, window, evaluateTrafficScenarioStreaming)
 }
 
 // EvaluateTraffic is the materialized reference pipeline for traffic
 // campaigns — same results as EvaluateTrafficStreaming bit for bit (the
 // golden test pins it), at the cost of materializing each churn run.
 func EvaluateTraffic(ctx Context, scenarios []Scenario, factories func(map[string]division.Baseline) []models.Factory, window time.Duration) (map[string][]TrafficEvaluation, error) {
-	return evaluateTrafficCampaign(ctx, scenarios, factories, window, evaluateTrafficScenarioMaterialized)
+	return evaluateTrafficCampaign(context.Background(), ctx, scenarios, factories, window, evaluateTrafficScenarioMaterialized)
 }

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Error codes of the JSON API. Every non-2xx response carries a typed body
+// {"error":{"code":...,"message":...}} so clients dispatch on a stable code
+// instead of parsing prose.
+const (
+	// ErrBadJSON: the request body is not valid JSON for the endpoint.
+	ErrBadJSON = "bad_json"
+	// ErrBadRequest: well-formed JSON with invalid field values.
+	ErrBadRequest = "bad_request"
+	// ErrUnknownKernel: a kernel / stress-function name the simulator has
+	// no workload for.
+	ErrUnknownKernel = "unknown_kernel"
+	// ErrRosterTooLarge: the submission exceeds the server's admission
+	// caps (scenarios, fleet nodes, or trace instances).
+	ErrRosterTooLarge = "roster_too_large"
+	// ErrQueueFull: the bounded job queue is at capacity; retry after the
+	// Retry-After header's seconds.
+	ErrQueueFull = "queue_full"
+	// ErrDraining: the daemon is shutting down and admits no new jobs.
+	ErrDraining = "draining"
+	// ErrNotFound: no job with that ID.
+	ErrNotFound = "not_found"
+)
+
+// APIError is the typed error payload of every non-2xx response.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e APIError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// errorBody is the wire envelope: {"error":{...}}.
+type errorBody struct {
+	Error APIError `json:"error"`
+}
+
+// apiErrorf builds an APIError with a formatted message.
+func apiErrorf(code, format string, args ...any) APIError {
+	return APIError{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// statusFor maps an error code to its HTTP status.
+func statusFor(code string) int {
+	switch code {
+	case ErrBadJSON, ErrBadRequest, ErrUnknownKernel:
+		return http.StatusBadRequest
+	case ErrRosterTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case ErrQueueFull:
+		return http.StatusTooManyRequests
+	case ErrDraining:
+		return http.StatusServiceUnavailable
+	case ErrNotFound:
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError emits the typed error body. Queue-full responses carry a
+// Retry-After so well-behaved clients back off instead of hammering.
+func writeError(w http.ResponseWriter, err APIError) {
+	w.Header().Set("Content-Type", "application/json")
+	if err.Code == ErrQueueFull {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(statusFor(err.Code))
+	json.NewEncoder(w).Encode(errorBody{Error: err})
+}

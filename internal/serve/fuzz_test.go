@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"encoding/json"
+	"regexp"
+	"testing"
+)
+
+// fuzzOpts keeps compile cheap under the fuzzer: tiny roster caps so a
+// pathological-but-admissible spec still compiles in microseconds.
+func fuzzOpts() Options {
+	return Options{MaxScenarios: 8, MaxNodes: 4, MaxInstances: 64, Runners: -1}.withDefaults()
+}
+
+var fingerprintRE = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// FuzzSubmitJSON pins the submission decoder's safety contract, mirroring
+// FuzzTraceJSON's model: arbitrary bytes never panic decode or compile, and
+// any spec compile accepts is replayable — it recompiles to the identical
+// fingerprint, unit count and labels, and an empty snapshot carrying it
+// passes LoadSnapshot, so a daemon restart can always resume it.
+func FuzzSubmitJSON(f *testing.F) {
+	for _, spec := range []SubmitRequest{
+		{Kind: KindTraffic, Seed: 42, Scenarios: 3, WindowMS: 4000, RunForMS: 5000, StableWindowMS: 2000},
+		{Kind: KindPairs, Seed: 7, Functions: []string{"fibonacci", "int64"}, Sizes: []int{1, 2}},
+		{Kind: KindFleet, Seed: 9, Nodes: 3, ScenariosPerNode: 2, WindowMS: 3000},
+		{Kind: KindTraffic, Arrivals: "bursty", Kernels: []string{"matrixprod", "rand"}, Baseload: 1},
+	} {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"kind":"trace","trace":{"version":1,"kind":"poisson","seed":1,"window_ns":1000000000,` +
+		`"scenarios":[{"apps":[{"id":"a","kernel":"fibonacci","threads":1,"start_ns":0,"stop_ns":0}]}]}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kind":"traffic","window_ms":-1}`))
+	f.Add([]byte(`{"kind":"pairs","functions":["nope"]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`not json at all`))
+	opts := fuzzOpts()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec SubmitRequest
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		rn, aerr := compile(spec, opts)
+		if aerr != nil {
+			switch aerr.Code {
+			case ErrBadRequest, ErrUnknownKernel, ErrRosterTooLarge:
+			default:
+				t.Fatalf("compile rejected with non-admission code %q: %v", aerr.Code, aerr)
+			}
+			return
+		}
+		if rn.units <= 0 {
+			t.Fatalf("accepted spec compiled to %d units", rn.units)
+		}
+		if len(rn.labels) != rn.units {
+			t.Fatalf("accepted spec has %d labels for %d units", len(rn.labels), rn.units)
+		}
+		if !fingerprintRE.MatchString(rn.fingerprint) {
+			t.Fatalf("accepted spec has malformed fingerprint %q", rn.fingerprint)
+		}
+		again, aerr := compile(spec, opts)
+		if aerr != nil {
+			t.Fatalf("accepted spec failed to recompile: %v", aerr)
+		}
+		if again.fingerprint != rn.fingerprint || again.units != rn.units {
+			t.Fatalf("recompile drifted: fingerprint %s/%s, units %d/%d",
+				rn.fingerprint, again.fingerprint, rn.units, again.units)
+		}
+		snap := Snapshot{
+			Version:     SnapshotVersion,
+			JobID:       "job-000001",
+			Kind:        rn.kind,
+			Fingerprint: rn.fingerprint,
+			State:       StateQueued,
+			Spec:        spec,
+		}
+		encoded, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatalf("accepted spec's snapshot failed to marshal: %v", err)
+		}
+		if _, _, err := LoadSnapshot(encoded, opts); err != nil {
+			t.Fatalf("accepted spec's snapshot failed to load: %v", err)
+		}
+	})
+}
+
+// FuzzSnapshotJSON pins the durable-state loader: arbitrary bytes never
+// panic LoadSnapshot, and any snapshot it accepts is resumable — the job
+// rebuilds with its completed rows in range, and the rebuilt job's own
+// snapshot round-trips through LoadSnapshot again.
+func FuzzSnapshotJSON(f *testing.F) {
+	opts := fuzzOpts()
+	spec := SubmitRequest{Kind: KindTraffic, Seed: 42, Scenarios: 3, WindowMS: 4000, RunForMS: 5000, StableWindowMS: 2000}
+	if rn, aerr := compile(spec, opts); aerr == nil {
+		partial := Snapshot{
+			Version: SnapshotVersion, JobID: "job-000007", Kind: rn.kind,
+			Fingerprint: rn.fingerprint, State: StateRunning, Spec: spec,
+			Rows: []*ResultRow{{
+				Index: 1, Label: rn.labels[1],
+				Models: []ModelScore{{Model: "oracle", AE: 0.25, ScoredTicks: 3}},
+			}},
+		}
+		if data, err := json.Marshal(partial); err == nil {
+			f.Add(data)
+		}
+		empty := partial
+		empty.Rows = nil
+		empty.State = StateQueued
+		if data, err := json.Marshal(empty); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"job_id":"../../etc/passwd"}`))
+	f.Add([]byte(`{"version":99,"job_id":"job-000001"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, rn, err := LoadSnapshot(data, opts)
+		if err != nil {
+			return
+		}
+		job := jobFromSnapshot(snap, rn)
+		if job.completed < 0 || job.completed > job.Units {
+			t.Fatalf("accepted snapshot rebuilt %d completed rows of %d units", job.completed, job.Units)
+		}
+		if len(job.rows) != job.Units {
+			t.Fatalf("accepted snapshot rebuilt %d row slots for %d units", len(job.rows), job.Units)
+		}
+		again, err := json.Marshal(snapshotOf(job))
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-marshal: %v", err)
+		}
+		if _, _, err := LoadSnapshot(again, opts); err != nil {
+			t.Fatalf("re-marshalled snapshot failed to load: %v", err)
+		}
+	})
+}

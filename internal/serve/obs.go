@@ -1,0 +1,34 @@
+package serve
+
+import "powerdiv/internal/obs"
+
+// Service metrics, exposed through the shared obs registry at /metrics
+// (Prometheus text) and /metrics.json. All writes are no-ops while the
+// registry is disabled; the daemon enables it at startup.
+var (
+	obsSubmitted = obs.NewCounter("powerdiv_serve_jobs_submitted_total",
+		"Jobs accepted into the queue (including resumed partial snapshots).")
+	obsRejected = obs.NewCounter("powerdiv_serve_jobs_rejected_total",
+		"Submissions rejected by admission control (4xx/429/503).")
+	obsCompleted = obs.NewCounter("powerdiv_serve_jobs_completed_total",
+		"Jobs finished in state done.")
+	obsFailed = obs.NewCounter("powerdiv_serve_jobs_failed_total",
+		"Jobs finished in state failed (including deadline overruns).")
+	obsCancelled = obs.NewCounter("powerdiv_serve_jobs_cancelled_total",
+		"Jobs finished in state cancelled (client request or disconnect).")
+	obsResumedJobs = obs.NewCounter("powerdiv_serve_jobs_resumed_total",
+		"Partial snapshots re-queued at daemon start.")
+	obsResumedRows = obs.NewCounter("powerdiv_serve_rows_resumed_total",
+		"Completed rows restored from snapshots instead of re-simulated.")
+	obsRowsStreamed = obs.NewCounter("powerdiv_serve_rows_streamed_total",
+		"NDJSON result rows written to clients.")
+	obsSnapshots = obs.NewCounter("powerdiv_serve_snapshots_written_total",
+		"Snapshot files committed (periodic and terminal).")
+	obsQueueDepth = obs.NewGauge("powerdiv_serve_queue_depth",
+		"Jobs waiting in the admission queue.")
+	obsRunning = obs.NewGauge("powerdiv_serve_jobs_running",
+		"Jobs currently executing on the runner pool.")
+	obsJobSeconds = obs.NewHistogram("powerdiv_serve_job_seconds",
+		"Wall-clock latency from dequeue to terminal state.",
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300)
+)

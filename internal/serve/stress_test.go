@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"powerdiv/internal/protocol"
+)
+
+// TestServeConcurrencyStress hammers a 2-slot queue with parallel
+// submissions, concurrent cancellations and result streams while sampling
+// the shared worker budget. Invariants (all checked under -race via the
+// Makefile's race target):
+//
+//   - live simulation workers never exceed GOMAXPROCS (the shared
+//     protocol budget is the only source of simulation goroutines);
+//   - admission queue depth never exceeds QueueCap;
+//   - every submission is either rejected at admission or ends in exactly
+//     one terminal state;
+//   - the server's goroutines drain after Drain (no leaks).
+func TestServeConcurrencyStress(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+
+	s, hs := newTestServer(t, Options{QueueCap: 2, Runners: 2, SnapshotDir: t.TempDir(), SnapshotEvery: 1})
+
+	// Budget sampler: runs for the whole stress window.
+	maxWorkers := runtime.GOMAXPROCS(0)
+	stopSampling := make(chan struct{})
+	var samplerDone sync.WaitGroup
+	var budgetViolations atomic.Int64
+	var depthViolations atomic.Int64
+	samplerDone.Add(1)
+	go func() {
+		defer samplerDone.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			default:
+			}
+			if got := protocol.WorkerBudgetInUse(); got > maxWorkers {
+				budgetViolations.Add(1)
+			}
+			if d := s.depth.Load(); d > int64(s.opts.QueueCap) {
+				depthViolations.Add(1)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	const n = 12
+	var accepted, rejected atomic.Int64
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := testSpec(3)
+			spec.Seed = int64(100 + i)
+			body, _ := json.Marshal(spec)
+			resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				var sr submitResponse
+				if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+					t.Error(err)
+					return
+				}
+				ids[i] = sr.ID
+				accepted.Add(1)
+			case http.StatusTooManyRequests:
+				rejected.Add(1)
+			default:
+				t.Errorf("submission %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := accepted.Load() + rejected.Load(); got != n {
+		t.Fatalf("accepted %d + rejected %d != %d submissions", accepted.Load(), rejected.Load(), n)
+	}
+	if accepted.Load() == 0 {
+		t.Fatal("every submission was rejected; stress is vacuous")
+	}
+
+	// Concurrently cancel every third accepted job and stream another
+	// third while they run.
+	var chaos sync.WaitGroup
+	for i, id := range ids {
+		if id == "" {
+			continue
+		}
+		switch i % 3 {
+		case 0:
+			chaos.Add(1)
+			go func(id string) {
+				defer chaos.Done()
+				req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+id, nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}(id)
+		case 1:
+			chaos.Add(1)
+			go func(id string) {
+				defer chaos.Done()
+				resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/results")
+				if err != nil {
+					return
+				}
+				defer resp.Body.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := resp.Body.Read(buf); err != nil {
+						return
+					}
+				}
+			}(id)
+		}
+	}
+	chaos.Wait()
+
+	// Every accepted job must reach exactly one terminal state.
+	waitCtx := contextWithTimeout(t, 60*time.Second)
+	states := map[State]int{}
+	for _, id := range ids {
+		if id == "" {
+			continue
+		}
+		st := s.Job(id).Wait(waitCtx)
+		if !st.Terminal() {
+			t.Fatalf("job %s stuck in state %s", id, st)
+		}
+		states[st]++
+	}
+	if got := states[StateDone] + states[StateFailed] + states[StateCancelled]; int64(got) != accepted.Load() {
+		t.Fatalf("terminal states %v do not account for %d accepted jobs", states, accepted.Load())
+	}
+
+	if !s.Drain(60 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	close(stopSampling)
+	samplerDone.Wait()
+	if v := budgetViolations.Load(); v > 0 {
+		t.Errorf("worker budget exceeded GOMAXPROCS %d times", v)
+	}
+	if v := depthViolations.Load(); v > 0 {
+		t.Errorf("queue depth exceeded QueueCap %d times", v)
+	}
+	if got := protocol.WorkerBudgetInUse(); got != 0 {
+		t.Errorf("worker budget still holds %d slots after drain", got)
+	}
+
+	// Goroutine leak check: close the HTTP server, then wait for the
+	// count to settle back to the pre-test level (plus slack for the
+	// runtime's own background goroutines).
+	hs.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= goroutinesBefore+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				goroutinesBefore, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
