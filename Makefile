@@ -35,7 +35,13 @@ COVER_PKGS  = ./internal/division ./internal/models ./internal/obs ./internal/tr
 # because one-iteration runs are noisy; nightly runs can tighten it.
 BENCH_THRESHOLD ?= 300
 
-.PHONY: build test vet fmt-check race cover bench bench-check bench-diff fuzz-smoke serve-smoke verify
+# Scenarios/sec regression threshold (percent) for the cold campaign rung.
+# Cold iterations drop every cache tier first, so each does identical work
+# and the rate is comparable across runs even at one iteration — gated at a
+# generous margin so only a lost fast path trips it, not machine noise.
+BENCH_RATE_THRESHOLD ?= 60
+
+.PHONY: build test vet fmt-check race cover bench bench-check bench-diff pprof fuzz-smoke serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -67,7 +73,15 @@ bench-check:
 	$(GO) run ./cmd/powerdiv-bench -bench 'BenchmarkCampaignMemoization|BenchmarkSimulatorTick' -benchtime 1x -out ''
 
 bench-diff:
-	$(GO) run ./cmd/powerdiv-bench -diff BENCH_campaign.json -threshold $(BENCH_THRESHOLD) -alloc-only -benchtime 1x -out ''
+	$(GO) run ./cmd/powerdiv-bench -diff BENCH_campaign.json -threshold $(BENCH_THRESHOLD) -alloc-only \
+		-rate-gate '^BenchmarkLabErrorTableCold' -rate-threshold $(BENCH_RATE_THRESHOLD) \
+		-require-scaling 1.0 -benchtime 1x -out ''
+
+# pprof captures CPU and heap profiles of the hot campaign rung for
+# `go tool pprof cpu.prof` / `go tool pprof mem.prof` (both gitignored).
+pprof:
+	$(GO) test -run '^$$' -bench 'BenchmarkLabErrorTable$$/small-intel' \
+		-benchtime 20x -cpuprofile cpu.prof -memprofile mem.prof .
 
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzTraceJSON -fuzztime 5s ./internal/traffic

@@ -290,29 +290,74 @@ func BenchmarkFig13CompressCloverleaf(b *testing.B) {
 
 // BenchmarkLabErrorTable regenerates the §IV-A error summary on both
 // machines with all models (the paper's headline numbers) through the
-// streaming pipeline — the configuration the CLIs run in. Each iteration
-// simulates every scenario once and feeds all models from the live tick
-// stream; only baseline digests are cached, so B/op and the reported
-// peak-heap-bytes watermark measure the bounded-memory property.
+// streaming pipeline — the configuration the CLIs run in. An untimed
+// warm-up pass fills the cache tiers first, so the timed iterations measure
+// the warm steady state (and B/op stays deterministic at any -benchtime);
+// the cold cost is BenchmarkLabErrorTableCold's job. The peak-heap-bytes
+// watermark still measures the bounded-memory property.
 func BenchmarkLabErrorTable(b *testing.B) {
-	benchLabErrorTable(b, experiments.LabEvaluationStreaming)
+	benchLabErrorTable(b, experiments.LabEvaluationStreaming, true)
 }
 
 // BenchmarkLabErrorTableMaterialized is the same campaign through the
 // materialized pipeline: full runs are simulated, retained and replayed
-// from the memoization cache (warm after the first iteration). It pins the
+// from the memoization cache (warmed before the timer starts). It pins the
 // cost of the run-retaining path that timeline and profile consumers use.
 func BenchmarkLabErrorTableMaterialized(b *testing.B) {
-	benchLabErrorTable(b, experiments.LabEvaluation)
+	benchLabErrorTable(b, experiments.LabEvaluation, true)
 }
 
-func benchLabErrorTable(b *testing.B, evaluate func(protocol.Context, ...models.Factory) (map[string]experiments.ScatterResult, error)) {
+// BenchmarkLabErrorTableCold is the streaming campaign with every cache
+// tier dropped before each iteration: each pass re-simulates every solo and
+// pair run from scratch. This is the raw-speed rung — the number that can
+// only improve through the simulator and scoring kernels, never through
+// caching — and the one the bench-diff rate gate polices (cold iterations
+// do identical work, so their scenarios/sec is comparable across runs even
+// at -benchtime 1x). No heap watermark: a cold pass's transient garbage
+// peak is GC-pacing noise, not a retention signal.
+func BenchmarkLabErrorTableCold(b *testing.B) {
+	benchLabErrorTable(b, func(ctx protocol.Context, extra ...models.Factory) (map[string]experiments.ScatterResult, error) {
+		protocol.ResetMemoization()
+		return experiments.LabEvaluationStreaming(ctx, extra...)
+	}, false)
+}
+
+// BenchmarkLabErrorTableDiskWarm is the cold campaign with a warm
+// persistent summary cache attached: memory tiers are dropped before each
+// iteration (a fresh process, in effect), so phase 1 baselines load from
+// disk while pair runs still simulate. The untimed warm-up pass primes the
+// disk tier; the gap to Cold is what the tier buys a restarted process.
+func BenchmarkLabErrorTableDiskWarm(b *testing.B) {
+	disk, err := protocol.OpenDiskCache(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	protocol.AttachDiskCache(disk)
+	defer protocol.AttachDiskCache(nil)
+	benchLabErrorTable(b, func(ctx protocol.Context, extra ...models.Factory) (map[string]experiments.ScatterResult, error) {
+		protocol.ResetMemoization()
+		return experiments.LabEvaluationStreaming(ctx, extra...)
+	}, false)
+}
+
+// benchLabErrorTable runs evaluate once untimed (cache warm-up — a no-op
+// for the per-iteration-reset variants beyond disk priming) and then b.N
+// timed passes. watermark selects the peak-heap-bytes report; the variants
+// that reset caches every iteration skip it, since their transient garbage
+// peak depends on GC pacing rather than on what the pipeline retains.
+func benchLabErrorTable(b *testing.B, evaluate func(protocol.Context, ...models.Factory) (map[string]experiments.ScatterResult, error), watermark bool) {
 	for _, spec := range cpumodel.Specs() {
 		b.Run(slug(spec.Name), func(b *testing.B) {
 			ctx := experiments.LabContext(spec, benchSeed)
 			nScenarios := labScenarioCount(b, ctx)
+			if _, err := evaluate(ctx, models.NewKepler(), models.NewOracle()); err != nil {
+				b.Fatal(err)
+			}
 			b.ReportAllocs()
-			stopWatermark := startHeapWatermark()
+			var stopWatermark func() float64
+			if watermark {
+				stopWatermark = startHeapWatermark()
+			}
 			b.ResetTimer()
 			var results map[string]experiments.ScatterResult
 			for i := 0; i < b.N; i++ {
@@ -323,7 +368,9 @@ func benchLabErrorTable(b *testing.B, evaluate func(protocol.Context, ...models.
 				}
 			}
 			b.StopTimer()
-			b.ReportMetric(stopWatermark(), "peak-heap-bytes")
+			if watermark {
+				b.ReportMetric(stopWatermark(), "peak-heap-bytes")
+			}
 			reportScenariosPerSec(b, nScenarios)
 			writeResult(b, experiments.ErrorTable(spec.Name, results), "errors-"+slug(spec.Name))
 		})

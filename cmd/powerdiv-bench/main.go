@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -45,6 +46,13 @@ type Result struct {
 	// BytesPerOp / AllocsPerOp are present with -benchmem (always passed).
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// NumCPU is the host CPU count the entry was recorded on and
+	// GOMAXPROCS the parallelism encoded in the benchmark name's -N
+	// suffix — per entry, so baselines recorded on different machines
+	// stay interpretable (a scenarios/sec value means nothing without
+	// the CPU budget it ran under).
+	NumCPU     int `json:"num_cpu,omitempty"`
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 	// Metrics holds custom b.ReportMetric units, e.g. "scenarios/sec".
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
@@ -76,7 +84,12 @@ func parseLine(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	res := Result{Name: fields[0], Iterations: iters}
+	res := Result{Name: fields[0], Iterations: iters, NumCPU: runtime.NumCPU()}
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if n, err := strconv.Atoi(res.Name[i+1:]); err == nil && n > 0 {
+			res.GOMAXPROCS = n
+		}
+	}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -120,6 +133,42 @@ func memoSpeedup(results []Result) float64 {
 	return off / on
 }
 
+// stripProcs drops the -N GOMAXPROCS suffix from a benchmark name.
+func stripProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// scalingCheck verifies that the campaign actually gets faster with a
+// second CPU: it compares the scenarios/sec of the worker-width ladder's
+// workers-2 rung against workers-1 and requires at least minSpeedup. The
+// check is skipped (skip non-empty) when the host has fewer than two CPUs —
+// a second worker cannot run anywhere — or when either rung is absent from
+// the report.
+func scalingCheck(rep Report, minSpeedup float64) (speedup float64, ok bool, skip string) {
+	if rep.NumCPU < 2 {
+		return 0, true, fmt.Sprintf("host has %d CPU(s); parallel speedup is unmeasurable", rep.NumCPU)
+	}
+	var w1, w2 float64
+	for _, r := range rep.Benchmarks {
+		switch stripProcs(r.Name) {
+		case "BenchmarkCampaignParallel/workers-1":
+			w1 = r.Metrics["scenarios/sec"]
+		case "BenchmarkCampaignParallel/workers-2":
+			w2 = r.Metrics["scenarios/sec"]
+		}
+	}
+	if w1 <= 0 || w2 <= 0 {
+		return 0, true, "BenchmarkCampaignParallel workers-1/workers-2 rungs not present"
+	}
+	speedup = w2 / w1
+	return speedup, speedup >= minSpeedup, ""
+}
+
 // deltaPct is the relative change from old to new in percent; 0 when the
 // old value is zero (nothing to compare against).
 func deltaPct(old, cur float64) float64 {
@@ -139,17 +188,31 @@ type diffLine struct {
 	regressed bool
 }
 
+// gateConfig selects which deltas may fail a diff. allocOnly restricts the
+// gate to the metrics that stay deterministic at one iteration; rateGate
+// re-enables the /sec gate for benchmarks matching it (with its own, more
+// generous threshold), so campaign-throughput regressions are caught even
+// in alloc-only smoke runs — a whole-campaign iteration is milliseconds of
+// work whose rate is stable, unlike a sub-microsecond kernel's.
+type gateConfig struct {
+	thresholdPct     float64
+	allocOnly        bool
+	rateGate         *regexp.Regexp
+	rateThresholdPct float64
+}
+
 // diffReports compares the current run against a baseline, benchmark by
 // benchmark. Cost metrics regress upward: ns/op, B/op, allocs/op, and any
 // custom metric that is not a rate (peak-heap-bytes). Throughput metrics —
 // custom metrics whose unit contains "/sec", like scenarios/sec — regress
 // downward. Benchmarks present on only one side are reported but never fail
-// the diff. allocOnly restricts the failure gate to the metrics that stay
-// deterministic at one iteration — B/op and allocs/op, plus custom cost
-// metrics like the heap watermark — while still reporting every delta (the
-// smoke wiring uses it; timing and rates at -benchtime 1x swing by orders
-// of magnitude on sub-microsecond benchmarks).
-func diffReports(baseline, current Report, thresholdPct float64, allocOnly bool) []diffLine {
+// the diff. cfg.allocOnly restricts the failure gate to the metrics that
+// stay deterministic at one iteration — B/op and allocs/op, plus custom
+// cost metrics like the heap watermark — while still reporting every delta
+// (the smoke wiring uses it; timing and rates at -benchtime 1x swing by
+// orders of magnitude on sub-microsecond benchmarks).
+func diffReports(baseline, current Report, cfg gateConfig) []diffLine {
+	thresholdPct, allocOnly := cfg.thresholdPct, cfg.allocOnly
 	base := map[string]Result{}
 	for _, r := range baseline.Benchmarks {
 		base[r.Name] = r
@@ -186,8 +249,14 @@ func diffReports(baseline, current Report, thresholdPct float64, allocOnly bool)
 			regressed := false
 			if strings.Contains(unit, "/sec") {
 				// A rate: lower is worse, and like ns/op it is only
-				// meaningful with real iteration counts.
-				regressed = !allocOnly && pct < -thresholdPct
+				// meaningful with real iteration counts — except for the
+				// benchmarks the rate gate singles out, whose per-iteration
+				// rates are stable enough to police.
+				gated, th := !allocOnly, thresholdPct
+				if cfg.rateGate != nil && cfg.rateGate.MatchString(r.Name) {
+					gated, th = true, cfg.rateThresholdPct
+				}
+				regressed = gated && pct < -th
 			} else {
 				// A cost (e.g. peak-heap-bytes): higher is worse, and like
 				// B/op it stays comparable even in one-iteration smoke runs.
@@ -230,7 +299,20 @@ func main() {
 	diff := flag.String("diff", "", "baseline JSON to compare against; exits non-zero on regressions past -threshold")
 	threshold := flag.Float64("threshold", 25, "regression threshold in percent for -diff")
 	allocOnly := flag.Bool("alloc-only", false, "gate -diff on B/op and allocs/op only (timing still reported); for one-iteration smoke runs")
+	rateGate := flag.String("rate-gate", "", "regex of benchmarks whose /sec metrics are gated in -diff even with -alloc-only")
+	rateThreshold := flag.Float64("rate-threshold", 60, "regression threshold in percent for -rate-gate rates")
+	requireScaling := flag.Float64("require-scaling", 0, "minimum workers-2/workers-1 scenarios/sec speedup to assert (0 disables; skipped on <2 CPU hosts)")
 	flag.Parse()
+
+	var rateGateRe *regexp.Regexp
+	if *rateGate != "" {
+		re, err := regexp.Compile(*rateGate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: -rate-gate: %v\n", err)
+			os.Exit(1)
+		}
+		rateGateRe = re
+	}
 
 	var baseline Report
 	if *diff != "" {
@@ -298,8 +380,26 @@ func main() {
 	if rep.MemoSpeedupX > 0 {
 		fmt.Printf("\nmemoization speedup on the lab campaign: %.2fx\n", rep.MemoSpeedupX)
 	}
+	if *requireScaling > 0 {
+		speedup, ok, skip := scalingCheck(rep, *requireScaling)
+		switch {
+		case skip != "":
+			fmt.Printf("parallel scaling check skipped: %s\n", skip)
+		case !ok:
+			fmt.Fprintf(os.Stderr, "error: workers-2 ran %.2fx the scenarios/sec of workers-1 (need >= %.2fx)\n", speedup, *requireScaling)
+			os.Exit(1)
+		default:
+			fmt.Printf("parallel scaling: workers-2 is %.2fx workers-1 (>= %.2fx required)\n", speedup, *requireScaling)
+		}
+	}
 	if *diff != "" {
-		if n := printDiff(*diff, diffReports(baseline, rep, *threshold, *allocOnly)); n > 0 {
+		cfg := gateConfig{
+			thresholdPct:     *threshold,
+			allocOnly:        *allocOnly,
+			rateGate:         rateGateRe,
+			rateThresholdPct: *rateThreshold,
+		}
+		if n := printDiff(*diff, diffReports(baseline, rep, cfg)); n > 0 {
 			fmt.Fprintf(os.Stderr, "error: %d metric(s) regressed more than %.0f%%\n", n, *threshold)
 			os.Exit(1)
 		}

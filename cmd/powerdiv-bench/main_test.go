@@ -1,0 +1,134 @@
+package main
+
+import (
+	"regexp"
+	"runtime"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	res, ok := parseLine("BenchmarkCampaignParallel/workers-2-8 \t 3 \t 41000000 ns/op \t 1200 B/op \t 14 allocs/op \t 5321.5 scenarios/sec")
+	if !ok {
+		t.Fatal("well-formed line rejected")
+	}
+	if res.Name != "BenchmarkCampaignParallel/workers-2-8" || res.Iterations != 3 {
+		t.Fatalf("name/iters parsed as %q/%d", res.Name, res.Iterations)
+	}
+	if res.NsPerOp != 41000000 || res.BytesPerOp != 1200 || res.AllocsPerOp != 14 {
+		t.Fatalf("cost metrics parsed as %v/%v/%v", res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	if res.Metrics["scenarios/sec"] != 5321.5 {
+		t.Fatalf("custom metric parsed as %v", res.Metrics)
+	}
+	if res.GOMAXPROCS != 8 {
+		t.Fatalf("GOMAXPROCS suffix parsed as %d, want 8", res.GOMAXPROCS)
+	}
+	if res.NumCPU != runtime.NumCPU() {
+		t.Fatalf("NumCPU recorded as %d, want host %d", res.NumCPU, runtime.NumCPU())
+	}
+	if _, ok := parseLine("ok  \tpowerdiv\t1.2s"); ok {
+		t.Fatal("non-benchmark line accepted")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":                        "BenchmarkX",
+		"BenchmarkCampaignParallel/workers-2": "BenchmarkCampaignParallel/workers",
+		"BenchmarkX":                          "BenchmarkX",
+		"BenchmarkX-abc":                      "BenchmarkX-abc",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func scalingReport(numCPU int, w1, w2 float64) Report {
+	rep := Report{NumCPU: numCPU}
+	if w1 > 0 {
+		rep.Benchmarks = append(rep.Benchmarks, Result{
+			Name:    "BenchmarkCampaignParallel/workers-1-4",
+			Metrics: map[string]float64{"scenarios/sec": w1},
+		})
+	}
+	if w2 > 0 {
+		rep.Benchmarks = append(rep.Benchmarks, Result{
+			Name:    "BenchmarkCampaignParallel/workers-2-4",
+			Metrics: map[string]float64{"scenarios/sec": w2},
+		})
+	}
+	return rep
+}
+
+// TestScalingCheck pins the multi-core gate: a single-CPU host skips, a
+// missing rung skips, a second worker that helps passes, one that doesn't
+// fails.
+func TestScalingCheck(t *testing.T) {
+	if _, ok, skip := scalingCheck(scalingReport(1, 100, 200), 1.0); !ok || skip == "" {
+		t.Fatal("single-CPU host did not skip")
+	}
+	if _, ok, skip := scalingCheck(scalingReport(4, 100, 0), 1.0); !ok || skip == "" {
+		t.Fatal("missing workers-2 rung did not skip")
+	}
+	speedup, ok, skip := scalingCheck(scalingReport(4, 100, 170), 1.3)
+	if skip != "" || !ok || speedup != 1.7 {
+		t.Fatalf("healthy scaling judged %v/%v/%q", speedup, ok, skip)
+	}
+	speedup, ok, skip = scalingCheck(scalingReport(4, 100, 95), 1.0)
+	if skip != "" || ok || speedup != 0.95 {
+		t.Fatalf("flat scaling judged %v/%v/%q", speedup, ok, skip)
+	}
+}
+
+func rateReport(name string, rate, allocs float64) Report {
+	return Report{Benchmarks: []Result{{
+		Name:        name,
+		NsPerOp:     1000,
+		AllocsPerOp: allocs,
+		Metrics:     map[string]float64{"scenarios/sec": rate},
+	}}}
+}
+
+// TestDiffReportsRateGate pins the alloc-only smoke gate's rate escape
+// hatch: without a rateGate a throughput collapse passes alloc-only runs;
+// with one, matching benchmarks fail past the rate threshold while
+// non-matching ones stay exempt — and alloc regressions still gate as
+// before.
+func TestDiffReportsRateGate(t *testing.T) {
+	base := rateReport("BenchmarkLabErrorTableCold/small-intel-4", 1000, 50)
+	slow := rateReport("BenchmarkLabErrorTableCold/small-intel-4", 300, 50)
+
+	regressed := func(lines []diffLine) bool {
+		for _, l := range lines {
+			if l.regressed {
+				return true
+			}
+		}
+		return false
+	}
+
+	allocOnly := gateConfig{thresholdPct: 300, allocOnly: true}
+	if regressed(diffReports(base, slow, allocOnly)) {
+		t.Fatal("alloc-only run gated a rate metric without a rateGate")
+	}
+	gated := allocOnly
+	gated.rateGate = regexp.MustCompile("^BenchmarkLabErrorTableCold")
+	gated.rateThresholdPct = 60
+	if !regressed(diffReports(base, slow, gated)) {
+		t.Fatal("rate-gated benchmark's 70% collapse passed")
+	}
+	mild := rateReport("BenchmarkLabErrorTableCold/small-intel-4", 700, 50)
+	if regressed(diffReports(base, mild, gated)) {
+		t.Fatal("30% dip failed a 60% rate threshold")
+	}
+	other := rateReport("BenchmarkCampaignParallel/workers-1-4", 1000, 50)
+	otherSlow := rateReport("BenchmarkCampaignParallel/workers-1-4", 300, 50)
+	if regressed(diffReports(other, otherSlow, gated)) {
+		t.Fatal("non-matching benchmark was rate-gated")
+	}
+	allocBlowup := rateReport("BenchmarkLabErrorTableCold/small-intel-4", 1000, 50*10)
+	if !regressed(diffReports(base, allocBlowup, gated)) {
+		t.Fatal("alloc explosion passed the alloc gate")
+	}
+}

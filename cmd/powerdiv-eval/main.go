@@ -99,6 +99,8 @@ func main() {
 	memo := flag.Bool("memo", true, "memoize solo/pair simulation runs")
 	streaming := flag.Bool("streaming", true, "run the fused streaming pipeline (bounded memory, bit-identical results)")
 	memoStats := flag.Bool("memo-stats", false, "print run cache statistics after the campaign")
+	cacheDir := flag.String("cache-dir", "", "persistent solo-run summary cache directory (empty = memory only)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "on-disk cache cap in bytes (0 = default 256 MB)")
 	metrics := flag.Bool("metrics", false, "print the internal metrics summary after the campaign")
 	trafficOn := flag.Bool("traffic", false, "run a production-shaped traffic campaign instead of the pair campaign")
 	trafficKind := flag.String("traffic-kind", "mixed", `arrival process: "poisson", "bursty", "diurnal" or "mixed"`)
@@ -114,6 +116,14 @@ func main() {
 	flag.Parse()
 	protocol.EnableMemoization(*memo)
 	obs.Enable(*metrics)
+	if *cacheDir != "" {
+		disk, err := protocol.OpenDiskCache(*cacheDir, *cacheBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		protocol.AttachDiskCache(disk)
+	}
 
 	if *fleetOn {
 		// The fleet draws its own heterogeneous spec mix; -machine does
@@ -200,6 +210,12 @@ func main() {
 		fmt.Printf("\nrun cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
 		fmt.Printf("summary tier: %d entries, %d/%d bytes, %d evictions\n",
 			st.SummaryEntries, st.SummaryBytes, st.SummaryByteLimit, st.Evictions)
+		fmt.Printf("eval-digest tier: %d entries, %d/%d bytes\n",
+			st.EvalEntries, st.EvalBytes, st.EvalByteLimit)
+		if *cacheDir != "" {
+			fmt.Printf("disk cache: %d hits, %d misses, %d writes\n",
+				st.DiskHits, st.DiskMisses, st.DiskWrites)
+		}
 	}
 	if *csvDir != "" {
 		for name, r := range results {

@@ -20,7 +20,8 @@
 //
 // Usage:
 //
-//	powerdiv-serve [-addr :8080] [-snapshot-dir DIR] [-queue 8] [-runners 2]
+//	powerdiv-serve [-addr :8080] [-snapshot-dir DIR] [-cache-dir DIR]
+//	               [-cache-bytes N] [-queue 8] [-runners 2]
 //	               [-snapshot-every 4] [-drain-timeout 60s] [-metrics]
 //	powerdiv-serve -smoke
 package main
@@ -45,6 +46,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	snapshotDir := flag.String("snapshot-dir", "", "job snapshot directory (empty = no durability)")
+	cacheDir := flag.String("cache-dir", "", "persistent solo-run summary cache directory (empty = memory only)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "on-disk cache cap in bytes (0 = default 256 MB)")
 	queueCap := flag.Int("queue", 8, "bounded job queue capacity (admission 429s past it)")
 	runners := flag.Int("runners", 2, "concurrent jobs (simulation work shares GOMAXPROCS regardless)")
 	snapshotEvery := flag.Int("snapshot-every", 4, "snapshot a running job every n completed rows")
@@ -56,10 +59,12 @@ func main() {
 	obs.Enable(*metrics || *smoke)
 
 	s, err := serve.New(serve.Options{
-		SnapshotDir:   *snapshotDir,
-		QueueCap:      *queueCap,
-		Runners:       *runners,
-		SnapshotEvery: *snapshotEvery,
+		SnapshotDir:    *snapshotDir,
+		CacheDir:       *cacheDir,
+		CacheDiskBytes: *cacheBytes,
+		QueueCap:       *queueCap,
+		Runners:        *runners,
+		SnapshotEvery:  *snapshotEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

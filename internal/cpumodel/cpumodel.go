@@ -228,6 +228,14 @@ func (m PowerModel) PowerInto(loads []CoreLoad, perCore []units.Watts) Breakdown
 	if exp == 0 {
 		exp = 2
 	}
+	// Within one tick every busy core runs at the governor's single
+	// frequency, so the (f/base)^exp scale is the same for all of them:
+	// memoizing the last distinct frequency turns per-core math.Pow calls
+	// into one per tick. Identical inputs give identical outputs, so the
+	// memo cannot perturb a single result bit.
+	var lastFreq units.Hertz
+	lastScale := 1.0
+	haveScale := false
 	var fMax units.Hertz
 	maxDuty := 0.0
 	for i, ld := range loads {
@@ -241,7 +249,11 @@ func (m PowerModel) PowerInto(loads []CoreLoad, perCore []units.Watts) Breakdown
 		}
 		scale := 1.0
 		if m.BaseFreq > 0 {
-			scale = math.Pow(float64(freq)/float64(m.BaseFreq), exp)
+			if !haveScale || freq != lastFreq {
+				lastScale = math.Pow(float64(freq)/float64(m.BaseFreq), exp)
+				lastFreq, haveScale = freq, true
+			}
+			scale = lastScale
 		}
 		p := units.Watts(float64(ld.CostAtBase) * util * scale)
 		if ld.SMTSibling {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"powerdiv/internal/machine"
@@ -62,6 +63,13 @@ func (r InstabilityResult) Table() *report.Table {
 // workload, different internal state). On a many-core machine the
 // degenerate-calibration pathology makes the winning application flip
 // between runs.
+//
+// The repetitions differ only in the sensor-noise seed, so all of them ride
+// one machine.StreamBatch pass: the scheduling/power dynamics simulate
+// once, and each repetition's PowerAPI instance observes the shared stream
+// under its own noise overlay. Every attribution is bit-identical to the
+// one `repeats` independent simulations produce (the batch equivalence test
+// pins this); only the wall-clock cost changes.
 func Instability(cfg machine.Config, fn0, fn1 string, threads, repeats int, seed int64) (InstabilityResult, error) {
 	res := InstabilityResult{Machine: cfg.Spec.Name, Fn0: fn0, Fn1: fn1}
 	w0, ok := workload.StressByName(fn0)
@@ -72,22 +80,66 @@ func Instability(cfg machine.Config, fn0, fn1 string, threads, repeats int, seed
 	if !ok {
 		return res, fmt.Errorf("unknown stress function %q", fn1)
 	}
+	if repeats <= 0 {
+		return res, nil
+	}
+	const runFor = 30 * time.Second
+	procs := []machine.Proc{
+		{ID: fn0, Workload: w0, Threads: threads},
+		{ID: fn1, Workload: w1, Threads: threads},
+	}
+	ids := []string{fn0, fn1}
+	sort.Strings(ids)
+	roster := machine.NewRoster(ids)
+
 	factory := models.NewPowerAPI(models.DefaultPowerAPIConfig())
+	tick := cfg.TickInterval()
+	maxTicks := int(runFor/tick) + 1
+	logical := cfg.Spec.Topology.LogicalCPUs()
+	seeds := make([]int64, repeats)
+	replays := make([]*models.StreamReplay, repeats)
 	for rep := 0; rep < repeats; rep++ {
-		runCfg := cfg
-		runCfg.Seed = seed + int64(rep)
-		run, err := machine.Simulate(runCfg, []machine.Proc{
-			{ID: fn0, Workload: w0, Threads: threads},
-			{ID: fn1, Workload: w1, Threads: threads},
-		}, 30*time.Second)
-		if err != nil {
-			return res, err
+		seeds[rep] = seed + int64(rep)
+		model := factory.New(seed + int64(rep)*7919)
+		replays[rep] = models.NewStreamReplay(roster, []models.Model{model}, maxTicks)
+	}
+
+	// One sample column per tick, shared by every repetition: the noise
+	// overlay never touches the per-process columns.
+	scratch := make([]models.ProcSample, roster.Len())
+	_, err := machine.StreamBatch(cfg, procs, runFor, seeds, func(rep int, rec *machine.TickRecord) error {
+		if rep == 0 {
+			for slot := range scratch {
+				pt := rec.Procs[slot]
+				scratch[slot] = models.ProcSample{
+					CPUTime:    pt.CPUTime,
+					Counters:   pt.Counters,
+					Threads:    pt.Threads,
+					TrueActive: pt.ActivePower,
+				}
+			}
 		}
-		est := models.ReplayDense(factory.New(seed+int64(rep)*7919), models.RunTicksDense(run))
-		rosterIDs := run.Roster.IDs()
+		replays[rep].Observe(models.Tick{
+			At:           rec.At,
+			Interval:     tick,
+			MachinePower: rec.Power,
+			LogicalCPUs:  logical,
+			Freq:         rec.Freq,
+			Roster:       roster,
+			Samples:      scratch,
+		})
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	rosterIDs := roster.IDs()
+	for rep := 0; rep < repeats; rep++ {
+		est := replays[rep].Estimates(0)
 		sums := make([]float64, len(rosterIDs))
 		var total float64
-		for i := range run.Ticks {
+		for i := range est.OK {
 			if !est.OK[i] {
 				continue
 			}

@@ -344,7 +344,8 @@ func resetBools(b []bool, n int) []bool {
 	return b
 }
 
-// stepTick computes one simulation step. It returns the record, whether any
+// stepTick computes one simulation step into rec (an out-parameter so the
+// per-tick loop never copies the record struct). It reports whether any
 // process was active this tick, and ErrContention on oversubscription.
 //
 // Unpinned threads are placed fairly: one thread per running process in
@@ -352,7 +353,7 @@ func resetBools(b []bool, n int) []bool {
 // demand spills onto SMT siblings the discount is shared across processes
 // (as a load-balancing scheduler would) instead of falling entirely on the
 // last process in ID order.
-func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, procEnd map[string]time.Duration, sc *tickScratch, col []ProcTick) (TickRecord, bool, error) {
+func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, procEnd map[string]time.Duration, sc *tickScratch, col []ProcTick, rec *TickRecord) (bool, error) {
 	sc.resetTick(nCPU, phys)
 	if sc.costOn == nil {
 		sc.costOn = make([]float64, len(procs))
@@ -401,7 +402,7 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 		d := &sc.demands[di]
 		for _, pin := range d.pins {
 			if sc.cpuBusy[pin] {
-				return TickRecord{}, false, ErrContention
+				return false, ErrContention
 			}
 			sc.cpuBusy[pin] = true
 			sc.placements = append(sc.placements, threadPlacement{slot: d.slot, cpu: pin, util: d.util, cost: d.cost})
@@ -418,7 +419,7 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 			progressed = true
 			cpu, ok := sc.pickCPU(phys)
 			if !ok {
-				return TickRecord{}, false, ErrContention
+				return false, ErrContention
 			}
 			sc.cpuBusy[cpu] = true
 			sc.placements = append(sc.placements, threadPlacement{slot: d.slot, cpu: cpu, util: d.util, cost: d.cost})
@@ -456,7 +457,7 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 	bd := cfg.Spec.Power.PowerInto(sc.loads, sc.perCore)
 	sc.perCore = bd.PerCore
 
-	rec := TickRecord{
+	*rec = TickRecord{
 		At:        t,
 		Idle:      bd.Idle,
 		Residual:  bd.Residual,
@@ -479,7 +480,7 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 		}
 		pt.Counters = pt.Counters.Add(sc.synth[pl.slot])
 	}
-	return rec, len(sc.placements) > 0, nil
+	return len(sc.placements) > 0, nil
 }
 
 // markEnd records the first time a process was observed finished.

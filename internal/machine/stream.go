@@ -38,37 +38,14 @@ type StreamInfo struct {
 // early once every process has started and finished, and oversubscription
 // returns ErrContention (wrapped, with the tick time).
 func Stream(cfg Config, procs []Proc, maxDur time.Duration, yield func(rec *TickRecord) error) (*StreamInfo, error) {
-	if err := cfg.Spec.Validate(); err != nil {
+	ordered, info, err := streamSetup(cfg, procs, maxDur)
+	if err != nil {
 		return nil, err
 	}
-	if maxDur <= 0 {
-		return nil, fmt.Errorf("machine: non-positive duration %v", maxDur)
-	}
-	ids := map[string]bool{}
-	for _, p := range procs {
-		if err := p.Validate(cfg); err != nil {
-			return nil, err
-		}
-		if ids[p.ID] {
-			return nil, fmt.Errorf("machine: duplicate process ID %q", p.ID)
-		}
-		ids[p.ID] = true
-	}
-	// Deterministic scheduling order regardless of caller's slice order.
-	ordered := append([]Proc(nil), procs...)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
-
 	tick := cfg.tick()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	phys := cfg.Spec.Topology.PhysicalCores()
 	nCPU := cfg.schedulableCPUs()
-	// The roster's slot order is the sorted scheduling order, so a
-	// process's slot is its index in ordered.
-	rosterIDs := make([]string, len(ordered))
-	for i, p := range ordered {
-		rosterIDs[i] = p.ID
-	}
-	info := &StreamInfo{Config: cfg, Roster: NewRoster(rosterIDs), ProcEnd: map[string]time.Duration{}}
 	// One scratch column backs every yielded tick; stepTick accumulates
 	// into it, so it is re-zeroed before each step.
 	col := make([]ProcTick, len(ordered))
@@ -79,9 +56,7 @@ func Stream(cfg Config, procs []Proc, maxDur time.Duration, yield func(rec *Tick
 
 	for t := time.Duration(0); t < maxDur; t += tick {
 		clear(col)
-		var active bool
-		var err error
-		rec, active, err = stepTick(cfg, ordered, t, tick, phys, nCPU, info.ProcEnd, &sc, col)
+		active, err := stepTick(cfg, ordered, t, tick, phys, nCPU, info.ProcEnd, &sc, col, &rec)
 		if err != nil {
 			return nil, fmt.Errorf("%w at t=%v", err, t)
 		}
@@ -92,6 +67,110 @@ func Stream(cfg Config, procs []Proc, maxDur time.Duration, yield func(rec *Tick
 		info.Duration = t + tick
 		if err := yield(&rec); err != nil {
 			return nil, err
+		}
+		if !active && allStarted(ordered, t) {
+			break
+		}
+	}
+	for _, p := range ordered {
+		if _, done := info.ProcEnd[p.ID]; !done {
+			info.ProcEnd[p.ID] = info.Duration
+		}
+	}
+	obsRuns.Inc()
+	n := uint64(info.Ticks)
+	obsTicksSimulated.Add(n)
+	if n >= sc.grownTicks {
+		obsScratchReused.Add(n - sc.grownTicks)
+	}
+	return info, nil
+}
+
+// streamSetup validates a streamed simulation's inputs and builds the
+// shared prologue: the sorted scheduling order and the info skeleton whose
+// roster indexes the yielded columns.
+func streamSetup(cfg Config, procs []Proc, maxDur time.Duration) ([]Proc, *StreamInfo, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if maxDur <= 0 {
+		return nil, nil, fmt.Errorf("machine: non-positive duration %v", maxDur)
+	}
+	ids := map[string]bool{}
+	for _, p := range procs {
+		if err := p.Validate(cfg); err != nil {
+			return nil, nil, err
+		}
+		if ids[p.ID] {
+			return nil, nil, fmt.Errorf("machine: duplicate process ID %q", p.ID)
+		}
+		ids[p.ID] = true
+	}
+	// Deterministic scheduling order regardless of caller's slice order.
+	ordered := append([]Proc(nil), procs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	// The roster's slot order is the sorted scheduling order, so a
+	// process's slot is its index in ordered.
+	rosterIDs := make([]string, len(ordered))
+	for i, p := range ordered {
+		rosterIDs[i] = p.ID
+	}
+	info := &StreamInfo{Config: cfg, Roster: NewRoster(rosterIDs), ProcEnd: map[string]time.Duration{}}
+	return ordered, info, nil
+}
+
+// StreamBatch runs one scenario under several noise seeds in a single
+// simulator pass. The deterministic dynamics — scheduling, frequency,
+// utilization, true power — never depend on Config.Seed (the seed feeds
+// only the sensor-noise overlay), so repetitions of a run that differ only
+// in seed share every stepTick computation; only the per-tick noise draw is
+// per-repetition. Each tick, yield is called once per seed in slice order
+// with the repetition index and a record whose Power carries that seed's
+// noise; every other field (including the shared scratch Procs column) is
+// identical across the K calls. The sequence of records seen for rep k is
+// bit-identical to what Stream(cfg with Seed=seeds[k], ...) would yield —
+// the batch golden test pins this — because each repetition's rng is
+// seeded identically and advanced exactly once per tick, in tick order.
+//
+// The returned info is shared across repetitions (ticks, duration and
+// ProcEnd are seed-independent); its Config is the input cfg, whose own
+// Seed is unused.
+func StreamBatch(cfg Config, procs []Proc, maxDur time.Duration, seeds []int64, yield func(rep int, rec *TickRecord) error) (*StreamInfo, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("machine: batch needs at least one seed")
+	}
+	ordered, info, err := streamSetup(cfg, procs, maxDur)
+	if err != nil {
+		return nil, err
+	}
+	tick := cfg.tick()
+	rngs := make([]*rand.Rand, len(seeds))
+	for i, seed := range seeds {
+		rngs[i] = rand.New(rand.NewSource(seed))
+	}
+	phys := cfg.Spec.Topology.PhysicalCores()
+	nCPU := cfg.schedulableCPUs()
+	col := make([]ProcTick, len(ordered))
+	var sc tickScratch
+	var rec TickRecord
+
+	for t := time.Duration(0); t < maxDur; t += tick {
+		clear(col)
+		active, err := stepTick(cfg, ordered, t, tick, phys, nCPU, info.ProcEnd, &sc, col, &rec)
+		if err != nil {
+			return nil, fmt.Errorf("%w at t=%v", err, t)
+		}
+		base := rec.Power
+		info.Ticks++
+		info.Duration = t + tick
+		for rep := range seeds {
+			rec.Power = base
+			if cfg.NoiseStddev > 0 {
+				rec.Power = units.Watts(float64(base) + rngs[rep].NormFloat64()*float64(cfg.NoiseStddev))
+			}
+			if err := yield(rep, &rec); err != nil {
+				return nil, err
+			}
 		}
 		if !active && allStarted(ordered, t) {
 			break

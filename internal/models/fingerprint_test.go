@@ -1,0 +1,75 @@
+package models
+
+import (
+	"testing"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/units"
+)
+
+// TestFactoryFingerprints pins the contract the evaluation-digest cache
+// rests on: every stock factory carries a non-empty fingerprint, all stock
+// fingerprints are distinct, and changing a factory's configuration changes
+// its fingerprint (two equal fingerprints must mean bit-identical
+// estimates).
+func TestFactoryFingerprints(t *testing.T) {
+	perCore := map[string]units.Watts{"a": 3.5, "b": 4.25}
+	stock := []Factory{
+		NewScaphandre(),
+		NewKepler(),
+		NewOracle(),
+		NewWattScope(),
+		NewF2(perCore),
+		NewPowerAPI(DefaultPowerAPIConfig()),
+		NewSmartWatts(DefaultSmartWattsConfig()),
+		NewResidualAwareFromSpec(cpumodel.SmallIntel()),
+	}
+	seen := map[string]string{}
+	for _, f := range stock {
+		if f.Fingerprint == "" {
+			t.Errorf("%s: empty fingerprint disables the digest cache", f.Name)
+			continue
+		}
+		if prev, dup := seen[f.Fingerprint]; dup {
+			t.Errorf("%s and %s share fingerprint %q", prev, f.Name, f.Fingerprint)
+		}
+		seen[f.Fingerprint] = f.Name
+	}
+
+	// Configuration must be part of the identity, not just the model name.
+	variants := []struct {
+		name string
+		a, b Factory
+	}{
+		{"f2-baselines", NewF2(perCore), NewF2(map[string]units.Watts{"a": 3.5, "b": 5.0})},
+		{"powerapi-window", NewPowerAPI(DefaultPowerAPIConfig()), func() Factory {
+			cfg := DefaultPowerAPIConfig()
+			cfg.LearnWindow++
+			return NewPowerAPI(cfg)
+		}()},
+		{"powerapi-deterministic", NewPowerAPI(DefaultPowerAPIConfig()), func() Factory {
+			cfg := DefaultPowerAPIConfig()
+			cfg.Deterministic = !cfg.Deterministic
+			return NewPowerAPI(cfg)
+		}()},
+		{"smartwatts-ridge", NewSmartWatts(DefaultSmartWattsConfig()), func() Factory {
+			cfg := DefaultSmartWattsConfig()
+			cfg.Ridge *= 2
+			return NewSmartWatts(cfg)
+		}()},
+		{"residual-aware-spec", NewResidualAwareFromSpec(cpumodel.SmallIntel()), NewResidualAwareFromSpec(cpumodel.Dahu())},
+	}
+	for _, v := range variants {
+		if v.a.Fingerprint == v.b.Fingerprint {
+			t.Errorf("%s: distinct configurations share fingerprint %q", v.name, v.a.Fingerprint)
+		}
+	}
+
+	// And equal configurations must collide, or the cache never warms.
+	if NewF2(perCore).Fingerprint != NewF2(map[string]units.Watts{"b": 4.25, "a": 3.5}).Fingerprint {
+		t.Error("f2: equal baselines (different map order) produced different fingerprints")
+	}
+	if NewPowerAPI(DefaultPowerAPIConfig()).Fingerprint != NewPowerAPI(DefaultPowerAPIConfig()).Fingerprint {
+		t.Error("powerapi: equal configs produced different fingerprints")
+	}
+}

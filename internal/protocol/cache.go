@@ -1,9 +1,9 @@
 package protocol
 
 import (
-	"fmt"
+	"math"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 	"time"
 
@@ -64,10 +64,17 @@ type runCache struct {
 	summaries map[string]*summaryEntry
 	sumOrder  []string
 
+	evalByteLimit int64
+	evalBytes     int64
+	evals         map[string]*evalEntry
+	evalOrder     []string
+
 	hits      uint64
 	misses    uint64
 	lookups   uint64
 	evictions uint64
+
+	disk *DiskCache
 }
 
 // DefaultMemoLimit is the default number of memoized runs kept. A 30 s
@@ -89,11 +96,13 @@ var memo = newRunCache(DefaultMemoLimit, DefaultMemoBytes)
 // newRunCache builds an enabled two-tier cache with the given bounds.
 func newRunCache(limit int, byteLimit int64) *runCache {
 	return &runCache{
-		enabled:   true,
-		limit:     limit,
-		entries:   map[string]*runCacheEntry{},
-		byteLimit: byteLimit,
-		summaries: map[string]*summaryEntry{},
+		enabled:       true,
+		limit:         limit,
+		entries:       map[string]*runCacheEntry{},
+		byteLimit:     byteLimit,
+		summaries:     map[string]*summaryEntry{},
+		evalByteLimit: DefaultEvalMemoBytes,
+		evals:         map[string]*evalEntry{},
 	}
 }
 
@@ -126,16 +135,17 @@ func NewCacheScope(byteLimit int64) *CacheScope {
 func (s *CacheScope) Stats() MemoStats {
 	s.c.mu.Lock()
 	defer s.c.mu.Unlock()
-	return MemoStats{
-		Hits:             s.c.hits,
-		Misses:           s.c.misses,
-		Lookups:          s.c.lookups,
-		Entries:          len(s.c.entries),
-		SummaryEntries:   len(s.c.summaries),
-		SummaryBytes:     s.c.bytes,
-		SummaryByteLimit: s.c.byteLimit,
-		Evictions:        s.c.evictions,
-	}
+	return s.c.statsLocked()
+}
+
+// AttachDisk gives the scope a persistent summary tier: memory misses are
+// looked up on disk before simulating, and fresh digests are written back.
+// Several scopes may share one DiskCache — its writes are atomic and its
+// counters are lock-protected. A nil disk detaches.
+func (s *CacheScope) AttachDisk(d *DiskCache) {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.c.disk = d
 }
 
 // Drop releases everything the scope holds. Waiters on in-flight entries
@@ -154,6 +164,15 @@ func (ctx Context) memo() *runCache {
 		return ctx.Cache.c
 	}
 	return memo
+}
+
+// AttachDiskCache attaches a persistent summary cache to the process-wide
+// memoization tier (nil detaches). Campaign contexts using scoped caches
+// attach through CacheScope.AttachDisk instead.
+func AttachDiskCache(d *DiskCache) {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	memo.disk = d
 }
 
 // EnableMemoization turns solo/pair run memoization on or off globally.
@@ -177,7 +196,7 @@ func ResetMemoization() {
 	memo.hits, memo.misses, memo.lookups, memo.evictions = 0, 0, 0, 0
 }
 
-// dropLocked empties both tiers. Entries still computing are detached from
+// dropLocked empties every tier. Entries still computing are detached from
 // the table (their waiters still get results) and never charge the ledger.
 func (c *runCache) dropLocked() {
 	c.entries = map[string]*runCacheEntry{}
@@ -188,6 +207,12 @@ func (c *runCache) dropLocked() {
 	c.summaries = map[string]*summaryEntry{}
 	c.sumOrder = nil
 	c.bytes = 0
+	for _, e := range c.evals {
+		e.evicted = true
+	}
+	c.evals = map[string]*evalEntry{}
+	c.evalOrder = nil
+	c.evalBytes = 0
 }
 
 // SetMemoizationLimit bounds the number of cached runs (FIFO eviction).
@@ -230,25 +255,47 @@ type MemoStats struct {
 	SummaryEntries   int
 	SummaryBytes     int64
 	SummaryByteLimit int64
-	// Evictions counts entries dropped by either tier's bound since the
+	// EvalEntries/EvalBytes describe the evaluation-digest tier, under
+	// EvalByteLimit.
+	EvalEntries   int
+	EvalBytes     int64
+	EvalByteLimit int64
+	// Evictions counts entries dropped by any tier's bound since the
 	// last reset.
 	Evictions uint64
+	// DiskHits/DiskMisses/DiskWrites count the persistent summary cache's
+	// activity (zero when no disk cache is attached).
+	DiskHits   uint64
+	DiskMisses uint64
+	DiskWrites uint64
 }
 
 // MemoizationStats returns the current cache statistics.
 func MemoizationStats() MemoStats {
 	memo.mu.Lock()
 	defer memo.mu.Unlock()
-	return MemoStats{
-		Hits:             memo.hits,
-		Misses:           memo.misses,
-		Lookups:          memo.lookups,
-		Entries:          len(memo.entries),
-		SummaryEntries:   len(memo.summaries),
-		SummaryBytes:     memo.bytes,
-		SummaryByteLimit: memo.byteLimit,
-		Evictions:        memo.evictions,
+	return memo.statsLocked()
+}
+
+// statsLocked snapshots every tier's counters under the cache lock.
+func (c *runCache) statsLocked() MemoStats {
+	st := MemoStats{
+		Hits:             c.hits,
+		Misses:           c.misses,
+		Lookups:          c.lookups,
+		Entries:          len(c.entries),
+		SummaryEntries:   len(c.summaries),
+		SummaryBytes:     c.bytes,
+		SummaryByteLimit: c.byteLimit,
+		EvalEntries:      len(c.evals),
+		EvalBytes:        c.evalBytes,
+		EvalByteLimit:    c.evalByteLimit,
+		Evictions:        c.evictions,
 	}
+	if c.disk != nil {
+		st.DiskHits, st.DiskMisses, st.DiskWrites = c.disk.counters()
+	}
+	return st
 }
 
 // evictLocked enforces the entry limit. Oldest entries go first; waiters
@@ -341,9 +388,24 @@ func (c *runCache) summaryCached(cfg machine.Config, procs []machine.Proc, maxDu
 	c.sumOrder = append(c.sumOrder, key)
 	c.misses++
 	obsCacheMisses.Inc()
+	disk := c.disk
 	c.mu.Unlock()
 
-	e.sum, e.err = newRunSummary(cfg, procs, maxDur)
+	// A memory miss consults the persistent tier before simulating; a fresh
+	// compute is written back so the next process starts warm. Disk entries
+	// round-trip the summary exactly (float bits included), so a disk hit is
+	// indistinguishable from a memory hit downstream.
+	if disk != nil {
+		if sum, ok := disk.load(key); ok {
+			e.sum = sum
+		}
+	}
+	if e.sum == nil {
+		e.sum, e.err = newRunSummary(cfg, procs, maxDur)
+		if e.err == nil && disk != nil {
+			disk.store(key, e.sum)
+		}
+	}
 	c.mu.Lock()
 	if !e.evicted {
 		e.size = e.sum.EstimatedBytes()
@@ -356,49 +418,136 @@ func (c *runCache) summaryCached(cfg machine.Config, procs []machine.Proc, maxDu
 	return e.sum, e.err
 }
 
+// Key-building primitives: floats are encoded as their IEEE bit patterns
+// (exact, no formatting ambiguity), integers in decimal, strings verbatim
+// between delimiters. The encoding only needs to be deterministic and
+// injective per field position — it is a cache key, not a display string —
+// and the strconv appends run an order of magnitude faster than the
+// fmt-based formatting they replaced, which profiles showed dominating the
+// warm materialized pipeline.
+
+func keyF(b []byte, f float64) []byte { return strconv.AppendUint(b, math.Float64bits(f), 36) }
+func keyI(b []byte, v int64) []byte   { return strconv.AppendInt(b, v, 10) }
+
 // runKey fingerprints everything a simulation's outcome depends on: the
 // machine calibration and performance settings (seed included), the full
 // process list (workload definition included), and the duration. Process
 // order is normalised away — the simulator schedules in ID order, so
 // permutations produce identical runs.
 func runKey(cfg machine.Config, procs []machine.Proc, maxDur time.Duration) string {
-	var b strings.Builder
-	b.Grow(512)
+	b := make([]byte, 0, 512)
 	spec := cfg.Spec
-	fmt.Fprintf(&b, "spec:%s|top:%d/%d/%d|freq:%v/%v/%v/%v|pw:%v/%v/%v/%v|rc:",
-		spec.Name,
-		spec.Topology.Sockets, spec.Topology.CoresPerSocket, spec.Topology.ThreadsPerCore,
-		spec.Freq.Min, spec.Freq.Base, spec.Freq.Turbo, spec.Freq.TurboDerate,
-		spec.Power.Idle, spec.Power.FreqExponent, spec.Power.SMTEfficiency, spec.Power.BaseFreq)
+	b = append(b, "spec:"...)
+	b = append(b, spec.Name...)
+	b = append(b, "|top:"...)
+	b = keyI(b, int64(spec.Topology.Sockets))
+	b = append(b, '/')
+	b = keyI(b, int64(spec.Topology.CoresPerSocket))
+	b = append(b, '/')
+	b = keyI(b, int64(spec.Topology.ThreadsPerCore))
+	b = append(b, "|freq:"...)
+	b = keyF(b, float64(spec.Freq.Min))
+	b = append(b, '/')
+	b = keyF(b, float64(spec.Freq.Base))
+	b = append(b, '/')
+	b = keyF(b, float64(spec.Freq.Turbo))
+	b = append(b, '/')
+	b = keyF(b, float64(spec.Freq.TurboDerate))
+	b = append(b, "|pw:"...)
+	b = keyF(b, float64(spec.Power.Idle))
+	b = append(b, '/')
+	b = keyF(b, spec.Power.FreqExponent)
+	b = append(b, '/')
+	b = keyF(b, spec.Power.SMTEfficiency)
+	b = append(b, '/')
+	b = keyF(b, float64(spec.Power.BaseFreq))
+	b = append(b, "|rc:"...)
 	for _, pt := range spec.Power.Residual.Points() {
-		fmt.Fprintf(&b, "%v=%v;", pt.Freq, pt.R)
+		b = keyF(b, float64(pt.Freq))
+		b = append(b, '=')
+		b = keyF(b, float64(pt.R))
+		b = append(b, ';')
 	}
-	fmt.Fprintf(&b, "|ht:%t|turbo:%t|maxf:%v|tick:%v|noise:%v|seed:%d|dur:%v",
-		cfg.Hyperthreading, cfg.Turbo, cfg.MaxFreq, cfg.Tick, cfg.NoiseStddev, cfg.Seed, maxDur)
+	b = append(b, "|ht:"...)
+	b = strconv.AppendBool(b, cfg.Hyperthreading)
+	b = append(b, "|turbo:"...)
+	b = strconv.AppendBool(b, cfg.Turbo)
+	b = append(b, "|maxf:"...)
+	b = keyF(b, float64(cfg.MaxFreq))
+	b = append(b, "|tick:"...)
+	b = keyI(b, int64(cfg.Tick))
+	b = append(b, "|noise:"...)
+	b = keyF(b, float64(cfg.NoiseStddev))
+	b = append(b, "|seed:"...)
+	b = keyI(b, cfg.Seed)
+	b = append(b, "|dur:"...)
+	b = keyI(b, int64(maxDur))
 
 	ordered := append([]machine.Proc(nil), procs...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
 	for _, p := range ordered {
-		fmt.Fprintf(&b, "|proc:%s|thr:%d|quota:%v|start:%v|stop:%v|pin:%v|", p.ID, p.Threads, p.CPUQuota, p.Start, p.Stop, p.Pinned)
-		workloadKey(&b, p.Workload)
+		b = append(b, "|proc:"...)
+		b = append(b, p.ID...)
+		b = append(b, "|thr:"...)
+		b = keyI(b, int64(p.Threads))
+		b = append(b, "|quota:"...)
+		b = keyF(b, p.CPUQuota)
+		b = append(b, "|start:"...)
+		b = keyI(b, int64(p.Start))
+		b = append(b, "|stop:"...)
+		b = keyI(b, int64(p.Stop))
+		b = append(b, "|pin:"...)
+		if p.Pinned == nil {
+			b = append(b, "nil"...)
+		} else {
+			for _, pin := range p.Pinned {
+				b = keyI(b, int64(pin))
+				b = append(b, ',')
+			}
+		}
+		b = append(b, '|')
+		b = workloadKey(b, p.Workload)
 	}
-	return b.String()
+	return string(b)
 }
 
 // workloadKey fingerprints a workload definition. Two workloads sharing a
 // name but differing in calibration or script must not collide.
-func workloadKey(b *strings.Builder, w workload.Workload) {
-	fmt.Fprintf(b, "w:%s/%d|mix:%v/%v/%v|cost:", w.Name, int(w.Kind), w.Mix.IPC, w.Mix.CacheRefsPerKiloInstr, w.Mix.BranchesPerKiloInstr)
+func workloadKey(b []byte, w workload.Workload) []byte {
+	b = append(b, "w:"...)
+	b = append(b, w.Name...)
+	b = append(b, '/')
+	b = keyI(b, int64(w.Kind))
+	b = append(b, "|mix:"...)
+	b = keyF(b, w.Mix.IPC)
+	b = append(b, '/')
+	b = keyF(b, w.Mix.CacheRefsPerKiloInstr)
+	b = append(b, '/')
+	b = keyF(b, w.Mix.BranchesPerKiloInstr)
+	b = append(b, "|cost:"...)
 	names := make([]string, 0, len(w.Cost))
 	for n := range w.Cost {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(b, "%s=%v;", n, w.Cost[n])
+		b = append(b, n...)
+		b = append(b, '=')
+		b = keyF(b, float64(w.Cost[n]))
+		b = append(b, ';')
 	}
-	fmt.Fprintf(b, "|script:%d:", len(w.Script))
+	b = append(b, "|script:"...)
+	b = keyI(b, int64(len(w.Script)))
+	b = append(b, ':')
 	for _, ph := range w.Script {
-		fmt.Fprintf(b, "%v/%d/%v/%v;", ph.Duration, ph.Threads, ph.Intensity, ph.Util)
+		b = keyI(b, int64(ph.Duration))
+		b = append(b, '/')
+		b = keyI(b, int64(ph.Threads))
+		b = append(b, '/')
+		b = keyF(b, ph.Intensity)
+		b = append(b, '/')
+		b = keyF(b, ph.Util)
+		b = append(b, ';')
 	}
+	return b
 }

@@ -1,0 +1,384 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"powerdiv/internal/machine"
+	"powerdiv/internal/units"
+)
+
+// DiskCache is the persistent tier under the in-memory summary cache: solo
+// run digests, content-addressed by the same runKey the memory tiers use,
+// survive process restarts. A cold process (a fresh benchmark iteration, a
+// restarted campaign service, a re-invoked CLI) replays phase 1 from disk
+// instead of re-simulating every baseline.
+//
+// Layout: one file per digest under dir, named by the FNV-64a hash of the
+// full runKey. Each file carries a magic+version header, an echo of the
+// full key (hash collisions and stale keys read as misses, never as wrong
+// data), the binary summary payload, and a trailing FNV-64a checksum of
+// everything before it. Files are written to a temp name and renamed into
+// place — the same atomicity idiom as the campaign service's snapshots —
+// so readers never observe a partial write. Any file that fails validation
+// is deleted and treated as a miss: the cache self-heals from truncation,
+// corruption, or format changes at the cost of one re-simulation.
+type DiskCache struct {
+	dir      string
+	maxBytes int64
+
+	mu     sync.Mutex
+	hits   uint64
+	misses uint64
+	writes uint64
+}
+
+const (
+	diskMagic   = "PDSC"
+	diskVersion = uint32(1)
+)
+
+// DefaultDiskCacheBytes caps the on-disk footprint at 256 MB — thousands of
+// solo digests — unless the caller picks a budget.
+const DefaultDiskCacheBytes int64 = 256 << 20
+
+// OpenDiskCache opens (creating if needed) a persistent summary cache
+// rooted at dir, evicting oldest files when the directory exceeds maxBytes
+// (non-positive means DefaultDiskCacheBytes).
+func OpenDiskCache(dir string, maxBytes int64) (*DiskCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("protocol: empty disk cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("protocol: disk cache: %w", err)
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultDiskCacheBytes
+	}
+	return &DiskCache{dir: dir, maxBytes: maxBytes}, nil
+}
+
+// Dir returns the cache's root directory.
+func (d *DiskCache) Dir() string { return d.dir }
+
+// Stats reports hits, misses and writes since the cache was opened.
+func (d *DiskCache) Stats() (hits, misses, writes uint64) { return d.counters() }
+
+func (d *DiskCache) counters() (uint64, uint64, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hits, d.misses, d.writes
+}
+
+// path maps a runKey to its cache file.
+func (d *DiskCache) path(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return filepath.Join(d.dir, strconv.FormatUint(h.Sum64(), 16)+".pds")
+}
+
+// load reads and validates the digest stored for key. Every failure mode —
+// missing file, short read, bad magic, version or key mismatch, checksum
+// mismatch, malformed payload — is a miss; invalid files are deleted so
+// they are not re-parsed on every lookup.
+func (d *DiskCache) load(key string) (*RunSummary, bool) {
+	p := d.path(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		d.miss()
+		return nil, false
+	}
+	sum, err := decodeSummary(raw, key)
+	if err != nil {
+		os.Remove(p)
+		d.miss()
+		return nil, false
+	}
+	d.mu.Lock()
+	d.hits++
+	d.mu.Unlock()
+	obsDiskHits.Inc()
+	return sum, true
+}
+
+func (d *DiskCache) miss() {
+	d.mu.Lock()
+	d.misses++
+	d.mu.Unlock()
+	obsDiskMisses.Inc()
+}
+
+// store writes the digest for key atomically and enforces the byte cap.
+// Failures are silent by design: the disk tier is an accelerator, and a
+// full or read-only disk must never fail a campaign.
+func (d *DiskCache) store(key string, sum *RunSummary) {
+	raw := encodeSummary(key, sum)
+	tmp, err := os.CreateTemp(d.dir, "pds-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	d.mu.Lock()
+	d.writes++
+	d.mu.Unlock()
+	obsDiskWrites.Inc()
+	d.evict()
+}
+
+// evict removes oldest-modified cache files until the directory fits the
+// byte cap. Serialized on the cache lock so concurrent stores do not race
+// the directory walk.
+func (d *DiskCache) evict() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	type fileAge struct {
+		path string
+		size int64
+		mod  time.Time
+	}
+	var files []fileAge
+	var total int64
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".pds" {
+			continue
+		}
+		fi, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileAge{filepath.Join(d.dir, ent.Name()), fi.Size(), fi.ModTime()})
+		total += fi.Size()
+	}
+	if total <= d.maxBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for _, f := range files {
+		if total <= d.maxBytes {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+		}
+	}
+}
+
+// Binary encoding. All integers are little-endian; floats travel as their
+// IEEE-754 bit patterns, so a round-trip reproduces every value exactly and
+// warm-from-disk campaigns stay bit-identical to cold ones.
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func encodeSummary(key string, s *RunSummary) []byte {
+	b := make([]byte, 0, 256+len(key)+8*(len(s.Power)*3+len(s.CPUTime)+len(s.TotalCPU)+len(s.TotalActive)))
+	b = append(b, diskMagic...)
+	b = appendU32(b, diskVersion)
+	b = appendStr(b, key)
+
+	ids := s.Roster.IDs()
+	b = appendU32(b, uint32(len(ids)))
+	for _, id := range ids {
+		b = appendStr(b, id)
+	}
+	b = appendU64(b, uint64(s.Tick))
+	b = appendU64(b, uint64(s.Ticks))
+	b = appendU64(b, uint64(s.Duration))
+	// ProcEnd in sorted-key order: the encoding is deterministic, so equal
+	// summaries produce byte-equal files.
+	ends := make([]string, 0, len(s.ProcEnd))
+	for id := range s.ProcEnd {
+		ends = append(ends, id)
+	}
+	sort.Strings(ends)
+	b = appendU32(b, uint32(len(ends)))
+	for _, id := range ends {
+		b = appendStr(b, id)
+		b = appendU64(b, uint64(s.ProcEnd[id]))
+	}
+	for _, fs := range [][]float64{s.Power, s.TruePower, s.ResidIdle} {
+		b = appendU32(b, uint32(len(fs)))
+		for _, f := range fs {
+			b = appendU64(b, math.Float64bits(f))
+		}
+	}
+	b = appendU32(b, uint32(len(s.CPUTime)))
+	for _, c := range s.CPUTime {
+		b = appendU64(b, uint64(c))
+	}
+	b = appendU32(b, uint32(len(s.TotalCPU)))
+	for _, c := range s.TotalCPU {
+		b = appendU64(b, uint64(c))
+	}
+	b = appendU32(b, uint32(len(s.TotalActive)))
+	for _, f := range s.TotalActive {
+		b = appendU64(b, math.Float64bits(f))
+	}
+
+	h := fnv.New64a()
+	h.Write(b)
+	return appendU64(b, h.Sum64())
+}
+
+// decoder is a bounds-checked cursor over an encoded summary.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("protocol: truncated disk cache entry")
+	}
+}
+
+// checkedLen validates a slice-length prefix against the bytes actually
+// remaining (elemSize bytes per element), so a corrupted length cannot
+// drive a huge allocation.
+func (d *decoder) checkedLen(elemSize int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || d.off+n*elemSize > len(d.b) {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+func decodeSummary(raw []byte, key string) (*RunSummary, error) {
+	if len(raw) < len(diskMagic)+4+8 {
+		return nil, fmt.Errorf("protocol: disk cache entry too short")
+	}
+	body, sumBytes := raw[:len(raw)-8], raw[len(raw)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != binary.LittleEndian.Uint64(sumBytes) {
+		return nil, fmt.Errorf("protocol: disk cache checksum mismatch")
+	}
+	if string(body[:len(diskMagic)]) != diskMagic {
+		return nil, fmt.Errorf("protocol: disk cache bad magic")
+	}
+	d := &decoder{b: body, off: len(diskMagic)}
+	if v := d.u32(); v != diskVersion {
+		return nil, fmt.Errorf("protocol: disk cache version %d (want %d)", v, diskVersion)
+	}
+	if echo := d.str(); d.err != nil || echo != key {
+		// Hash collision or stale key: not this run's data.
+		return nil, fmt.Errorf("protocol: disk cache key mismatch")
+	}
+
+	nIDs := d.checkedLen(4)
+	ids := make([]string, nIDs)
+	for i := range ids {
+		ids[i] = d.str()
+	}
+	s := &RunSummary{}
+	s.Tick = time.Duration(d.u64())
+	s.Ticks = int(int64(d.u64()))
+	s.Duration = time.Duration(d.u64())
+	nEnds := d.checkedLen(12)
+	procEnd := make(map[string]time.Duration, nEnds)
+	for i := 0; i < nEnds; i++ {
+		id := d.str()
+		procEnd[id] = time.Duration(d.u64())
+	}
+	s.ProcEnd = procEnd
+	for _, dst := range []*[]float64{&s.Power, &s.TruePower, &s.ResidIdle} {
+		n := d.checkedLen(8)
+		fs := make([]float64, n)
+		for i := range fs {
+			fs[i] = math.Float64frombits(d.u64())
+		}
+		*dst = fs
+	}
+	n := d.checkedLen(8)
+	cpu := make([]units.CPUTime, n)
+	for i := range cpu {
+		cpu[i] = units.CPUTime(d.u64())
+	}
+	s.CPUTime = cpu
+	n = d.checkedLen(8)
+	tot := make([]units.CPUTime, n)
+	for i := range tot {
+		tot[i] = units.CPUTime(d.u64())
+	}
+	s.TotalCPU = tot
+	n = d.checkedLen(8)
+	ta := make([]float64, n)
+	for i := range ta {
+		ta[i] = math.Float64frombits(d.u64())
+	}
+	s.TotalActive = ta
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("protocol: disk cache trailing bytes")
+	}
+	if s.Ticks < 0 || len(s.CPUTime) != s.Ticks*len(ids) ||
+		len(s.TotalCPU) != len(ids) || len(s.TotalActive) != len(ids) ||
+		len(s.Power) != s.Ticks || len(s.TruePower) != s.Ticks || len(s.ResidIdle) != s.Ticks {
+		return nil, fmt.Errorf("protocol: disk cache inconsistent shape")
+	}
+	s.Roster = machine.NewRoster(ids)
+	return s, nil
+}

@@ -1,0 +1,323 @@
+package protocol
+
+import (
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/division"
+	"powerdiv/internal/machine"
+	"powerdiv/internal/models"
+)
+
+// diskTestRun builds one real solo-run summary plus the runKey the caches
+// would file it under — the fixture every disk-cache test round-trips.
+func diskTestRun(t *testing.T) (string, *RunSummary) {
+	t.Helper()
+	ctx := goldenContext(cpumodel.SmallIntel(), false)
+	app, err := StressApp("fibonacci", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ctx.Machine
+	cfg.Seed = deriveSeed(ctx.Seed, "solo", app.ID)
+	procs := []machine.Proc{app.proc()}
+	sum, err := newRunSummary(cfg, procs, ctx.RunFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runKey(cfg, procs, ctx.RunFor), sum
+}
+
+// TestDiskCacheRoundTrip pins the persistent tier's exactness: a stored
+// summary loads back with every float bit-identical and every shape field
+// equal, so a warm-from-disk campaign cannot diverge from a cold one.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, sum := diskTestRun(t)
+	if _, ok := d.load(key); ok {
+		t.Fatal("load before store hit")
+	}
+	d.store(key, sum)
+	got, ok := d.load(key)
+	if !ok {
+		t.Fatal("load after store missed")
+	}
+	if got.Ticks != sum.Ticks || got.Tick != sum.Tick || got.Duration != sum.Duration {
+		t.Fatalf("shape: got %d/%v/%v want %d/%v/%v",
+			got.Ticks, got.Tick, got.Duration, sum.Ticks, sum.Tick, sum.Duration)
+	}
+	if got.Roster.Len() != sum.Roster.Len() {
+		t.Fatalf("roster %d slots, want %d", got.Roster.Len(), sum.Roster.Len())
+	}
+	for i, id := range sum.Roster.IDs() {
+		if got.Roster.IDs()[i] != id {
+			t.Fatalf("roster slot %d: %q != %q", i, got.Roster.IDs()[i], id)
+		}
+	}
+	if len(got.ProcEnd) != len(sum.ProcEnd) {
+		t.Fatalf("ProcEnd %d entries, want %d", len(got.ProcEnd), len(sum.ProcEnd))
+	}
+	for id, end := range sum.ProcEnd {
+		if got.ProcEnd[id] != end {
+			t.Fatalf("ProcEnd[%s] %v != %v", id, got.ProcEnd[id], end)
+		}
+	}
+	for name, pair := range map[string][2][]float64{
+		"Power":       {got.Power, sum.Power},
+		"TruePower":   {got.TruePower, sum.TruePower},
+		"ResidIdle":   {got.ResidIdle, sum.ResidIdle},
+		"TotalActive": {got.TotalActive, sum.TotalActive},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s length %d != %d", name, len(pair[0]), len(pair[1]))
+		}
+		for i := range pair[1] {
+			if math.Float64bits(pair[0][i]) != math.Float64bits(pair[1][i]) {
+				t.Fatalf("%s[%d] bits differ", name, i)
+			}
+		}
+	}
+	if len(got.CPUTime) != len(sum.CPUTime) || len(got.TotalCPU) != len(sum.TotalCPU) {
+		t.Fatalf("CPU slab lengths differ")
+	}
+	for i := range sum.CPUTime {
+		if got.CPUTime[i] != sum.CPUTime[i] {
+			t.Fatalf("CPUTime[%d] %v != %v", i, got.CPUTime[i], sum.CPUTime[i])
+		}
+	}
+	for i := range sum.TotalCPU {
+		if got.TotalCPU[i] != sum.TotalCPU[i] {
+			t.Fatalf("TotalCPU[%d] %v != %v", i, got.TotalCPU[i], sum.TotalCPU[i])
+		}
+	}
+	if h, m, w := d.Stats(); h != 1 || m != 1 || w != 1 {
+		t.Fatalf("stats %d/%d/%d, want 1 hit, 1 miss, 1 write", h, m, w)
+	}
+}
+
+// TestDiskCacheRejectsDamage pins self-healing over a table of damage
+// modes: truncation at every structural boundary, a flipped byte in each
+// region (magic, version, key echo, payload, checksum), and an empty file.
+// Every one must read as a miss — never as wrong data — and the damaged
+// file must be deleted so it is not re-parsed forever.
+func TestDiskCacheRejectsDamage(t *testing.T) {
+	key, sum := diskTestRun(t)
+	raw := encodeSummary(key, sum)
+	flip := func(at int) func([]byte) []byte {
+		return func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[at] ^= 0x40
+			return c
+		}
+	}
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"truncated-header", func(b []byte) []byte { return append([]byte(nil), b[:6]...) }},
+		{"truncated-mid-payload", func(b []byte) []byte { return append([]byte(nil), b[:len(b)/2]...) }},
+		{"truncated-no-checksum", func(b []byte) []byte { return append([]byte(nil), b[:len(b)-8]...) }},
+		{"truncated-one-byte", func(b []byte) []byte { return append([]byte(nil), b[:len(b)-1]...) }},
+		{"flip-magic", flip(0)},
+		{"flip-version", flip(4)},
+		{"flip-key-echo", flip(len(diskMagic) + 4 + 4)},
+		{"flip-payload", flip(len(raw) / 2)},
+		{"flip-checksum", flip(len(raw) - 1)},
+		{"extra-trailing-bytes", func(b []byte) []byte { return append(append([]byte(nil), b...), 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := OpenDiskCache(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := d.path(key)
+			if err := os.WriteFile(p, tc.mangle(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := d.load(key); ok {
+				t.Fatal("damaged entry loaded as a hit")
+			}
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Fatalf("damaged entry not deleted: %v", err)
+			}
+			// A fresh store over the healed slot must work again.
+			d.store(key, sum)
+			if _, ok := d.load(key); !ok {
+				t.Fatal("store after healing missed")
+			}
+		})
+	}
+}
+
+// TestDiskCacheVersionMismatch rewrites an entry's version field (with a
+// recomputed checksum, so only the version differs) and requires a miss:
+// a format bump must invalidate old files rather than misread them.
+func TestDiskCacheVersionMismatch(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, sum := diskTestRun(t)
+	raw := encodeSummary(key, sum)
+	body := append([]byte(nil), raw[:len(raw)-8]...)
+	body[len(diskMagic)]++ // version 1 -> 2, little-endian low byte
+	withSum := appendChecksum(body)
+	if err := os.WriteFile(d.path(key), withSum, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.load(key); ok {
+		t.Fatal("future-version entry loaded as a hit")
+	}
+	if _, err := os.Stat(d.path(key)); !os.IsNotExist(err) {
+		t.Fatal("future-version entry not deleted")
+	}
+}
+
+// TestDiskCacheKeyMismatch files one key's entry under another key's path
+// (what a hash collision or a renamed file would look like) and requires
+// the key echo to reject it.
+func TestDiskCacheKeyMismatch(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, sum := diskTestRun(t)
+	d.store(key, sum)
+	other := key + "|other"
+	if err := os.Rename(d.path(key), d.path(other)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.load(other); ok {
+		t.Fatal("entry with mismatched key echo loaded as a hit")
+	}
+}
+
+// TestDiskCacheEviction stores entries past a tiny byte cap and requires
+// the oldest-modified files to be removed first while the newest survives.
+func TestDiskCacheEviction(t *testing.T) {
+	key, sum := diskTestRun(t)
+	one := int64(len(encodeSummary(key, sum)))
+	d, err := OpenDiskCache(t.TempDir(), 2*one+one/2) // room for two entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{key + "|a", key + "|b", key + "|c"}
+	base := time.Now().Add(-time.Hour)
+	for i, k := range keys {
+		d.store(k, sum)
+		// Pin distinct, increasing mtimes so eviction order is deterministic
+		// even on coarse filesystem clocks.
+		if err := os.Chtimes(d.path(k), base, base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.store(key+"|d", sum) // pushes past the cap; |a and |b are oldest
+	if _, err := os.Stat(d.path(keys[0])); !os.IsNotExist(err) {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := d.load(key + "|d"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	var total int64
+	ents, err := os.ReadDir(d.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".pds" {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	if total > 2*one+one/2 {
+		t.Fatalf("directory %d bytes past the %d cap", total, 2*one+one/2)
+	}
+}
+
+// appendChecksum re-signs a hand-mangled body with the trailing FNV-64a the
+// decoder verifies first.
+func appendChecksum(body []byte) []byte {
+	h := fnv.New64a()
+	h.Write(body)
+	return appendU64(body, h.Sum64())
+}
+
+// TestDiskCacheWarmBitIdentical is the end-to-end guarantee: a campaign
+// whose phase-1 summaries come from disk (memory tiers dropped, disk tier
+// primed by a prior campaign) produces error tables bit-identical to a
+// fully cold one, and actually reads the disk while doing so.
+func TestDiskCacheWarmBitIdentical(t *testing.T) {
+	ctx := goldenContext(cpumodel.SmallIntel(), false)
+	a0, err := StressApp("fibonacci", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := StressApp("matrixprod", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := StressApp("int64", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := []Scenario{
+		{Apps: []AppSpec{a0, a1}},
+		{Apps: []AppSpec{a1, a2}},
+	}
+	spec := cpumodel.SmallIntel()
+	factories := func(baselines map[string]division.Baseline) []models.Factory {
+		return goldenFactories(baselines, spec)
+	}
+	run := func() map[string][]Evaluation {
+		t.Helper()
+		ResetMemoization()
+		got, err := EvaluateModelsStreaming(ctx, scenarios, factories, ObjectiveActive, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	want := run() // fully cold: no disk tier attached
+
+	d, err := OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AttachDiskCache(d)
+	defer AttachDiskCache(nil)
+	run() // primes the disk tier
+	if _, _, w := d.Stats(); w == 0 {
+		t.Fatal("priming campaign wrote nothing to disk")
+	}
+	got := run() // memory tiers dropped again: phase 1 loads from disk
+	if h, _, _ := d.Stats(); h == 0 {
+		t.Fatal("warm campaign never hit the disk tier")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d models warm, %d cold", len(got), len(want))
+	}
+	for name, wantEvs := range want {
+		gotEvs, ok := got[name]
+		if !ok || len(gotEvs) != len(wantEvs) {
+			t.Fatalf("model %s missing or wrong length warm", name)
+		}
+		for i := range wantEvs {
+			compareStreamingEvaluations(t, name, wantEvs[i], gotEvs[i])
+		}
+	}
+}

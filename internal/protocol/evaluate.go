@@ -248,6 +248,16 @@ func scoreEstimates(ctx Context, s Scenario, ts tickSeries, modelName string, es
 		scr = newScoreScratch()
 	}
 	from, to := stableScoringWindow(ctx, ts, est.OK, scr.scored)
+	return scoreEstimatesWindow(ctx, s, ts, modelName, est, truths, scr, from, to)
+}
+
+// scoreEstimatesWindow is scoreEstimates with the scoring window already
+// resolved. The window is a pure function of (ctx, ts, est.OK), so callers
+// scoring several models over one scenario compute it once per distinct OK
+// vector (models with full estimate coverage — most of them — share one)
+// instead of once per model; the scored ticks and every accumulation are
+// unchanged, so the split cannot move a result bit.
+func scoreEstimatesWindow(ctx Context, s Scenario, ts tickSeries, modelName string, est *models.DenseEstimates, truths []division.Shares, scr *scoreScratch, from, to time.Duration) ([]Evaluation, error) {
 	if to <= from {
 		return nil, fmt.Errorf("protocol: scenario %q: model %s produced no estimates", s.Label(), modelName)
 	}

@@ -20,6 +20,12 @@ var (
 		"Run-memoization cache misses (matches MemoizationStats.Misses).")
 	obsCacheEvictions = obs.NewCounter("powerdiv_protocol_cache_evictions_total",
 		"Runs evicted from the memoization cache (FIFO limit).")
+	obsDiskHits = obs.NewCounter("powerdiv_protocol_disk_cache_hits_total",
+		"Persistent summary cache hits (valid file found for a memory miss).")
+	obsDiskMisses = obs.NewCounter("powerdiv_protocol_disk_cache_misses_total",
+		"Persistent summary cache misses (absent, corrupt, or stale file).")
+	obsDiskWrites = obs.NewCounter("powerdiv_protocol_disk_cache_writes_total",
+		"Summary digests written to the persistent cache.")
 	obsScenarioSeconds = obs.NewHistogram("powerdiv_protocol_scenario_seconds",
 		"Wall-clock latency of one scenario evaluation (simulate + replay + score).",
 		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10)

@@ -113,18 +113,19 @@ func forEachIndexed(n int, fn func(i int) error) error {
 	}
 	errs := make([]error, n)
 	var stop atomic.Bool
-	var next int
-	var mu sync.Mutex
+	// Index handout is a single fetch-and-add: a mutex here serializes every
+	// worker through one cache line's lock word and convoys under short
+	// tasks, which is measurable at GOMAXPROCS > 1 on campaigns of cheap
+	// scenarios. The counter keeps the increasing-order handout the
+	// first-error guarantee relies on.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1) - 1)
 				if i >= n {
 					return
 				}

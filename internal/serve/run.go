@@ -95,6 +95,7 @@ func (s *Server) runJob(job *Job) {
 func (s *Server) evaluate(cctx context.Context, job *Job, rn *runnable) error {
 	pctx := rn.pctx
 	pctx.Cache = protocol.NewCacheScope(s.cacheBudget(job.Spec.CacheBytes))
+	pctx.Cache.AttachDisk(s.disk)
 	defer pctx.Cache.Drop()
 	rn.pctx = pctx
 

@@ -61,6 +61,17 @@ type Options struct {
 	// MaxCacheBytes caps each job's private memoization budget. Default
 	// protocol.DefaultMemoBytes.
 	MaxCacheBytes int64
+	// CacheDir, when set, backs every job's summary cache with one shared
+	// persistent tier: solo-run digests survive restarts, so resumed and
+	// repeated jobs skip their phase 1 simulations. Jobs stay isolated in
+	// memory (each keeps its own CacheScope); the disk tier is shared,
+	// content-addressed and safe across jobs because entries are keyed by
+	// the full run fingerprint.
+	CacheDir string
+	// CacheDiskBytes caps the persistent tier's on-disk footprint
+	// (oldest entries evicted first). Default
+	// protocol.DefaultDiskCacheBytes; ignored without CacheDir.
+	CacheDiskBytes int64
 }
 
 // withDefaults fills unset options.
@@ -111,6 +122,9 @@ type Server struct {
 	depth atomic.Int64 // queued jobs, admission-checked against QueueCap
 	wg    sync.WaitGroup
 
+	// disk is the shared persistent summary cache (nil without CacheDir).
+	disk *protocol.DiskCache
+
 	mux *http.ServeMux
 }
 
@@ -124,6 +138,14 @@ func New(opts Options) (*Server, error) {
 		jobs: map[string]*Job{},
 	}
 	s.root, s.rootStop = context.WithCancel(context.Background())
+
+	if opts.CacheDir != "" {
+		disk, err := protocol.OpenDiskCache(opts.CacheDir, opts.CacheDiskBytes)
+		if err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+		s.disk = disk
+	}
 
 	var resumed []*Job
 	if opts.SnapshotDir != "" {
