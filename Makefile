@@ -39,6 +39,9 @@ BENCH_THRESHOLD ?= 300
 # Cold iterations drop every cache tier first, so each does identical work
 # and the rate is comparable across runs even at one iteration — gated at a
 # generous margin so only a lost fast path trips it, not machine noise.
+# The committed baseline reflects the segment-compiled cold path (~3x the
+# per-tick engine), so losing the engine — e.g. the change-point
+# enumeration silently declining — is a ~65% collapse and trips this gate.
 BENCH_RATE_THRESHOLD ?= 60
 
 .PHONY: build test vet fmt-check race cover bench bench-check bench-diff pprof fuzz-smoke serve-smoke verify

@@ -23,6 +23,7 @@ import (
 	"powerdiv/internal/fleet"
 	"powerdiv/internal/machine"
 	"powerdiv/internal/models"
+	"powerdiv/internal/obs"
 	"powerdiv/internal/protocol"
 	"powerdiv/internal/report"
 	"powerdiv/internal/stressng"
@@ -316,7 +317,7 @@ func BenchmarkLabErrorTableMaterialized(b *testing.B) {
 // at -benchtime 1x). No heap watermark: a cold pass's transient garbage
 // peak is GC-pacing noise, not a retention signal.
 func BenchmarkLabErrorTableCold(b *testing.B) {
-	benchLabErrorTable(b, func(ctx protocol.Context, extra ...models.Factory) (map[string]experiments.ScatterResult, error) {
+	benchLabErrorTableSegs(b, func(ctx protocol.Context, extra ...models.Factory) (map[string]experiments.ScatterResult, error) {
 		protocol.ResetMemoization()
 		return experiments.LabEvaluationStreaming(ctx, extra...)
 	}, false)
@@ -334,10 +335,25 @@ func BenchmarkLabErrorTableDiskWarm(b *testing.B) {
 	}
 	protocol.AttachDiskCache(disk)
 	defer protocol.AttachDiskCache(nil)
-	benchLabErrorTable(b, func(ctx protocol.Context, extra ...models.Factory) (map[string]experiments.ScatterResult, error) {
+	benchLabErrorTableSegs(b, func(ctx protocol.Context, extra ...models.Factory) (map[string]experiments.ScatterResult, error) {
 		protocol.ResetMemoization()
 		return experiments.LabEvaluationStreaming(ctx, extra...)
 	}, false)
+}
+
+// benchLabErrorTableSegs is benchLabErrorTable with the obs registry
+// enabled so the cold variants additionally report segments_per_scenario —
+// how many constant segments the engine evaluated per scenario, averaged
+// over the campaign's pair and solo runs. A per-tick engine reports the
+// tick count (~121 on the default context); the segment engine reports the
+// scenario's change-point structure (an order of magnitude lower), which is
+// where the cold-path speedup comes from. Counter flushes are per run, so
+// enabling the registry does not perturb the timed loop.
+func benchLabErrorTableSegs(b *testing.B, evaluate func(protocol.Context, ...models.Factory) (map[string]experiments.ScatterResult, error), watermark bool) {
+	wasEnabled := obs.Enabled()
+	obs.Enable(true)
+	defer obs.Enable(wasEnabled)
+	benchLabErrorTable(b, evaluate, watermark)
 }
 
 // benchLabErrorTable runs evaluate once untimed (cache warm-up — a no-op
@@ -358,6 +374,8 @@ func benchLabErrorTable(b *testing.B, evaluate func(protocol.Context, ...models.
 			if watermark {
 				stopWatermark = startHeapWatermark()
 			}
+			segCounter := obs.Default().Get("powerdiv_machine_segments_total")
+			segStart := segCounter.Snapshot().Value
 			b.ResetTimer()
 			var results map[string]experiments.ScatterResult
 			for i := 0; i < b.N; i++ {
@@ -370,6 +388,9 @@ func benchLabErrorTable(b *testing.B, evaluate func(protocol.Context, ...models.
 			b.StopTimer()
 			if watermark {
 				b.ReportMetric(stopWatermark(), "peak-heap-bytes")
+			}
+			if segs := segCounter.Snapshot().Value - segStart; segs > 0 {
+				b.ReportMetric(segs/float64(nScenarios*b.N), "segments_per_scenario")
 			}
 			reportScenariosPerSec(b, nScenarios)
 			writeResult(b, experiments.ErrorTable(spec.Name, results), "errors-"+slug(spec.Name))

@@ -143,30 +143,59 @@ func stripProcs(name string) string {
 	return name
 }
 
-// scalingCheck verifies that the campaign actually gets faster with a
-// second CPU: it compares the scenarios/sec of the worker-width ladder's
-// workers-2 rung against workers-1 and requires at least minSpeedup. The
-// check is skipped (skip non-empty) when the host has fewer than two CPUs —
-// a second worker cannot run anywhere — or when either rung is absent from
+// scalingLadders are the worker-width benchmark ladders the
+// -require-scaling gate checks, each with the throughput metric its rungs
+// report: the single-machine lab campaign and the fleet campaign (whose
+// per-node tasks are batched precisely so a second worker helps rather
+// than hurts).
+var scalingLadders = []struct{ bench, metric string }{
+	{"BenchmarkCampaignParallel", "scenarios/sec"},
+	{"BenchmarkFleetCampaign", "nodes/sec"},
+}
+
+// scalingResult is one ladder's -require-scaling verdict.
+type scalingResult struct {
+	bench   string
+	metric  string
+	speedup float64
+	ok      bool
+	skip    string
+}
+
+// scalingChecks verifies that the campaigns actually get faster with a
+// second CPU: for each ladder it compares the throughput of the workers-2
+// rung against workers-1 and requires at least minSpeedup. A ladder is
+// skipped (skip non-empty) when the host has fewer than two CPUs — a
+// second worker cannot run anywhere — or when either rung is absent from
 // the report.
-func scalingCheck(rep Report, minSpeedup float64) (speedup float64, ok bool, skip string) {
-	if rep.NumCPU < 2 {
-		return 0, true, fmt.Sprintf("host has %d CPU(s); parallel speedup is unmeasurable", rep.NumCPU)
-	}
-	var w1, w2 float64
-	for _, r := range rep.Benchmarks {
-		switch stripProcs(r.Name) {
-		case "BenchmarkCampaignParallel/workers-1":
-			w1 = r.Metrics["scenarios/sec"]
-		case "BenchmarkCampaignParallel/workers-2":
-			w2 = r.Metrics["scenarios/sec"]
+func scalingChecks(rep Report, minSpeedup float64) []scalingResult {
+	out := make([]scalingResult, 0, len(scalingLadders))
+	for _, l := range scalingLadders {
+		res := scalingResult{bench: l.bench, metric: l.metric, ok: true}
+		if rep.NumCPU < 2 {
+			res.skip = fmt.Sprintf("host has %d CPU(s); parallel speedup is unmeasurable", rep.NumCPU)
+			out = append(out, res)
+			continue
 		}
+		var w1, w2 float64
+		for _, r := range rep.Benchmarks {
+			switch stripProcs(r.Name) {
+			case l.bench + "/workers-1":
+				w1 = r.Metrics[l.metric]
+			case l.bench + "/workers-2":
+				w2 = r.Metrics[l.metric]
+			}
+		}
+		if w1 <= 0 || w2 <= 0 {
+			res.skip = l.bench + " workers-1/workers-2 rungs not present"
+			out = append(out, res)
+			continue
+		}
+		res.speedup = w2 / w1
+		res.ok = res.speedup >= minSpeedup
+		out = append(out, res)
 	}
-	if w1 <= 0 || w2 <= 0 {
-		return 0, true, "BenchmarkCampaignParallel workers-1/workers-2 rungs not present"
-	}
-	speedup = w2 / w1
-	return speedup, speedup >= minSpeedup, ""
+	return out
 }
 
 // deltaPct is the relative change from old to new in percent; 0 when the
@@ -381,15 +410,20 @@ func main() {
 		fmt.Printf("\nmemoization speedup on the lab campaign: %.2fx\n", rep.MemoSpeedupX)
 	}
 	if *requireScaling > 0 {
-		speedup, ok, skip := scalingCheck(rep, *requireScaling)
-		switch {
-		case skip != "":
-			fmt.Printf("parallel scaling check skipped: %s\n", skip)
-		case !ok:
-			fmt.Fprintf(os.Stderr, "error: workers-2 ran %.2fx the scenarios/sec of workers-1 (need >= %.2fx)\n", speedup, *requireScaling)
+		failed := 0
+		for _, res := range scalingChecks(rep, *requireScaling) {
+			switch {
+			case res.skip != "":
+				fmt.Printf("parallel scaling check skipped (%s): %s\n", res.bench, res.skip)
+			case !res.ok:
+				fmt.Fprintf(os.Stderr, "error: %s workers-2 ran %.2fx the %s of workers-1 (need >= %.2fx)\n", res.bench, res.speedup, res.metric, *requireScaling)
+				failed++
+			default:
+				fmt.Printf("parallel scaling (%s): workers-2 is %.2fx workers-1 (>= %.2fx required)\n", res.bench, res.speedup, *requireScaling)
+			}
+		}
+		if failed > 0 {
 			os.Exit(1)
-		default:
-			fmt.Printf("parallel scaling: workers-2 is %.2fx workers-1 (>= %.2fx required)\n", speedup, *requireScaling)
 		}
 	}
 	if *diff != "" {

@@ -61,23 +61,61 @@ func scalingReport(numCPU int, w1, w2 float64) Report {
 	return rep
 }
 
+// labScaling picks the lab-campaign ladder's verdict out of the
+// per-ladder results.
+func labScaling(t *testing.T, rep Report, min float64) scalingResult {
+	t.Helper()
+	for _, res := range scalingChecks(rep, min) {
+		if res.bench == "BenchmarkCampaignParallel" {
+			return res
+		}
+	}
+	t.Fatal("lab ladder missing from scaling results")
+	return scalingResult{}
+}
+
 // TestScalingCheck pins the multi-core gate: a single-CPU host skips, a
 // missing rung skips, a second worker that helps passes, one that doesn't
 // fails.
 func TestScalingCheck(t *testing.T) {
-	if _, ok, skip := scalingCheck(scalingReport(1, 100, 200), 1.0); !ok || skip == "" {
+	if res := labScaling(t, scalingReport(1, 100, 200), 1.0); !res.ok || res.skip == "" {
 		t.Fatal("single-CPU host did not skip")
 	}
-	if _, ok, skip := scalingCheck(scalingReport(4, 100, 0), 1.0); !ok || skip == "" {
+	if res := labScaling(t, scalingReport(4, 100, 0), 1.0); !res.ok || res.skip == "" {
 		t.Fatal("missing workers-2 rung did not skip")
 	}
-	speedup, ok, skip := scalingCheck(scalingReport(4, 100, 170), 1.3)
-	if skip != "" || !ok || speedup != 1.7 {
-		t.Fatalf("healthy scaling judged %v/%v/%q", speedup, ok, skip)
+	res := labScaling(t, scalingReport(4, 100, 170), 1.3)
+	if res.skip != "" || !res.ok || res.speedup != 1.7 {
+		t.Fatalf("healthy scaling judged %v/%v/%q", res.speedup, res.ok, res.skip)
 	}
-	speedup, ok, skip = scalingCheck(scalingReport(4, 100, 95), 1.0)
-	if skip != "" || ok || speedup != 0.95 {
-		t.Fatalf("flat scaling judged %v/%v/%q", speedup, ok, skip)
+	res = labScaling(t, scalingReport(4, 100, 95), 1.0)
+	if res.skip != "" || res.ok || res.speedup != 0.95 {
+		t.Fatalf("flat scaling judged %v/%v/%q", res.speedup, res.ok, res.skip)
+	}
+}
+
+// TestScalingCheckFleetLadder pins that the fleet campaign's worker ladder
+// is gated alongside the lab one, on its own nodes/sec metric.
+func TestScalingCheckFleetLadder(t *testing.T) {
+	rep := Report{NumCPU: 4, Benchmarks: []Result{
+		{Name: "BenchmarkFleetCampaign/workers-1-4", Metrics: map[string]float64{"nodes/sec": 100}},
+		{Name: "BenchmarkFleetCampaign/workers-2-4", Metrics: map[string]float64{"nodes/sec": 80}},
+	}}
+	var fleet *scalingResult
+	for _, res := range scalingChecks(rep, 1.0) {
+		if res.bench == "BenchmarkFleetCampaign" {
+			r := res
+			fleet = &r
+		}
+	}
+	if fleet == nil {
+		t.Fatal("fleet ladder missing from scaling results")
+	}
+	if fleet.skip != "" || fleet.ok || fleet.speedup != 0.8 {
+		t.Fatalf("fleet negative scaling judged %v/%v/%q", fleet.speedup, fleet.ok, fleet.skip)
+	}
+	if fleet.metric != "nodes/sec" {
+		t.Fatalf("fleet ladder gated on %q, want nodes/sec", fleet.metric)
 	}
 }
 

@@ -18,7 +18,12 @@ const AbsentShare = -1.0
 // vector visits exactly the map's keys in exactly IDs() order — the
 // property that keeps AbsoluteErrorColumns bit-identical to AbsoluteError.
 func (s Shares) Vector(ids []string) []float64 {
-	out := make([]float64, len(ids))
+	return s.VectorInto(make([]float64, len(ids)), ids)
+}
+
+// VectorInto is Vector writing into a caller-owned buffer (which must have
+// len(ids) entries), so scoring loops can reuse one vector per scenario.
+func (s Shares) VectorInto(out []float64, ids []string) []float64 {
 	for i, id := range ids {
 		v, ok := s[id]
 		if !ok {

@@ -13,6 +13,7 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"powerdiv/internal/cpumodel"
@@ -353,7 +354,7 @@ func resetBools(b []bool, n int) []bool {
 // demand spills onto SMT siblings the discount is shared across processes
 // (as a load-balancing scheduler would) instead of falling entirely on the
 // last process in ID order.
-func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, procEnd map[string]time.Duration, sc *tickScratch, col []ProcTick, rec *TickRecord) (bool, error) {
+func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, ends []time.Duration, sc *tickScratch, col []ProcTick, rec *TickRecord) (bool, error) {
 	sc.resetTick(nCPU, phys)
 	if sc.costOn == nil {
 		sc.costOn = make([]float64, len(procs))
@@ -372,12 +373,12 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 			continue
 		}
 		if p.Stop != 0 && t >= p.Stop {
-			markEnd(procEnd, p.ID, p.Stop)
+			markEnd(ends, i, p.Stop)
 			continue
 		}
 		phase, done := p.Workload.PhaseAt(t-p.Start, p.Threads)
 		if done {
-			markEnd(procEnd, p.ID, p.Start+p.Workload.Duration())
+			markEnd(ends, i, p.Start+p.Workload.Duration())
 			continue
 		}
 		threads := phase.Threads
@@ -483,10 +484,18 @@ func stepTick(cfg Config, procs []Proc, t, tick time.Duration, phys, nCPU int, p
 	return len(sc.placements) > 0, nil
 }
 
-// markEnd records the first time a process was observed finished.
-func markEnd(procEnd map[string]time.Duration, id string, at time.Duration) {
-	if _, ok := procEnd[id]; !ok {
-		procEnd[id] = at
+// endUnset marks a roster slot whose process has not yet been observed
+// finished. It lies far outside any representable scenario time, so it
+// cannot collide with a real end time (Stop and Start+Duration are bounded
+// by the scenario's own times).
+const endUnset = time.Duration(math.MinInt64)
+
+// markEnd records the first time a process was observed finished. ends is
+// indexed by roster slot (procs are already in sorted-ID order), replacing
+// the per-tick map hashing the slot-indexed store was introduced to avoid.
+func markEnd(ends []time.Duration, slot int, at time.Duration) {
+	if ends[slot] == endUnset {
+		ends[slot] = at
 	}
 }
 

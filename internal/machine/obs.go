@@ -14,4 +14,7 @@ var (
 		"Simulation ticks stepped across all runs.")
 	obsScratchReused = obs.NewCounter("powerdiv_machine_scratch_reused_ticks_total",
 		"Ticks that reused every fixed-size scratch buffer (no growth).")
+	obsSegments = obs.NewCounter("powerdiv_machine_segments_total",
+		"Constant segments evaluated across all runs (one stepTick each; "+
+			"equals ticks simulated when the segment engine is disabled).")
 )

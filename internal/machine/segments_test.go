@@ -1,0 +1,335 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"powerdiv/internal/cpumodel"
+	"powerdiv/internal/units"
+	"powerdiv/internal/workload"
+)
+
+// segScenarios is the equivalence table for the segment engine: every
+// scenario class whose dynamics the change-point enumeration must prove
+// piecewise-constant — churn edges, pinned threads, CPU quotas,
+// multi-phase scripts with zero-duration and tick-unaligned edges, timed
+// traffic rosters, idle machines — with sensor noise on so the RNG
+// consumption order is pinned too.
+func segScenarios(t *testing.T) []struct {
+	name  string
+	cfg   Config
+	procs []Proc
+	dur   time.Duration
+} {
+	t.Helper()
+	noisy := func(cfg Config, seed int64) Config {
+		cfg.NoiseStddev = 0.25
+		cfg.Seed = seed
+		return cfg
+	}
+	timed := func(id, fn string, threads int, start, stop time.Duration) Proc {
+		p := stressProc(id, fn, threads)
+		p.Start, p.Stop = start, stop
+		return p
+	}
+	pinned := stressProc("a-pin", "int64", 2)
+	pinned.Pinned = []int{0, 1}
+	pinned.CPUQuota = 0.5
+	quota := stressProc("b-quota", "matrixprod", 2)
+	quota.Pinned = []int{2, 3}
+	quota.CPUQuota = 0.25
+	quota.Stop = 3 * time.Second
+
+	// Tick-unaligned phase edges (250 ms / 1050 ms against the 100 ms
+	// tick) so ceilTick rounding is exercised; Validate rejects
+	// zero-duration phases in real rosters, so those are pinned at the
+	// enumeration level in TestChangePointTicks instead.
+	edgy := workload.Workload{
+		Name: "edgy",
+		Kind: workload.App,
+		Mix:  workload.CounterMix{IPC: 1},
+		Cost: map[string]units.Watts{"SMALL INTEL": 6, "DAHU": 6},
+		Script: []workload.Phase{
+			{Duration: 250 * time.Millisecond, Threads: 2, Intensity: 1, Util: 1},
+			{Duration: 1050 * time.Millisecond, Threads: 1, Intensity: 0.5, Util: 0.7},
+			{Duration: 700 * time.Millisecond, Threads: 2, Intensity: 0.8, Util: 1},
+		},
+	}
+
+	return []struct {
+		name  string
+		cfg   Config
+		procs []Proc
+		dur   time.Duration
+	}{
+		{"steady-pair", noisy(labConfig(cpumodel.SmallIntel()), 7), []Proc{
+			stressProc("p0", "fibonacci", 2),
+			stressProc("p1", "matrixprod", 1),
+		}, 5 * time.Second},
+		{"churn-staggered", noisy(labConfig(cpumodel.SmallIntel()), 11), []Proc{
+			timed("p0", "int64", 1, 0, 0),
+			timed("p1", "int64", 1, time.Second, 3*time.Second),
+			timed("p2", "rand", 1, 2*time.Second, 4500*time.Millisecond),
+			timed("p3", "fibonacci", 1, 4*time.Second, 0),
+		}, 6 * time.Second},
+		{"idle-gap", noisy(labConfig(cpumodel.Dahu()), 13), []Proc{
+			timed("a-early", "int64", 2, 0, 2*time.Second),
+			timed("b-late", "fibonacci", 1, 5*time.Second, 0),
+		}, 8 * time.Second},
+		{"pins-and-quotas", noisy(prodConfig(cpumodel.SmallIntel()), 17), []Proc{
+			pinned, quota,
+		}, 4 * time.Second},
+		{"unaligned-phase-edges", noisy(labConfig(cpumodel.SmallIntel()), 19), []Proc{
+			{ID: "e0", Workload: edgy, Threads: 2},
+			// e1's shifted boundaries collide with e0's stop below,
+			// exercising change-point dedup on a real roster.
+			{ID: "e1", Workload: edgy, Threads: 2, Start: 330 * time.Millisecond},
+			{ID: "e2", Workload: edgy, Threads: 1, Start: 250 * time.Millisecond, Stop: 1300 * time.Millisecond},
+		}, 4 * time.Second},
+		{"traffic-roster", noisy(prodConfig(cpumodel.Dahu()), 23), []Proc{
+			timed("fib.00", "fibonacci", 1, 0, 0),
+			timed("fib.01", "fibonacci", 1, 700*time.Millisecond, 4*time.Second),
+			timed("mat.00", "matrixprod", 2, 2*time.Second, 6*time.Second),
+			timed("rand.00", "rand", 1, 5*time.Second, 0),
+			timed("int.00", "int64", 1, 8300*time.Millisecond, 9100*time.Millisecond),
+		}, 10 * time.Second},
+		{"early-exit-scripted", noisy(labConfig(cpumodel.SmallIntel()), 29), []Proc{
+			{ID: "s0", Workload: edgy, Threads: 2},
+		}, 10 * time.Second},
+		{"idle-machine", noisy(labConfig(cpumodel.SmallIntel()), 31), nil, 2 * time.Second},
+	}
+}
+
+// tickCapture is a deep-copied stream: one record per tick plus the
+// summary info, comparable bit for bit.
+type tickCapture struct {
+	recs []TickRecord
+	info *StreamInfo
+}
+
+func captureStream(t *testing.T, cfg Config, procs []Proc, dur time.Duration) tickCapture {
+	t.Helper()
+	var recs []TickRecord
+	info, err := Stream(cfg, procs, dur, func(rec *TickRecord) error {
+		r := *rec
+		r.Procs = append([]ProcTick(nil), rec.Procs...)
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tickCapture{recs, info}
+}
+
+func captureSegments(t *testing.T, cfg Config, procs []Proc, dur time.Duration) (tickCapture, int) {
+	t.Helper()
+	var recs []TickRecord
+	segments := 0
+	info, err := StreamSegments(cfg, procs, dur, func(seg *Segment) error {
+		segments++
+		for i := range seg.Powers {
+			r := *seg.Rec
+			r.At = seg.At(i)
+			r.Power = seg.Powers[i]
+			r.Procs = append([]ProcTick(nil), seg.Rec.Procs...)
+			recs = append(recs, r)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tickCapture{recs, info}, segments
+}
+
+// requireIdentical compares two captured streams bit for bit: every power
+// field via Float64bits, every dense column entry exactly, and the summary
+// info (tick count, duration, per-process ends).
+func requireIdentical(t *testing.T, label string, want, got tickCapture) {
+	t.Helper()
+	if len(got.recs) != len(want.recs) {
+		t.Fatalf("%s: %d ticks, want %d", label, len(got.recs), len(want.recs))
+	}
+	for i := range want.recs {
+		w, g := &want.recs[i], &got.recs[i]
+		if g.At != w.At || g.Freq != w.Freq {
+			t.Fatalf("%s: tick %d header %v/%v, want %v/%v", label, i, g.At, g.Freq, w.At, w.Freq)
+		}
+		for _, p := range [][2]units.Watts{
+			{g.Power, w.Power}, {g.TruePower, w.TruePower}, {g.Idle, w.Idle},
+			{g.Residual, w.Residual}, {g.Active, w.Active},
+		} {
+			if math.Float64bits(float64(p[0])) != math.Float64bits(float64(p[1])) {
+				t.Fatalf("%s: tick %d power field %v, want %v", label, i, p[0], p[1])
+			}
+		}
+		if len(g.Procs) != len(w.Procs) {
+			t.Fatalf("%s: tick %d column width %d, want %d", label, i, len(g.Procs), len(w.Procs))
+		}
+		for slot := range w.Procs {
+			if g.Procs[slot] != w.Procs[slot] {
+				t.Fatalf("%s: tick %d slot %d mismatch: %v vs %v", label, i, slot, g.Procs[slot], w.Procs[slot])
+			}
+		}
+	}
+	if got.info.Ticks != want.info.Ticks || got.info.Duration != want.info.Duration {
+		t.Fatalf("%s: info %d/%v, want %d/%v", label,
+			got.info.Ticks, got.info.Duration, want.info.Ticks, want.info.Duration)
+	}
+	if len(got.info.ProcEnd) != len(want.info.ProcEnd) {
+		t.Fatalf("%s: ProcEnd %v, want %v", label, got.info.ProcEnd, want.info.ProcEnd)
+	}
+	for id, at := range want.info.ProcEnd {
+		if got.info.ProcEnd[id] != at {
+			t.Fatalf("%s: ProcEnd[%s] = %v, want %v", label, id, got.info.ProcEnd[id], at)
+		}
+	}
+}
+
+// TestSegmentEngineMatchesPerTick is the tentpole golden suite: across the
+// edge-case scenario table, the segment-compiled Stream and StreamSegments
+// are Float64bits-identical to the per-tick reference loop (the engine
+// disabled), and the compiled runs actually coalesce ticks into fewer
+// segments wherever the scenario is longer than its change-point count.
+func TestSegmentEngineMatchesPerTick(t *testing.T) {
+	defer SetSegmented(SetSegmented(true))
+	for _, sc := range segScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			SetSegmented(false)
+			want := captureStream(t, sc.cfg, sc.procs, sc.dur)
+			refSegs, perTick := captureSegments(t, sc.cfg, sc.procs, sc.dur)
+			SetSegmented(true)
+			got := captureStream(t, sc.cfg, sc.procs, sc.dur)
+			gotSegs, compiled := captureSegments(t, sc.cfg, sc.procs, sc.dur)
+
+			requireIdentical(t, "per-tick segments vs reference", want, refSegs)
+			requireIdentical(t, "compiled stream vs reference", want, got)
+			requireIdentical(t, "compiled segments vs reference", want, gotSegs)
+			if perTick != len(want.recs) {
+				t.Errorf("disabled engine emitted %d segments over %d ticks, want one per tick",
+					perTick, len(want.recs))
+			}
+			if compiled >= perTick && perTick > 1 {
+				t.Errorf("compiled run used %d segments over %d ticks — no coalescing", compiled, perTick)
+			}
+		})
+	}
+}
+
+// TestStreamBatchSegmentsMatchesPerTick pins the batched entry points: for
+// every repetition, StreamBatch and StreamBatchSegments under the compiled
+// engine match the per-tick reference batch bit for bit, with yields
+// arriving rep-ascending within each tick/segment.
+func TestStreamBatchSegmentsMatchesPerTick(t *testing.T) {
+	defer SetSegmented(SetSegmented(true))
+	seeds := []int64{3, 41, 59}
+	for _, sc := range segScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			capture := func() [][]TickRecord {
+				reps := make([][]TickRecord, len(seeds))
+				_, err := StreamBatch(sc.cfg, sc.procs, sc.dur, seeds, func(rep int, rec *TickRecord) error {
+					r := *rec
+					r.Procs = append([]ProcTick(nil), rec.Procs...)
+					reps[rep] = append(reps[rep], r)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return reps
+			}
+			SetSegmented(false)
+			want := capture()
+			SetSegmented(true)
+			got := capture()
+			segGot := make([][]TickRecord, len(seeds))
+			lastRep := -1
+			_, err := StreamBatchSegments(sc.cfg, sc.procs, sc.dur, seeds, func(rep int, seg *Segment) error {
+				wantRep := (lastRep + 1) % len(seeds)
+				if rep != wantRep {
+					t.Fatalf("rep %d yielded after %d, want %d", rep, lastRep, wantRep)
+				}
+				lastRep = rep
+				for i := range seg.Powers {
+					r := *seg.Rec
+					r.At = seg.At(i)
+					r.Power = seg.Powers[i]
+					r.Procs = append([]ProcTick(nil), seg.Rec.Procs...)
+					segGot[rep] = append(segGot[rep], r)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := range seeds {
+				w := tickCapture{want[rep], &StreamInfo{ProcEnd: map[string]time.Duration{}}}
+				requireIdentical(t, "batch compiled", w,
+					tickCapture{got[rep], &StreamInfo{ProcEnd: map[string]time.Duration{}}})
+				requireIdentical(t, "batch segments", w,
+					tickCapture{segGot[rep], &StreamInfo{ProcEnd: map[string]time.Duration{}}})
+			}
+		})
+	}
+}
+
+// TestChangePointTicks unit-tests the enumeration: tick 0 is always
+// present, zero-duration phases collapse onto their neighbours' edges,
+// duplicate and beyond-horizon points are dropped, unaligned edges round
+// up via ceilTick, and durations close enough to the int64 ceiling to
+// overflow the ceiling division decline (ok=false → per-tick fallback).
+func TestChangePointTicks(t *testing.T) {
+	tick := 100 * time.Millisecond
+	w := workload.Workload{
+		Name: "cp", Kind: workload.App, Mix: workload.CounterMix{IPC: 1},
+		Cost: map[string]units.Watts{"SMALL INTEL": 6},
+		Script: []workload.Phase{
+			{Duration: 250 * time.Millisecond, Threads: 1, Intensity: 1, Util: 1},
+			{Duration: 0, Threads: 2, Intensity: 1, Util: 1},
+			{Duration: 350 * time.Millisecond, Threads: 1, Intensity: 1, Util: 1},
+		},
+	}
+	procs := []Proc{
+		{ID: "a", Workload: w, Threads: 1},                                                       // edges at 250ms→tick 3, 600ms→tick 6
+		{ID: "b", Workload: w, Threads: 1, Start: 150 * time.Millisecond},                        // start tick 2, edges at 400ms→4, 750ms→8
+		{ID: "c", Workload: w, Threads: 1, Start: 200 * time.Millisecond, Stop: 5 * time.Second}, // start tick 2 (dup), stop beyond horizon
+	}
+	cps, _, ok := changePointTicks(procs, tick, 800*time.Millisecond, 8, nil, nil)
+	if !ok {
+		t.Fatal("feasible enumeration declined")
+	}
+	// a: boundaries 250→3, 600→6. b: start 150→2, shifted 400→4, 750→8
+	// (past the 8-tick horizon, dropped). c: start 200→2 (dup), shifted
+	// 450→5, 850 ≥ maxDur dropped; stop 5 s ≥ maxDur dropped.
+	want := []int64{0, 2, 3, 4, 5, 6}
+	if len(cps) != len(want) {
+		t.Fatalf("change-points %v, want %v", cps, want)
+	}
+	for i := range want {
+		if cps[i] != want[i] {
+			t.Fatalf("change-points %v, want %v", cps, want)
+		}
+	}
+
+	// A horizon at the representable ceiling cannot be proven without
+	// overflowing ceilTick's arithmetic: the enumeration must decline.
+	huge := time.Duration(math.MaxInt64 - 1)
+	if _, _, ok := changePointTicks(procs, tick, huge, math.MaxInt64/int64(tick), nil, nil); ok {
+		t.Fatal("near-overflow horizon did not decline")
+	}
+
+	// A phase boundary that would overflow the start shift is skipped, not
+	// wrapped into a bogus change-point.
+	far := Proc{ID: "far", Workload: w, Threads: 1, Start: time.Duration(math.MaxInt64 - int64(200*time.Millisecond))}
+	cps, _, ok = changePointTicks([]Proc{far}, tick, time.Second, 10, nil, nil)
+	if !ok {
+		t.Fatal("overflow-guarded boundary declined the whole enumeration")
+	}
+	for _, k := range cps[1:] {
+		if k < 0 || k >= 10 {
+			t.Fatalf("out-of-range change-point %d", k)
+		}
+	}
+}

@@ -27,6 +27,33 @@ type StreamInfo struct {
 	ProcEnd  map[string]time.Duration
 }
 
+// noiseRNG draws the per-tick sensor-noise overlay. The generator is
+// created lazily on the first draw: noise-free runs (stddev <= 0) never
+// pay math/rand's 607-word seeding, and noisy runs consume the source
+// exactly as the historical per-tick loop did — one NormFloat64 per
+// emitted tick, in tick order — so sampled powers are bit-identical.
+type noiseRNG struct {
+	stddev float64
+	seed   int64
+	rng    *rand.Rand
+}
+
+func newNoiseRNG(stddev units.Watts, seed int64) *noiseRNG {
+	return &noiseRNG{stddev: float64(stddev), seed: seed}
+}
+
+// sample returns base plus one noise draw (or base unchanged for
+// noise-free runs).
+func (n *noiseRNG) sample(base units.Watts) units.Watts {
+	if !(n.stddev > 0) {
+		return base
+	}
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(n.seed))
+	}
+	return units.Watts(float64(base) + n.rng.NormFloat64()*n.stddev)
+}
+
 // Stream runs the scenario for at most maxDur, handing each tick to yield
 // as it is produced instead of materialising a Run — the O(ticks-in-flight)
 // entry point of the streaming campaign pipeline. The record passed to
@@ -37,52 +64,37 @@ type StreamInfo struct {
 // aborts the run and is returned unwrapped; like Simulate, the run ends
 // early once every process has started and finished, and oversubscription
 // returns ErrContention (wrapped, with the tick time).
+//
+// Internally Stream walks the run segment by segment (see segments.go):
+// stepTick runs once per constant segment and the cached record is
+// restamped per tick with only the timestamp and the noise overlay
+// varying, which is what makes cold simulation cheap for scenarios whose
+// segments are much rarer than their ticks.
 func Stream(cfg Config, procs []Proc, maxDur time.Duration, yield func(rec *TickRecord) error) (*StreamInfo, error) {
 	ordered, info, err := streamSetup(cfg, procs, maxDur)
 	if err != nil {
 		return nil, err
 	}
-	tick := cfg.tick()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	phys := cfg.Spec.Topology.PhysicalCores()
-	nCPU := cfg.schedulableCPUs()
-	// One scratch column backs every yielded tick; stepTick accumulates
-	// into it, so it is re-zeroed before each step.
-	col := make([]ProcTick, len(ordered))
-	var sc tickScratch
-	// rec lives outside the loop: yield takes its address, and a
-	// loop-scoped record would escape to a fresh heap allocation per tick.
-	var rec TickRecord
-
-	for t := time.Duration(0); t < maxDur; t += tick {
-		clear(col)
-		active, err := stepTick(cfg, ordered, t, tick, phys, nCPU, info.ProcEnd, &sc, col, &rec)
+	cur := newSegCursor(cfg, ordered, maxDur)
+	rng := newNoiseRNG(cfg.NoiseStddev, cfg.Seed)
+	var emitted int64
+	for !cur.done {
+		startK, endK, err := cur.next()
 		if err != nil {
-			return nil, fmt.Errorf("%w at t=%v", err, t)
-		}
-		if cfg.NoiseStddev > 0 {
-			rec.Power = units.Watts(float64(rec.Power) + rng.NormFloat64()*float64(cfg.NoiseStddev))
-		}
-		info.Ticks++
-		info.Duration = t + tick
-		if err := yield(&rec); err != nil {
 			return nil, err
 		}
-		if !active && allStarted(ordered, t) {
-			break
+		rec := &cur.rec
+		base := rec.TruePower
+		for k := startK; k < endK; k++ {
+			rec.At = time.Duration(k) * cur.tick
+			rec.Power = rng.sample(base)
+			if err := yield(rec); err != nil {
+				return nil, err
+			}
 		}
+		emitted = endK
 	}
-	for _, p := range ordered {
-		if _, done := info.ProcEnd[p.ID]; !done {
-			info.ProcEnd[p.ID] = info.Duration
-		}
-	}
-	obsRuns.Inc()
-	n := uint64(info.Ticks)
-	obsTicksSimulated.Add(n)
-	if n >= sc.grownTicks {
-		obsScratchReused.Add(n - sc.grownTicks)
-	}
+	cur.finish(info, emitted)
 	return info, nil
 }
 
@@ -136,56 +148,94 @@ func streamSetup(cfg Config, procs []Proc, maxDur time.Duration) ([]Proc, *Strea
 // ProcEnd are seed-independent); its Config is the input cfg, whose own
 // Seed is unused.
 func StreamBatch(cfg Config, procs []Proc, maxDur time.Duration, seeds []int64, yield func(rep int, rec *TickRecord) error) (*StreamInfo, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("machine: batch needs at least one seed")
-	}
-	ordered, info, err := streamSetup(cfg, procs, maxDur)
+	ordered, info, rngs, err := streamBatchSetup(cfg, procs, maxDur, seeds)
 	if err != nil {
 		return nil, err
 	}
-	tick := cfg.tick()
-	rngs := make([]*rand.Rand, len(seeds))
-	for i, seed := range seeds {
-		rngs[i] = rand.New(rand.NewSource(seed))
-	}
-	phys := cfg.Spec.Topology.PhysicalCores()
-	nCPU := cfg.schedulableCPUs()
-	col := make([]ProcTick, len(ordered))
-	var sc tickScratch
-	var rec TickRecord
-
-	for t := time.Duration(0); t < maxDur; t += tick {
-		clear(col)
-		active, err := stepTick(cfg, ordered, t, tick, phys, nCPU, info.ProcEnd, &sc, col, &rec)
+	cur := newSegCursor(cfg, ordered, maxDur)
+	var emitted int64
+	for !cur.done {
+		startK, endK, err := cur.next()
 		if err != nil {
-			return nil, fmt.Errorf("%w at t=%v", err, t)
+			return nil, err
 		}
-		base := rec.Power
-		info.Ticks++
-		info.Duration = t + tick
-		for rep := range seeds {
-			rec.Power = base
-			if cfg.NoiseStddev > 0 {
-				rec.Power = units.Watts(float64(base) + rngs[rep].NormFloat64()*float64(cfg.NoiseStddev))
+		rec := &cur.rec
+		base := rec.TruePower
+		for k := startK; k < endK; k++ {
+			rec.At = time.Duration(k) * cur.tick
+			for rep := range seeds {
+				rec.Power = rngs[rep].sample(base)
+				if err := yield(rep, rec); err != nil {
+					return nil, err
+				}
 			}
-			if err := yield(rep, &rec); err != nil {
+		}
+		emitted = endK
+	}
+	cur.finish(info, emitted)
+	return info, nil
+}
+
+// streamBatchSetup extends streamSetup with the per-repetition noise
+// sources shared by StreamBatch and StreamBatchSegments.
+func streamBatchSetup(cfg Config, procs []Proc, maxDur time.Duration, seeds []int64) ([]Proc, *StreamInfo, []*noiseRNG, error) {
+	if len(seeds) == 0 {
+		return nil, nil, nil, fmt.Errorf("machine: batch needs at least one seed")
+	}
+	ordered, info, err := streamSetup(cfg, procs, maxDur)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rngs := make([]*noiseRNG, len(seeds))
+	for i, seed := range seeds {
+		rngs[i] = newNoiseRNG(cfg.NoiseStddev, seed)
+	}
+	return ordered, info, rngs, nil
+}
+
+// StreamBatchSegments is StreamBatch at segment granularity: for every
+// constant segment of the run, yield is called once per seed in slice
+// order with the repetition index and the segment carrying that
+// repetition's per-tick noisy powers. Within one segment every repetition
+// shares Rec (and its Procs column); only Powers differs. Each
+// repetition's noise source is advanced once per tick in tick order, so
+// for rep k the flattened (At(i), Powers[i], Rec) sequence is
+// bit-identical to Stream with Seed=seeds[k] — and to StreamBatch's
+// per-tick yields. The record and power buffers are scratch valid only
+// during the yield.
+func StreamBatchSegments(cfg Config, procs []Proc, maxDur time.Duration, seeds []int64, yield func(rep int, seg *Segment) error) (*StreamInfo, error) {
+	ordered, info, rngs, err := streamBatchSetup(cfg, procs, maxDur, seeds)
+	if err != nil {
+		return nil, err
+	}
+	cur := newSegCursor(cfg, ordered, maxDur)
+	seg := Segment{Rec: &cur.rec, Interval: cur.tick}
+	powers := make([][]units.Watts, len(seeds))
+	var emitted int64
+	for !cur.done {
+		startK, endK, err := cur.next()
+		if err != nil {
+			return nil, err
+		}
+		n := endK - startK
+		base := cur.rec.TruePower
+		for rep := range seeds {
+			powers[rep] = growPowers(powers[rep], n)
+			for i := int64(0); i < n; i++ {
+				powers[rep][i] = rngs[rep].sample(base)
+			}
+		}
+		seg.StartTick = int(startK)
+		cur.rec.At = time.Duration(startK) * cur.tick
+		for rep := range seeds {
+			seg.Powers = powers[rep]
+			cur.rec.Power = seg.Powers[0]
+			if err := yield(rep, &seg); err != nil {
 				return nil, err
 			}
 		}
-		if !active && allStarted(ordered, t) {
-			break
-		}
+		emitted = endK
 	}
-	for _, p := range ordered {
-		if _, done := info.ProcEnd[p.ID]; !done {
-			info.ProcEnd[p.ID] = info.Duration
-		}
-	}
-	obsRuns.Inc()
-	n := uint64(info.Ticks)
-	obsTicksSimulated.Add(n)
-	if n >= sc.grownTicks {
-		obsScratchReused.Add(n - sc.grownTicks)
-	}
+	cur.finish(info, emitted)
 	return info, nil
 }

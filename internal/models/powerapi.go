@@ -54,7 +54,12 @@ func DefaultPowerAPIConfig() PowerAPIConfig {
 // every scenario — the "estimation drops" the paper works around.
 type PowerAPI struct {
 	cfg PowerAPIConfig
-	rng *rand.Rand
+	// seed defers RNG construction to the first draw: seeding math/rand's
+	// 607-word source costs more than a whole scenario's estimates, and
+	// below ManyCoreThreshold no draw ever happens. Laziness cannot shift
+	// the sequence — the source is a pure function of the seed.
+	seed int64
+	rng  *rand.Rand
 
 	keys       keyCache
 	learnStart time.Duration
@@ -74,6 +79,9 @@ type PowerAPI struct {
 	prevPresent []bool
 	curPresent  []bool
 	favSlot     int
+	// segW is the segment path's cached weight column (weights are
+	// constant between calibrations within a segment).
+	segW []units.Watts
 }
 
 // NewPowerAPI returns a PowerAPI-model factory with the given config.
@@ -99,7 +107,7 @@ func NewPowerAPI(cfg PowerAPIConfig) Factory {
 		Name:        "powerapi",
 		Fingerprint: string(fp),
 		New: func(seed int64) Model {
-			return &PowerAPI{cfg: cfg, rng: rand.New(rand.NewSource(seed)), favSlot: -1}
+			return &PowerAPI{cfg: cfg, seed: seed, favSlot: -1}
 		},
 	}
 }
@@ -107,10 +115,25 @@ func NewPowerAPI(cfg PowerAPIConfig) Factory {
 // Name returns "powerapi".
 func (m *PowerAPI) Name() string { return "powerapi" }
 
+// rand returns the model's seeded RNG, constructing it on first use.
+func (m *PowerAPI) rand() *rand.Rand {
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(m.seed))
+	}
+	return m.rng
+}
+
 // reset restarts the learning window after a context change (§IV-A).
 func (m *PowerAPI) reset(at time.Duration) {
 	m.started = true
 	m.learnStart = at
+	if cap(m.rows) == 0 {
+		// A learning window at the default tick rate collects ~100 rows;
+		// reserving up front replaces the append-doubling ladder (and its
+		// garbage) with one allocation per model.
+		m.rows = make([][4]float64, 0, 128)
+		m.targets = make([]float64, 0, 128)
+	}
 	m.rows = m.rows[:0]
 	m.targets = m.targets[:0]
 	m.fitted = false
@@ -204,7 +227,7 @@ func (m *PowerAPI) fit(logicalCPUs int) {
 	m.fitted = true
 	if !m.cfg.Deterministic &&
 		logicalCPUs >= m.cfg.ManyCoreThreshold &&
-		m.rng.Float64() < m.cfg.InstabilityProb {
+		m.rand().Float64() < m.cfg.InstabilityProb {
 		// Degenerate calibration: with the near-singular feature matrices
 		// of many-core machines the fit lands on an arbitrary point of
 		// the solution manifold, and the attribution effectively locks
@@ -297,7 +320,7 @@ func (m *PowerAPI) estimateDegenerate(t Tick, ids []string) map[string]units.Wat
 		return nil
 	}
 	if m.favored == "" || !hasProc(t.Procs, m.favored) {
-		m.favored = ids[m.rng.Intn(len(ids))]
+		m.favored = ids[m.rand().Intn(len(ids))]
 	}
 	if len(t.Procs) == 1 {
 		return map[string]units.Watts{m.favored: t.MachinePower}
@@ -334,7 +357,7 @@ func (m *PowerAPI) estimateDegenerateInto(t Tick, running int, out []units.Watts
 		return false
 	}
 	if m.favSlot < 0 || !m.curPresent[m.favSlot] {
-		k := m.rng.Intn(running)
+		k := m.rand().Intn(running)
 		for i, pr := range m.curPresent {
 			if !pr {
 				continue

@@ -33,8 +33,11 @@ type ResidualAware struct {
 
 	keys keyCache
 	// slotDuties is the dense path's per-slot duty scratch, reused across
-	// ticks.
+	// ticks; slotShares/slotResid are the segment path's cached per-slot
+	// CPU shares and residual-excess terms.
 	slotDuties []float64
+	slotShares []float64
+	slotResid  []float64
 }
 
 // NewResidualAware returns a residual-aware model factory for a machine

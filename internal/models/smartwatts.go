@@ -43,6 +43,9 @@ type SmartWatts struct {
 	cfg  SmartWattsConfig
 	bins map[int64]*swBin
 	keys keyCache
+	// segW is the segment path's cached weight column, rebuilt after each
+	// refit.
+	segW []units.Watts
 }
 
 // swBin is one frequency bin's calibration state.
@@ -137,21 +140,32 @@ func (m *SmartWatts) Observe(t Tick) map[string]units.Watts {
 // calibrate feeds one aggregate row into the bin and reports whether the
 // bin is warm enough to estimate.
 func (m *SmartWatts) calibrate(b *swBin, agg [4]float64, t Tick) bool {
+	warm, _ := m.calibrateTick(b, agg, t.Degraded, t.MachinePower)
+	return warm
+}
+
+// calibrateTick is calibrate with the tick unpacked (the segment path
+// calls it once per covered tick) and additionally reports whether this
+// tick's row triggered a refit, so cached estimate weights can be
+// invalidated exactly when the per-tick path would recompute different
+// ones.
+func (m *SmartWatts) calibrateTick(b *swBin, agg [4]float64, degraded bool, power units.Watts) (warm, refitted bool) {
 	// Degraded intervals are divided but never calibrated on: a coalesced
 	// or zone-incomplete row would poison the bin's fit (see Tick.Degraded).
-	if !t.Degraded {
+	if !degraded {
 		b.rows = append(b.rows, agg)
-		b.targets = append(b.targets, float64(t.MachinePower))
+		b.targets = append(b.targets, float64(power))
 	}
 	if len(b.rows) < m.cfg.MinSamples {
-		return false
+		return false, false
 	}
 	// Refit periodically as the bin accumulates evidence.
 	if !b.fitted || len(b.rows)%m.cfg.MinSamples == 0 {
 		b.weights, b.scales = RidgeFit4(b.rows, b.targets, m.cfg.Ridge)
 		b.fitted = true
+		refitted = true
 	}
-	return true
+	return true, refitted
 }
 
 // ObserveInto is Observe on a dense tick, writing shares by roster slot.

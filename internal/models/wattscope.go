@@ -40,6 +40,8 @@ type WattScope struct {
 	floor  float64
 	primed bool
 	keys   keyCache
+	// slotUtils is the segment path's per-slot coarse-utilization scratch.
+	slotUtils []float64
 }
 
 // DefaultUtilQuantum is the coarse-utilization step: 5%, the granularity
@@ -58,12 +60,13 @@ func NewWattScope() Factory {
 func (m *WattScope) Name() string { return "wattscope" }
 
 // learnFloor advances the static-power estimate with one tick's machine
-// reading. Called exactly once per tick from either entry point.
-func (m *WattScope) learnFloor(t Tick) {
-	if t.Degraded {
+// reading. Called exactly once per tick from every entry point.
+func (m *WattScope) learnFloor(t Tick) { m.learnFloorPower(t.Degraded, float64(t.MachinePower)) }
+
+func (m *WattScope) learnFloorPower(degraded bool, p float64) {
+	if degraded {
 		return
 	}
-	p := float64(t.MachinePower)
 	if !m.primed || p < m.floor {
 		m.floor = p
 		m.primed = true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"powerdiv/internal/division"
@@ -208,11 +209,39 @@ type scoreScratch struct {
 	scored      *trace.Series
 	scoredEsts  [][]units.Watts
 	scoredPower []units.Watts
+	// at/power back the streaming pipeline's per-scenario tickSeries, so
+	// the scoring view rides the same recycled scratch as the rest of the
+	// tail.
+	at    []time.Duration
+	power []units.Watts
+	// meanEst and truthVec are roster-width accumulators reused across the
+	// models/objectives of a scenario.
+	meanEst  []float64
+	truthVec []float64
+}
+
+// rosterVec returns buf resized to n entries, reallocating only on growth;
+// the contents are unspecified — callers overwrite every entry.
+func rosterVec(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 func newScoreScratch() *scoreScratch {
 	return &scoreScratch{scored: trace.New()}
 }
+
+// scoreScratchPool recycles scoring scratch across scenarios: the scratch
+// holds the only scoring-side buffers whose size is O(run ticks), and a
+// campaign's workers score hundreds of scenarios back to back. Pooled
+// buffers are always resliced to zero length before reuse, so recycling
+// cannot change a single accumulation.
+var scoreScratchPool = sync.Pool{New: func() any { return newScoreScratch() }}
+
+func getScoreScratch() *scoreScratch  { return scoreScratchPool.Get().(*scoreScratch) }
+func putScoreScratch(s *scoreScratch) { scoreScratchPool.Put(s) }
 
 // scoreRun is protocol phase 3 for one model on an already-simulated
 // scenario run: the model replays the run's observations (ticks, the run's
@@ -264,7 +293,9 @@ func scoreEstimatesWindow(ctx Context, s Scenario, ts tickSeries, modelName stri
 	rosterIDs := est.Roster.IDs()
 	scoredEsts := scr.scoredEsts[:0]
 	scoredPower := scr.scoredPower[:0]
-	meanEst := make([]float64, len(rosterIDs))
+	scr.meanEst = rosterVec(scr.meanEst, len(rosterIDs))
+	meanEst := scr.meanEst
+	clear(meanEst)
 	for i, at := range ts.at {
 		if at < from || at >= to || !est.OK[i] {
 			continue
@@ -291,7 +322,8 @@ func scoreEstimatesWindow(ctx Context, s Scenario, ts tickSeries, modelName stri
 	out := make([]Evaluation, len(truths))
 	for i, truth := range truths {
 		ev := Evaluation{Scenario: s, Model: modelName, Truth: truth, EstShare: estShare}
-		tv := truth.Vector(rosterIDs)
+		scr.truthVec = rosterVec(scr.truthVec, len(rosterIDs))
+		tv := truth.VectorInto(scr.truthVec, rosterIDs)
 		ae, err := division.AbsoluteErrorColumnsConst(scoredEsts, scoredPower, tv)
 		if err != nil {
 			return nil, fmt.Errorf("protocol: scenario %q: %w", s.Label(), err)
@@ -535,7 +567,8 @@ func EvaluateModels(ctx Context, scenarios []Scenario, factories func(map[string
 		row := make([]Evaluation, len(fs))
 		var ticks []models.Tick
 		var ts tickSeries
-		scr := newScoreScratch()
+		scr := getScoreScratch()
+		defer putScoreScratch(scr)
 		for m, f := range fs {
 			// Every model asks for the scenario run through the cache:
 			// with memoization on the first model simulates and the rest

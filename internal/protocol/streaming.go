@@ -32,12 +32,18 @@ import (
 // once and all models observe the stream tick by tick. The result is
 // indexed [factory][objective], matching truths.
 //
+// The scenario streams segment by segment (machine.StreamSegments): the
+// simulator evaluates each constant segment once, and the models observe
+// it through StreamReplay.ObserveSegment — the model-side counterpart of
+// the segment engine, bit-identical to per-tick observation.
+//
 // cctx is the cancellation seam: it is polled once per simulated tick
-// inside the stream yield, so a cancelled context (client disconnect, job
-// deadline) aborts the simulator mid-run instead of after the scenario —
-// the error unwraps to cctx's cause via errors.Is. Cancellation only ever
-// aborts; it cannot perturb the float accumulation order of a run that
-// completes.
+// inside the stream yield (segments poll once per covered tick, keeping
+// the poll count of the per-tick engine), so a cancelled context (client
+// disconnect, job deadline) aborts the simulator mid-run instead of after
+// the scenario — the error unwraps to cctx's cause via errors.Is.
+// Cancellation only ever aborts; it cannot perturb the float accumulation
+// order of a run that completes.
 func evaluateScenarioStreaming(cctx context.Context, ctx Context, s Scenario, fs []models.Factory, truths []division.Shares) ([][]Evaluation, error) {
 	cfg := ctx.Machine
 	cfg.Seed = deriveSeed(ctx.Seed, "pair", s.Label())
@@ -61,17 +67,21 @@ func evaluateScenarioStreaming(cctx context.Context, ctx Context, s Scenario, fs
 	}
 	logical := cfg.Spec.Topology.LogicalCPUs()
 	replay := models.NewStreamReplay(roster, ms, maxTicks)
-	ts := tickSeries{
-		at:    make([]time.Duration, 0, maxTicks),
-		power: make([]units.Watts, 0, maxTicks),
-	}
-	// One sample column is reused for every tick; models copy what they
+	defer replay.Release()
+	scr := getScoreScratch()
+	defer putScoreScratch(scr)
+	ts := tickSeries{at: scr.at[:0], power: scr.power[:0]}
+	// One sample column is reused for every segment; models copy what they
 	// keep (StreamReplay's contract).
 	scratch := make([]models.ProcSample, roster.Len())
-	_, err := machine.Stream(cfg, procs, ctx.RunFor, func(rec *machine.TickRecord) error {
-		if err := cctx.Err(); err != nil {
-			return err
-		}
+	segTicks := models.SegmentTicks{Tick: models.Tick{
+		Interval:    tick,
+		LogicalCPUs: logical,
+		Roster:      roster,
+		Samples:     scratch,
+	}}
+	_, err := machine.StreamSegments(cfg, procs, ctx.RunFor, func(seg *machine.Segment) error {
+		rec := seg.Rec
 		for slot := range scratch {
 			pt := rec.Procs[slot]
 			scratch[slot] = models.ProcSample{
@@ -81,24 +91,25 @@ func evaluateScenarioStreaming(cctx context.Context, ctx Context, s Scenario, fs
 				TrueActive: pt.ActivePower,
 			}
 		}
-		replay.Observe(models.Tick{
-			At:           rec.At,
-			Interval:     tick,
-			MachinePower: rec.Power,
-			LogicalCPUs:  logical,
-			Freq:         rec.Freq,
-			Roster:       roster,
-			Samples:      scratch,
-		})
-		ts.at = append(ts.at, rec.At)
-		ts.power = append(ts.power, rec.Power)
+		segTicks.Tick.At = rec.At
+		segTicks.Tick.MachinePower = seg.Powers[0]
+		segTicks.Tick.Freq = rec.Freq
+		segTicks.Powers = seg.Powers
+		replay.ObserveSegment(&segTicks)
+		for i := range seg.Powers {
+			if err := cctx.Err(); err != nil {
+				return err
+			}
+			ts.at = append(ts.at, seg.At(i))
+			ts.power = append(ts.power, seg.Powers[i])
+		}
 		return nil
 	})
+	scr.at, scr.power = ts.at, ts.power
 	if err != nil {
 		return nil, fmt.Errorf("protocol: scenario %q: %w", s.Label(), err)
 	}
 	out := make([][]Evaluation, len(fs))
-	scr := newScoreScratch()
 	// The scoring window depends on the model only through its OK vector,
 	// and most models estimate every tick — so windows are computed once
 	// per distinct OK vector, not once per model.
@@ -167,13 +178,25 @@ func EvaluateScenarioRepsStreaming(cctx context.Context, ctx Context, s Scenario
 			power: make([]units.Watts, 0, maxTicks),
 		}
 	}
+	defer func() {
+		for _, r := range replays {
+			r.Release()
+		}
+	}()
 
+	// Segments arrive once per repetition (in repetition order) with that
+	// repetition's noise overlay; the shared sample column is copied on the
+	// first repetition of each segment, before any model observes it.
 	scratch := make([]models.ProcSample, roster.Len())
-	_, err := machine.StreamBatch(cfg, procs, ctx.RunFor, noiseSeeds, func(rep int, rec *machine.TickRecord) error {
+	segTicks := models.SegmentTicks{Tick: models.Tick{
+		Interval:    tick,
+		LogicalCPUs: logical,
+		Roster:      roster,
+		Samples:     scratch,
+	}}
+	_, err := machine.StreamBatchSegments(cfg, procs, ctx.RunFor, noiseSeeds, func(rep int, seg *machine.Segment) error {
+		rec := seg.Rec
 		if rep == 0 {
-			if err := cctx.Err(); err != nil {
-				return err
-			}
 			for slot := range scratch {
 				pt := rec.Procs[slot]
 				scratch[slot] = models.ProcSample{
@@ -184,17 +207,20 @@ func EvaluateScenarioRepsStreaming(cctx context.Context, ctx Context, s Scenario
 				}
 			}
 		}
-		replays[rep].Observe(models.Tick{
-			At:           rec.At,
-			Interval:     tick,
-			MachinePower: rec.Power,
-			LogicalCPUs:  logical,
-			Freq:         rec.Freq,
-			Roster:       roster,
-			Samples:      scratch,
-		})
-		series[rep].at = append(series[rep].at, rec.At)
-		series[rep].power = append(series[rep].power, rec.Power)
+		segTicks.Tick.At = rec.At
+		segTicks.Tick.MachinePower = seg.Powers[0]
+		segTicks.Tick.Freq = rec.Freq
+		segTicks.Powers = seg.Powers
+		replays[rep].ObserveSegment(&segTicks)
+		for i := range seg.Powers {
+			if rep == 0 {
+				if err := cctx.Err(); err != nil {
+					return err
+				}
+			}
+			series[rep].at = append(series[rep].at, seg.At(i))
+			series[rep].power = append(series[rep].power, seg.Powers[i])
+		}
 		return nil
 	})
 	if err != nil {
@@ -202,7 +228,8 @@ func EvaluateScenarioRepsStreaming(cctx context.Context, ctx Context, s Scenario
 	}
 
 	out := make([][][]Evaluation, len(seeds))
-	scr := newScoreScratch()
+	scr := getScoreScratch()
+	defer putScoreScratch(scr)
 	for r := range seeds {
 		repCtx := ctx
 		repCtx.Seed = seeds[r]

@@ -103,6 +103,20 @@ func (v *trafficView) observe(rec *machine.TickRecord) {
 	}
 }
 
+// observeSegment appends a constant segment's scoring state: the presence
+// column repeats unchanged for every covered tick while time and power
+// advance tick by tick — exactly what observe would have appended had the
+// segment streamed per tick.
+func (v *trafficView) observeSegment(seg *machine.Segment) {
+	for i := range seg.Powers {
+		v.ts.at = append(v.ts.at, seg.At(i))
+		v.ts.power = append(v.ts.power, seg.Powers[i])
+		for slot := 0; slot < v.n; slot++ {
+			v.presence = append(v.presence, seg.Rec.Procs[slot].Present())
+		}
+	}
+}
+
 // row returns tick i's presence column.
 func (v *trafficView) row(i int) []bool { return v.presence[i*v.n : (i+1)*v.n] }
 
@@ -239,12 +253,25 @@ func evaluateTrafficScenarioStreaming(cctx context.Context, ctx Context, s Scena
 	}
 	logical := cfg.Spec.Topology.LogicalCPUs()
 	replay := models.NewStreamReplay(roster, ms, maxTicks)
+	defer replay.Release()
 	view := newTrafficView(roster.Len(), maxTicks)
 	scratch := make([]models.ProcSample, roster.Len())
-	_, err := machine.Stream(cfg, procs, window, func(rec *machine.TickRecord) error {
-		if err := cctx.Err(); err != nil {
-			return err
+	segTicks := models.SegmentTicks{Tick: models.Tick{
+		Interval:    tick,
+		LogicalCPUs: logical,
+		Roster:      roster,
+		Samples:     scratch,
+	}}
+	_, err := machine.StreamSegments(cfg, procs, window, func(seg *machine.Segment) error {
+		// One poll per covered tick keeps the cancellation granularity (and
+		// the deterministic poll count the ctx tests pin) of the per-tick
+		// engine.
+		for range seg.Powers {
+			if err := cctx.Err(); err != nil {
+				return err
+			}
 		}
+		rec := seg.Rec
 		for slot := range scratch {
 			pt := rec.Procs[slot]
 			scratch[slot] = models.ProcSample{
@@ -254,16 +281,12 @@ func evaluateTrafficScenarioStreaming(cctx context.Context, ctx Context, s Scena
 				TrueActive: pt.ActivePower,
 			}
 		}
-		replay.Observe(models.Tick{
-			At:           rec.At,
-			Interval:     tick,
-			MachinePower: rec.Power,
-			LogicalCPUs:  logical,
-			Freq:         rec.Freq,
-			Roster:       roster,
-			Samples:      scratch,
-		})
-		view.observe(rec)
+		segTicks.Tick.At = rec.At
+		segTicks.Tick.MachinePower = seg.Powers[0]
+		segTicks.Tick.Freq = rec.Freq
+		segTicks.Powers = seg.Powers
+		replay.ObserveSegment(&segTicks)
+		view.observeSegment(seg)
 		return nil
 	})
 	if err != nil {

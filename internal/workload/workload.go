@@ -158,6 +158,29 @@ func (w Workload) PhaseAt(t time.Duration, defaultThreads int) (p Phase, done bo
 	return Phase{Threads: 0, Intensity: 0, Util: 0}, true
 }
 
+// PhaseBoundaries appends the workload's phase-change offsets to out and
+// returns the extended slice — the change-point enumeration the segment
+// compiler in internal/machine builds on. Each offset is a cumulative time
+// since workload start at which PhaseAt's result can change: the end of
+// every non-empty phase, the final offset being the script's end (past
+// which a scripted workload reports done). Between consecutive offsets
+// PhaseAt is constant by construction: it scans the same cumulative sums
+// and skips the same zero-duration phases, so an exact edge t == offset
+// always resolves to the next non-empty phase on both paths. Scriptless
+// workloads contribute no boundaries — their load is constant for as long
+// as they run.
+func (w Workload) PhaseBoundaries(out []time.Duration) []time.Duration {
+	var acc time.Duration
+	for _, ph := range w.Script {
+		if ph.Duration <= 0 {
+			continue
+		}
+		acc += ph.Duration
+		out = append(out, acc)
+	}
+	return out
+}
+
 // Duration returns the scripted duration of an App workload, or 0 for
 // Stress workloads (they run until stopped).
 func (w Workload) Duration() time.Duration { return ScriptDuration(w.Script) }
